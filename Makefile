@@ -1,0 +1,36 @@
+# Convenience targets for the Dolos reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short vet fmt bench reproduce validate clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every table and figure (EXPERIMENTS.md reference scale).
+reproduce:
+	$(GO) run ./cmd/dolos-bench -exp all -txns 1000
+
+# Check every qualitative claim of the paper's evaluation.
+validate:
+	$(GO) run ./cmd/dolos-bench -exp validate -txns 500
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,224 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 5). Each benchmark runs the corresponding
+// experiment end to end — workload generation, trace replay through the
+// simulated machine under every scheme involved — and reports the
+// headline numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduction alongside the harness cost. dolos-bench prints
+// the full per-workload tables; EXPERIMENTS.md records a reference run.
+package dolos_test
+
+import (
+	"testing"
+
+	"dolos/internal/core"
+	"dolos/internal/stats"
+)
+
+// benchTxns keeps a full figure regeneration in the tens of seconds;
+// queueing steady state is reached well before this.
+const benchTxns = 300
+
+func newBenchRunner() *core.Runner {
+	return core.NewRunner(core.Options{Transactions: benchTxns})
+}
+
+// reportColumns attaches each column's mean as a benchmark metric.
+func reportColumns(b *testing.B, t *stats.Table, names ...string) {
+	b.Helper()
+	for i, n := range names {
+		b.ReportMetric(stats.Mean(t.ColumnValues(i)), n)
+	}
+}
+
+// BenchmarkFig06MotivationCPI regenerates Figure 6: CPI with security
+// before the WPQ vs after it (paper: 2.1x average slowdown).
+func BenchmarkFig06MotivationCPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportColumns(b, t, "preCPI", "postCPI", "slowdown")
+	}
+}
+
+// BenchmarkFig12SpeedupEager regenerates Figure 12: Dolos speedup with
+// the eager BMT (paper: 1.66 / 1.66 / 1.59 for Full / Partial / Post).
+func BenchmarkFig12SpeedupEager(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportColumns(b, t, "full-x", "partial-x", "post-x")
+	}
+}
+
+// BenchmarkTable2RetryKWR regenerates Table 2: WPQ insertion retry
+// events per kilo write requests.
+func BenchmarkTable2RetryKWR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportColumns(b, t, "full-rkwr", "partial-rkwr", "post-rkwr")
+	}
+}
+
+// BenchmarkFig13RetrySweep regenerates Figure 13: Partial-WPQ retry
+// pressure across transaction sizes 128 B - 2048 B.
+func BenchmarkFig13RetrySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t, err := r.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportColumns(b, t, "rkwr-128", "rkwr-256", "rkwr-512", "rkwr-1024", "rkwr-2048")
+	}
+}
+
+// BenchmarkFig14SpeedupSweep regenerates Figure 14: Partial-WPQ speedup
+// across transaction sizes (higher at small transactions).
+func BenchmarkFig14SpeedupSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t, err := r.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportColumns(b, t, "x-128", "x-256", "x-512", "x-1024", "x-2048")
+	}
+}
+
+// BenchmarkFig15WPQSizeSweep regenerates Figure 15: speedup vs WPQ size
+// (paper: 1.66 / 1.85 / 1.87 / 1.88 — saturating past ~28 entries).
+func BenchmarkFig15WPQSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		spd, rtr, err := r.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportColumns(b, spd, "x-wpq14", "x-wpq28", "x-wpq56", "x-wpq113")
+		b.ReportMetric(stats.Mean(rtr.ColumnValues(0)), "rkwr-wpq14")
+		b.ReportMetric(stats.Mean(rtr.ColumnValues(3)), "rkwr-wpq113")
+	}
+}
+
+// BenchmarkFig16SpeedupLazy regenerates Figure 16: Dolos speedup with
+// the lazy ToC backend (paper: 1.044 / 1.079 / 1.071).
+func BenchmarkFig16SpeedupLazy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t, err := r.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportColumns(b, t, "full-x", "partial-x", "post-x")
+	}
+}
+
+// BenchmarkTable3Storage regenerates Table 3: Mi-SU storage overhead.
+func BenchmarkTable3Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := core.Table3()
+		b.ReportMetric(t.Cell(2, 0), "full-padB")
+		b.ReportMetric(t.Cell(2, 1), "partial-padB")
+		b.ReportMetric(t.Cell(2, 2), "post-padB")
+	}
+}
+
+// BenchmarkSec55Recovery regenerates the Section 5.5 Mi-SU recovery-time
+// estimate (paper: ~44480 cycles / ~0.01 ms for Full-WPQ).
+func BenchmarkSec55Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ests := core.Sec55Recovery()
+		for _, e := range ests {
+			switch e.Design.String() {
+			case "Full-WPQ-MiSU":
+				b.ReportMetric(float64(e.TotalCycles), "full-cyc")
+			case "Partial-WPQ-MiSU":
+				b.ReportMetric(float64(e.TotalCycles), "partial-cyc")
+			case "Post-WPQ-MiSU":
+				b.ReportMetric(float64(e.TotalCycles), "post-cyc")
+			}
+		}
+	}
+}
+
+// BenchmarkADRCompliance audits that every design's crash drain fits the
+// standard ADR budget (the paper's central hardware constraint).
+func BenchmarkADRCompliance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := core.ADRCompliance()
+		for row := 0; row < t.Rows(); row++ {
+			if t.Cell(row, 0) > t.Cell(row, 1) || t.Cell(row, 2) > t.Cell(row, 3) {
+				b.Fatalf("%s exceeds the ADR budget", t.RowLabel(row))
+			}
+		}
+		b.ReportMetric(t.Cell(0, 0), "full-bytes")
+		b.ReportMetric(t.Cell(1, 0), "partial-bytes")
+	}
+}
+
+// BenchmarkExtEADRComparison measures how much of the extended-ADR
+// platform bound Dolos captures within the standard ADR budget.
+func BenchmarkExtEADRComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner(core.Options{Transactions: benchTxns, Workloads: []string{"Hashmap", "Redis"}})
+		t, err := r.EADRComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.Mean(t.ColumnValues(0)), "eadr-x")
+		b.ReportMetric(stats.Mean(t.ColumnValues(1)), "dolos-x")
+		b.ReportMetric(stats.Mean(t.ColumnValues(2)), "frac")
+	}
+}
+
+// BenchmarkExtTailLatency measures p99 transaction-latency improvement.
+func BenchmarkExtTailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner(core.Options{Transactions: benchTxns, Workloads: []string{"Hashmap"}})
+		t, err := r.TailLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Cell(0, 4), "p99-x")
+	}
+}
+
+// BenchmarkExtWriteAmplification measures NVM write amplification.
+func BenchmarkExtWriteAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner(core.Options{Transactions: benchTxns, Workloads: []string{"Hashmap"}})
+		t, err := r.WriteAmplification()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Cell(0, 0), "wpl-base")
+		b.ReportMetric(t.Cell(0, 1), "wpl-dolos")
+	}
+}
+
+// BenchmarkAblateCoalescing measures the WPQ write-coalescing ablation
+// (DESIGN.md §6) on the coalescing-friendly YCSB workload.
+func BenchmarkAblateCoalescing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.NewRunner(core.Options{Transactions: benchTxns, Workloads: []string{"NStore:YCSB"}})
+		t, err := r.AblateCoalescing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Cell(0, 0), "x-coalesce-on")
+		b.ReportMetric(t.Cell(0, 1), "x-coalesce-off")
+	}
+}

@@ -1,0 +1,96 @@
+// Command dolos-sim runs one simulation: a workload under a controller
+// scheme, printing the timing result and controller statistics.
+//
+// Usage:
+//
+//	dolos-sim -workload Hashmap -scheme dolos-partial -txns 1000
+//	dolos-sim -workload Redis -scheme baseline -tree lazy -txsize 512
+//	dolos-sim -workload Btree -scheme dolos-full -wpq 32 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dolos/internal/cliutil"
+	"dolos/internal/controller"
+	"dolos/internal/cpu"
+	"dolos/internal/whisper"
+)
+
+func main() {
+	workload := flag.String("workload", "Hashmap", "workload: Hashmap, Ctree, Btree, RBtree, NStore:YCSB, Redis")
+	scheme := flag.String("scheme", "dolos-partial", "scheme: "+strings.Join(cliutil.SchemeNames(), ", "))
+	tree := flag.String("tree", "eager", "integrity backend: eager (BMT) or lazy (ToC)")
+	txns := flag.Int("txns", 1000, "measured transactions")
+	txSize := flag.Int("txsize", 1024, "transaction payload bytes (128-2048)")
+	wpqSize := flag.Int("wpq", 16, "hardware WPQ entries")
+	seed := flag.Int64("seed", 1, "workload seed")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable WPQ write coalescing")
+	showStats := flag.Bool("stats", false, "dump controller counters")
+	flag.Parse()
+
+	sch, err := cliutil.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
+		os.Exit(2)
+	}
+	kind, err := cliutil.ParseTree(*tree)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	w, err := whisper.ByName(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
+		os.Exit(1)
+	}
+	tr := w.Generate(whisper.Params{Transactions: *txns, TxSize: *txSize, Seed: *seed})
+
+	cfg := controller.Config{
+		Scheme:            sch,
+		Tree:              kind,
+		HardwareWPQ:       *wpqSize,
+		DisableCoalescing: *noCoalesce,
+	}
+	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("sim")
+	sys := cpu.NewSystem(cfg)
+	res := sys.Run(tr)
+
+	fmt.Printf("workload          %s\n", res.Workload)
+	fmt.Printf("scheme            %s (%s, %d-entry hardware WPQ, %dB tx)\n",
+		res.Scheme, kind, *wpqSize, *txSize)
+	fmt.Printf("cycles            %d\n", res.Cycles)
+	fmt.Printf("transactions      %d\n", res.Transactions)
+	fmt.Printf("cycles/tx         %.0f\n", res.CyclesPerTx)
+	fmt.Printf("CPI (per op)      %.2f\n", res.CPI)
+	fmt.Printf("fence stalls      %d cycles\n", res.FenceStalls)
+	fmt.Printf("write requests    %d\n", res.WriteRequests)
+	fmt.Printf("retry events      %d (%.2f per KWR)\n", res.RetryEvents, res.RetryPerKWR)
+	fmt.Printf("WPQ read hits     %d\n", res.WPQReadHits)
+	fmt.Printf("mem reads         %d\n", res.MemReads)
+	fmt.Printf("mean interarrival %.0f cycles\n", res.MeanInterarrival)
+	fmt.Printf("mean WPQ occupancy %.1f entries\n", res.WPQMeanOccupancy)
+
+	if *showStats {
+		fmt.Println("\ncontroller counters:")
+		fmt.Print(sys.Ctrl.Stats())
+		fmt.Printf("\ncache hit rates: L1 %.1f%%  L2 %.1f%%  LLC %.1f%%\n",
+			hitRate(sys.Hier.L1().Hits(), sys.Hier.L1().Misses()),
+			hitRate(sys.Hier.L2().Hits(), sys.Hier.L2().Misses()),
+			hitRate(sys.Hier.LLC().Hits(), sys.Hier.LLC().Misses()))
+		fmt.Printf("metadata caches: counter %.1f%%  MT %.1f%%\n",
+			hitRate(sys.Ctrl.MaSU().CounterCache().Hits(), sys.Ctrl.MaSU().CounterCache().Misses()),
+			hitRate(sys.Ctrl.MaSU().MTCache().Hits(), sys.Ctrl.MaSU().MTCache().Misses()))
+	}
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}

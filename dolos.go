@@ -1,0 +1,103 @@
+// Package dolos is the public API of the Dolos reproduction: a
+// functional + cycle-approximate model of "Dolos: Improving the
+// Performance of Persistent Applications in ADR-Supported Secure Memory"
+// (Han, Tuck, Awad — MICRO 2021).
+//
+// The package re-exports the experiment layer: configure a Spec (scheme,
+// integrity backend, transaction size, WPQ size), run WHISPER-style
+// workloads through a full simulated machine, and regenerate every table
+// and figure of the paper's evaluation. Lower-level machinery (the WPQ,
+// Mi-SU/Ma-SU units, Merkle trees, crash and attack drivers) lives under
+// internal/ and is exercised through this facade, the cmd/ binaries and
+// the examples/.
+//
+// Quick start:
+//
+//	runner := dolos.NewRunner(dolos.Options{Transactions: 500})
+//	base, _ := runner.Run("Hashmap", dolos.Spec{Scheme: dolos.PreWPQSecure})
+//	fast, _ := runner.Run("Hashmap", dolos.Spec{Scheme: dolos.DolosPartial})
+//	fmt.Printf("speedup: %.2fx\n", dolos.Speedup(base, fast))
+package dolos
+
+import (
+	"dolos/internal/controller"
+	"dolos/internal/core"
+	"dolos/internal/cpu"
+	"dolos/internal/masu"
+	"dolos/internal/stats"
+	"dolos/internal/whisper"
+)
+
+// Scheme selects the secure memory controller configuration.
+type Scheme = controller.Scheme
+
+// The five controller configurations of the evaluation.
+const (
+	// NonSecureADR is the infeasible ideal reference (Figure 5-c).
+	NonSecureADR = controller.NonSecureADR
+	// PreWPQSecure is the state-of-the-art baseline (Figure 5-b).
+	PreWPQSecure = controller.PreWPQSecure
+	// DolosFull is Dolos with the Full-WPQ Mi-SU design.
+	DolosFull = controller.DolosFull
+	// DolosPartial is Dolos with the Partial-WPQ Mi-SU design.
+	DolosPartial = controller.DolosPartial
+	// DolosPost is Dolos with the Post-WPQ Mi-SU design.
+	DolosPost = controller.DolosPost
+	// EADRSecure is the extended-ADR platform bound (persistent caches):
+	// the expensive alternative the paper positions Dolos against.
+	EADRSecure = controller.EADRSecure
+)
+
+// TreeKind selects the Ma-SU integrity backend.
+type TreeKind = masu.TreeKind
+
+// The two integrity backends of Section 5.
+const (
+	// BMTEager is the 8-ary Bonsai Merkle Tree with eager AGIT updates.
+	BMTEager = masu.BMTEager
+	// ToCLazy is the lazily-updated Tree of Counters with Phoenix-style
+	// shadow protection.
+	ToCLazy = masu.ToCLazy
+)
+
+// Options configures an experiment batch (transaction count, workload
+// subset, seed).
+type Options = core.Options
+
+// Spec pins one simulated configuration (scheme, tree, transaction size,
+// WPQ size).
+type Spec = core.Spec
+
+// Runner executes simulations with trace caching for paired comparisons.
+type Runner = core.Runner
+
+// Result summarizes one simulation (cycles, CPI, retry events, ...).
+type Result = cpu.Result
+
+// Table is a rendered experiment table.
+type Table = stats.Table
+
+// NewRunner creates an experiment runner.
+func NewRunner(opts Options) *Runner { return core.NewRunner(opts) }
+
+// Speedup is the paper's metric: baseline cycles over candidate cycles.
+func Speedup(baseline, candidate Result) float64 { return core.Speedup(baseline, candidate) }
+
+// Workloads lists the six WHISPER-style benchmarks in figure order.
+func Workloads() []string { return whisper.Names() }
+
+// MicroWorkloads lists the in-house microbenchmarks (TxStream, PQueue),
+// mirroring the paper's "in-house developed workloads".
+func MicroWorkloads() []string { return whisper.MicroNames() }
+
+// Table3 returns the static Mi-SU storage-overhead table.
+func Table3() *Table { return core.Table3() }
+
+// ADRCompliance returns the drain-cost-versus-ADR-budget audit table.
+func ADRCompliance() *Table { return core.ADRCompliance() }
+
+// RecoveryEstimate is the Section 5.5 Mi-SU recovery-time analysis.
+type RecoveryEstimate = core.RecoveryEstimate
+
+// Sec55Recovery returns the recovery-time estimates per Mi-SU design.
+func Sec55Recovery() []RecoveryEstimate { return core.Sec55Recovery() }

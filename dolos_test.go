@@ -1,0 +1,36 @@
+package dolos
+
+import "testing"
+
+func TestFacadeQuickstart(t *testing.T) {
+	runner := NewRunner(Options{Transactions: 120})
+	base, err := runner.Run("Hashmap", Spec{Scheme: PreWPQSecure, Tree: BMTEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := runner.Run("Hashmap", Spec{Scheme: DolosPartial, Tree: BMTEager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Speedup(base, fast); s <= 1 {
+		t.Fatalf("Dolos speedup = %.2f, want > 1", s)
+	}
+}
+
+func TestFacadeStatics(t *testing.T) {
+	if len(Workloads()) != 6 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+	if len(MicroWorkloads()) != 2 {
+		t.Fatalf("micro workloads = %v", MicroWorkloads())
+	}
+	if Table3().Rows() == 0 {
+		t.Fatal("empty Table 3")
+	}
+	if ADRCompliance().Rows() != 3 {
+		t.Fatal("ADR table wrong")
+	}
+	if len(Sec55Recovery()) != 3 {
+		t.Fatal("recovery estimates wrong")
+	}
+}

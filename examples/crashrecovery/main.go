@@ -1,0 +1,65 @@
+// Crash recovery: run the WHISPER Hashmap under Dolos, cut power at
+// several points mid-run, drain the WPQ on the standard ADR reserve,
+// recover, and audit at three levels — every accepted write reads back
+// decrypted and integrity-verified; the application undo log resolves
+// any interrupted transaction; and a structural walk of the recovered
+// persistent hashmap finds every bucket chain well-formed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolos/internal/cliutil"
+	"dolos/internal/controller"
+	"dolos/internal/crash"
+	"dolos/internal/layout"
+	"dolos/internal/sim"
+	"dolos/internal/whisper"
+)
+
+func main() {
+	params := whisper.Params{Transactions: 150, TxSize: 512, Seed: 7, HeapSize: 16 << 20}
+	tr := whisper.Hashmap{}.Generate(params)
+	fmt.Printf("trace: %d transactions, %d ops, %d checkpoint lines\n\n",
+		tr.Transactions, len(tr.Ops), len(tr.InitImage))
+
+	for _, crashAt := range []sim.Cycle{10_000, 120_000, 600_000, 1_500_000} {
+		cfg := controller.Config{Scheme: controller.DolosPartial, Layout: layout.Small()}
+		cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("examp")
+
+		d := crash.NewDriver(cfg)
+		out, err := d.RunAndCrash(tr, crashAt, controller.AnubisRecovery)
+		if err != nil {
+			log.Fatalf("crash at %d: %v", crashAt, err)
+		}
+
+		// Application-level recovery: roll back any interrupted
+		// transaction from the undo log, ...
+		rolledBack, err := d.ResolveLog(whisper.LogBase(params), whisper.LogCapacity(params))
+		if err != nil {
+			log.Fatalf("log resolution: %v", err)
+		}
+
+		// ... then structurally walk the recovered hashmap through
+		// verified reads.
+		ma := d.System().Ctrl.MaSU()
+		read := func(addr uint64) ([64]byte, error) {
+			line, _, err := ma.ReadLine(addr)
+			return line, err
+		}
+		p := params.WithDefaults()
+		rep, err := whisper.WalkRecoveredHashmap(read,
+			whisper.StructureBase(params), p.HeapBase, p.HeapSize)
+		if err != nil {
+			log.Fatalf("structure walk at %d: %v", crashAt, err)
+		}
+
+		fmt.Printf("crash @ %8d: %3d WPQ entries drained (%4d B on ADR), "+
+			"%3d replayed, %4d lines audited, rollback=%v, hashmap: %d entries / %d buckets ok\n",
+			out.CrashCycle, out.Crash.LiveEntries, out.Crash.BytesFlushed,
+			out.Recover.WPQReplayed, out.LinesAudited, rolledBack,
+			rep.Entries, rep.Buckets)
+	}
+	fmt.Println("\nevery crash point: accepted writes intact, undo log resolved, structure verified")
+}

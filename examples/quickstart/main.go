@@ -1,0 +1,39 @@
+// Quickstart: build two secure-memory systems — the state-of-the-art
+// baseline and Dolos with the Partial-WPQ Mi-SU — run the WHISPER
+// Hashmap workload on both, and report the speedup, reproducing the
+// paper's headline result at small scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolos"
+)
+
+func main() {
+	runner := dolos.NewRunner(dolos.Options{Transactions: 500})
+
+	baseline, err := runner.Run("Hashmap", dolos.Spec{
+		Scheme: dolos.PreWPQSecure, // security before the WPQ (Figure 5-b)
+		Tree:   dolos.BMTEager,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fast, err := runner.Run("Hashmap", dolos.Spec{
+		Scheme: dolos.DolosPartial, // Mi-SU protects the WPQ (Figure 5-d)
+		Tree:   dolos.BMTEager,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Hashmap, 1024B transactions, eager Merkle tree\n\n")
+	fmt.Printf("%-22s %12s %14s %10s\n", "scheme", "cycles", "cycles/tx", "retry/KWR")
+	fmt.Printf("%-22s %12d %14.0f %10.1f\n", baseline.Scheme, baseline.Cycles, baseline.CyclesPerTx, baseline.RetryPerKWR)
+	fmt.Printf("%-22s %12d %14.0f %10.1f\n", fast.Scheme, fast.Cycles, fast.CyclesPerTx, fast.RetryPerKWR)
+	fmt.Printf("\nDolos speedup: %.2fx (paper reports 1.66x on average at 50000 transactions)\n",
+		dolos.Speedup(baseline, fast))
+}

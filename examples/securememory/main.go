@@ -1,0 +1,88 @@
+// Secure memory API tour: use the Ma-SU as a standalone secure-memory
+// library — counter-mode encryption with split counters, per-line MACs,
+// a Bonsai Merkle Tree, Anubis shadow tracking — without the timing
+// simulator. Shows what "functional, not mocked" means: every byte on
+// the device is real ciphertext, and the printout walks the metadata
+// that protects one line.
+package main
+
+import (
+	"fmt"
+
+	"dolos/internal/cliutil"
+	"dolos/internal/crypt"
+	"dolos/internal/ctr"
+	"dolos/internal/layout"
+	"dolos/internal/masu"
+	"dolos/internal/nvm"
+)
+
+func main() {
+	aesKey, macKey := cliutil.DemoKeys("tour")
+	eng := crypt.NewEngine(aesKey, macKey)
+	lay := layout.Small()
+	dev := nvm.NewDevice(nil, lay.DeviceSize, 0)
+	ma := masu.New(masu.BMTEager, eng, dev, lay, 0)
+
+	// 1. Write a line through the full pipeline.
+	addr := uint64(0x4000)
+	var plain [64]byte
+	copy(plain[:], "attack at dawn — secret persistent state 0123456789abcdef")
+	cost := ma.ProcessWrite(addr, plain, -1)
+	fmt.Printf("wrote line at %#x: %d serial MACs, %d NVM writes, %d shadow writes\n",
+		addr, cost.SerialMACs, cost.NVMWrites, cost.ShadowWrites)
+
+	// 2. What the adversary sees on the device.
+	ct := dev.ReadLine(addr)
+	fmt.Printf("\nciphertext on NVM:  %x...\n", ct[:16])
+	var mac [8]byte
+	dev.Read(lay.LineMACAddr(addr), mac[:])
+	fmt.Printf("line MAC:           %x\n", mac)
+	fmt.Printf("counter (live):     %d\n", ma.Counters().Counter(addr))
+	fmt.Printf("counter (in NVM):   %d (Osiris persists every %d updates)\n",
+		ma.Counters().StoredCounter(addr), ma.Counters().Period())
+	blk := ctr.DecodeBlock(ma.Counters().ImageByIndex(lay.LeafIndex(addr)))
+	fmt.Printf("counter block:      major=%d minor[%d]=%d\n",
+		blk.Major, addr/64%64, blk.Minors[addr/64%64])
+	fmt.Printf("BMT root register:  %x (levels=%d, leaves=%d)\n",
+		ma.BMT().Root(), ma.BMT().Levels(), ma.BMT().Leaves())
+
+	// 3. Verified read.
+	got, rcost, err := ma.ReadLine(addr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nverified read ok (%d MACs checked): %q\n",
+		rcost.TotalMACs, string(got[:24]))
+
+	// 4. Overwrite: the counter advances, the ciphertext changes even
+	// for identical plaintext.
+	ma.ProcessWrite(addr, plain, -1)
+	ct2 := dev.ReadLine(addr)
+	fmt.Printf("\nsame plaintext rewritten: ciphertext now %x... (counter %d)\n",
+		ct2[:16], ma.Counters().Counter(addr))
+
+	// 5. Crash: volatile state gone; shadow region + root register
+	// recover everything.
+	ma.CrashVolatile()
+	rep, err := ma.RecoverAnubis()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\npower failure -> Anubis recovery: %d metadata blocks restored, %d lines verified\n",
+		rep.ShadowRestored, rep.LinesVerified)
+	got2, _, err := ma.ReadLine(addr)
+	if err != nil || got2 != plain {
+		panic("data lost")
+	}
+	fmt.Println("plaintext intact after crash + recovery")
+
+	// 6. Tamper with one ciphertext bit: the read must refuse.
+	ct2[0] ^= 1
+	dev.WriteLine(addr, ct2)
+	if _, _, err := ma.ReadLine(addr); err != nil {
+		fmt.Printf("\nbit-flip on NVM: %v\n", err)
+	} else {
+		panic("tamper undetected")
+	}
+}

@@ -1,0 +1,37 @@
+// Transaction-size sweep: mirror Figures 13-14 for one workload — run
+// Redis at payload sizes from 128 B to 2048 B under the baseline and
+// Dolos Partial-WPQ, reporting speedup and WPQ retry pressure at each
+// point. Larger transactions fill the queue faster, so retries rise and
+// the speedup narrows, but Dolos keeps winning even at 2048 B.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dolos"
+)
+
+func main() {
+	runner := dolos.NewRunner(dolos.Options{Transactions: 400})
+
+	fmt.Printf("Redis, eager BMT, 13-entry Partial-WPQ vs 16-entry baseline\n\n")
+	fmt.Printf("%8s %14s %14s %10s %12s\n", "tx size", "baseline cyc", "dolos cyc", "speedup", "retry/KWR")
+
+	for _, size := range []int{128, 256, 512, 1024, 2048} {
+		base, err := runner.Run("Redis", dolos.Spec{
+			Scheme: dolos.PreWPQSecure, Tree: dolos.BMTEager, TxSize: size,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fast, err := runner.Run("Redis", dolos.Spec{
+			Scheme: dolos.DolosPartial, Tree: dolos.BMTEager, TxSize: size,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7dB %14d %14d %9.2fx %12.1f\n",
+			size, base.Cycles, fast.Cycles, dolos.Speedup(base, fast), fast.RetryPerKWR)
+	}
+}

@@ -1,0 +1,3 @@
+module dolos
+
+go 1.22

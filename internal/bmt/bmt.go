@@ -1,0 +1,441 @@
+// Package bmt implements the 8-ary Bonsai Merkle Tree protecting the
+// encryption-counter region. Leaves are 64-byte counter blocks; each
+// internal node holds the 8-byte MACs of its 8 children; the root MAC
+// lives in a persistent in-processor register (the AGIT scheme of Anubis:
+// the root is updated eagerly and persistently on every write, interior
+// nodes are updated in the volatile metadata cache and persisted lazily).
+//
+// Sparse convention: an all-zero parent slot denotes a never-initialized
+// child whose image is all zeroes. This lets a 16 GB tree exist without
+// materializing untouched subtrees, while preserving verification
+// semantics for every block that has ever been written.
+package bmt
+
+import (
+	"fmt"
+
+	"dolos/internal/crypt"
+	"dolos/internal/nvm"
+)
+
+// Arity is the tree fan-out.
+const Arity = 8
+
+// NodeSize is the NVM size of one interior node (8 child MACs).
+const NodeSize = Arity * crypt.MACSize
+
+// UpdateMode selects how interior levels are maintained.
+type UpdateMode int
+
+const (
+	// Eager updates every level up to and including the root on each
+	// leaf update (required for crash-consistent Merkle Trees).
+	Eager UpdateMode = iota
+	// Lazy updates only the leaf's parent; upper levels are refreshed
+	// when a dirty node is evicted from the metadata cache. Usable for
+	// conventional memory, unsafe alone for persistent memory (kept for
+	// the comparison experiments).
+	Lazy
+)
+
+// String returns the mode name.
+func (m UpdateMode) String() string {
+	if m == Eager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// nodeKey identifies an interior node.
+type nodeKey struct {
+	level int // 1..levels (leaves are level 0 and live in the counter region)
+	index uint64
+}
+
+// Tree is the Bonsai Merkle Tree state machine. Interior node images live
+// in a volatile overlay (the metadata cache's architectural content) and
+// are persisted to an NVM region on demand; the root register is modeled
+// as persistent (battery-backed processor register, as in AGIT).
+type Tree struct {
+	eng      *crypt.Engine
+	dev      *nvm.Device
+	nodeBase uint64
+	leaves   uint64
+	counts   []uint64 // counts[l] = number of nodes at level l (counts[0] = leaves)
+	offsets  []uint64 // NVM offset of each interior level within the node region
+
+	volatile map[nodeKey]*[NodeSize]byte
+	dirty    map[nodeKey]bool
+	root     crypt.MAC
+	rootSet  bool
+
+	macOps  uint64
+	updates uint64
+}
+
+// New creates a tree over `leaves` 64-byte leaf blocks, storing interior
+// nodes at nodeBase in dev. leafImage must return the current image of a
+// leaf; it is captured for verification and rebuild.
+func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tree {
+	if leaves == 0 {
+		panic("bmt: zero leaves")
+	}
+	t := &Tree{
+		eng:      eng,
+		dev:      dev,
+		nodeBase: nodeBase,
+		leaves:   leaves,
+		volatile: make(map[nodeKey]*[NodeSize]byte),
+		dirty:    make(map[nodeKey]bool),
+	}
+	t.counts = []uint64{leaves}
+	n := leaves
+	for n > 1 {
+		n = (n + Arity - 1) / Arity
+		t.counts = append(t.counts, n)
+	}
+	t.offsets = make([]uint64, len(t.counts))
+	var off uint64
+	for l := 1; l < len(t.counts); l++ {
+		t.offsets[l] = off
+		off += t.counts[l] * NodeSize
+	}
+	return t
+}
+
+// Levels returns the number of interior levels (excluding leaves,
+// including the single top node whose MAC is the root register).
+func (t *Tree) Levels() int { return len(t.counts) - 1 }
+
+// Leaves returns the number of leaf slots.
+func (t *Tree) Leaves() uint64 { return t.leaves }
+
+// RegionBytes returns the NVM bytes needed for interior nodes.
+func (t *Tree) RegionBytes() uint64 {
+	var total uint64
+	for l := 1; l < len(t.counts); l++ {
+		total += t.counts[l] * NodeSize
+	}
+	return total
+}
+
+// MACOps returns the cumulative number of MAC computations performed,
+// used by the timing model (160 cycles each).
+func (t *Tree) MACOps() uint64 { return t.macOps }
+
+// Updates returns the number of leaf updates applied.
+func (t *Tree) Updates() uint64 { return t.updates }
+
+// Root returns the current root MAC register value.
+func (t *Tree) Root() crypt.MAC { return t.root }
+
+// SetRoot forces the root register (recovery bootstrapping in tests).
+func (t *Tree) SetRoot(m crypt.MAC) { t.root, t.rootSet = m, true }
+
+// NodeNVMAddr returns the NVM address where the interior node at (level,
+// index) is persisted; this is the address the MT metadata cache uses.
+func (t *Tree) NodeNVMAddr(level int, index uint64) uint64 {
+	if level < 1 || level >= len(t.counts) {
+		panic(fmt.Sprintf("bmt: bad level %d", level))
+	}
+	return t.nodeBase + t.offsets[level] + index*NodeSize
+}
+
+// position tags a node for MAC domain separation.
+func position(level int, index uint64) uint64 { return uint64(level)<<56 | index }
+
+// node returns the live image of interior node (level, index), reading
+// from NVM on first touch.
+func (t *Tree) node(level int, index uint64) *[NodeSize]byte {
+	k := nodeKey{level, index}
+	img, ok := t.volatile[k]
+	if !ok {
+		line := t.dev.ReadLine(t.NodeNVMAddr(level, index))
+		img = new([NodeSize]byte)
+		*img = line
+		t.volatile[k] = img
+	}
+	return img
+}
+
+func isZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// leafMAC computes the MAC of a leaf image.
+func (t *Tree) leafMAC(index uint64, image *[64]byte) crypt.MAC {
+	t.macOps++
+	return t.eng.NodeMAC(image[:], position(0, index))
+}
+
+// nodeMAC computes the MAC of an interior node image.
+func (t *Tree) nodeMAC(level int, index uint64, image *[NodeSize]byte) crypt.MAC {
+	t.macOps++
+	return t.eng.NodeMAC(image[:], position(level, index))
+}
+
+// UpdateLeaf applies a new leaf image at leaf `index`, propagating MAC
+// updates. In Eager mode every level and the root are updated (levels+1
+// MAC computations, 9 for a 16 GB tree — plus the data MAC this makes the
+// paper's 10). In Lazy mode only the leaf's parent slot is updated and
+// marked dirty; PropagateDirty or evictions push changes upward.
+// It returns the number of MAC computations performed.
+func (t *Tree) UpdateLeaf(index uint64, image *[64]byte, mode UpdateMode) int {
+	if index >= t.leaves {
+		panic(fmt.Sprintf("bmt: leaf %d out of range", index))
+	}
+	t.updates++
+	before := t.macOps
+	mac := t.leafMAC(index, image)
+	child := index
+	for level := 1; level < len(t.counts); level++ {
+		idx := child / Arity
+		slot := child % Arity
+		img := t.node(level, idx)
+		copy(img[slot*crypt.MACSize:], mac[:])
+		t.dirty[nodeKey{level, idx}] = true
+		if mode == Lazy && level == 1 {
+			// Lazy: stop after the parent; upper levels refresh on
+			// eviction. The root register is NOT updated.
+			return int(t.macOps - before)
+		}
+		mac = t.nodeMAC(level, idx, img)
+		child = idx
+	}
+	t.root, t.rootSet = mac, true
+	return int(t.macOps - before)
+}
+
+// NodeUpdate is one interior-node image produced by PreparePathUpdate.
+type NodeUpdate struct {
+	Level int
+	Index uint64
+	Image [NodeSize]byte
+}
+
+// PreparePathUpdate computes — without installing — the interior-node
+// images and root that UpdateLeaf(index, image, Eager) would produce.
+// This is the Ma-SU's Figure 11 step 2: results go to the redo-log
+// registers first; InstallPathUpdate is step 3.
+func (t *Tree) PreparePathUpdate(index uint64, image *[64]byte) ([]NodeUpdate, crypt.MAC) {
+	if index >= t.leaves {
+		panic(fmt.Sprintf("bmt: leaf %d out of range", index))
+	}
+	ups := make([]NodeUpdate, 0, len(t.counts)-1)
+	mac := t.leafMAC(index, image)
+	child := index
+	for level := 1; level < len(t.counts); level++ {
+		idx := child / Arity
+		slot := child % Arity
+		img := *t.node(level, idx) // copy
+		copy(img[slot*crypt.MACSize:], mac[:])
+		ups = append(ups, NodeUpdate{Level: level, Index: idx, Image: img})
+		mac = t.nodeMAC(level, idx, &img)
+		child = idx
+	}
+	return ups, mac
+}
+
+// InstallPathUpdate applies a prepared update: interior images are
+// installed and, in Eager mode, the root register is set. In Lazy mode
+// only the level-1 node is installed and the root is left alone.
+func (t *Tree) InstallPathUpdate(ups []NodeUpdate, root crypt.MAC, mode UpdateMode) {
+	t.updates++
+	for _, up := range ups {
+		if mode == Lazy && up.Level > 1 {
+			break
+		}
+		k := nodeKey{up.Level, up.Index}
+		img := up.Image
+		t.volatile[k] = &img
+		t.dirty[k] = true
+	}
+	if mode == Eager {
+		t.root, t.rootSet = root, true
+	}
+}
+
+// refreshNode recomputes the MAC of (level, index) and installs it in the
+// parent (or root), recursing upward. Used by lazy-mode evictions.
+func (t *Tree) refreshNode(level int, index uint64) {
+	img := t.node(level, index)
+	mac := t.nodeMAC(level, index, img)
+	if level == len(t.counts)-1 {
+		t.root, t.rootSet = mac, true
+		return
+	}
+	parent := t.node(level+1, index/Arity)
+	slot := index % Arity
+	copy(parent[slot*crypt.MACSize:], mac[:])
+	t.dirty[nodeKey{level + 1, index / Arity}] = true
+	t.refreshNode(level+1, index/Arity)
+}
+
+// PropagateDirty pushes all lazily-deferred updates to the root (used at
+// clean shutdown or before crash-free verification in lazy mode).
+func (t *Tree) PropagateDirty() {
+	for l := 1; l < len(t.counts); l++ {
+		for k := range t.dirty {
+			if k.level == l {
+				t.refreshNode(k.level, k.index)
+			}
+		}
+	}
+}
+
+// VerifyError describes an integrity-verification failure.
+type VerifyError struct {
+	Level int
+	Index uint64
+	Want  crypt.MAC
+	Got   crypt.MAC
+}
+
+// Error implements the error interface.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("bmt: integrity violation at level %d index %d: stored %x computed %x",
+		e.Level, e.Index, e.Want, e.Got)
+}
+
+// VerifyLeaf checks a leaf image against the tree path, stopping early at
+// the first trusted on-chip (dirty) node as hardware does at run time.
+// It returns the number of MAC computations performed and an error
+// describing the first mismatching level, if any.
+func (t *Tree) VerifyLeaf(index uint64, image *[64]byte) (int, error) {
+	return t.verify(index, image, true)
+}
+
+// VerifyLeafFull checks a leaf image along the entire path up to and
+// including the root register, with no trusted-cache short-circuit. This
+// is the recovery-time check: after a crash nothing on-chip is trusted
+// except the root register itself.
+func (t *Tree) VerifyLeafFull(index uint64, image *[64]byte) (int, error) {
+	return t.verify(index, image, false)
+}
+
+func (t *Tree) verify(index uint64, image *[64]byte, trustCached bool) (int, error) {
+	before := t.macOps
+	mac := t.leafMAC(index, image)
+	child := index
+	level := 0
+	for level = 1; level < len(t.counts); level++ {
+		idx := child / Arity
+		slot := child % Arity
+		img := t.node(level, idx)
+		var stored crypt.MAC
+		copy(stored[:], img[slot*crypt.MACSize:])
+		if stored != mac {
+			// Zero-slot convention: untouched child must be all-zero.
+			if isZero(stored[:]) && level == 1 && isZero(image[:]) {
+				return int(t.macOps - before), nil
+			}
+			return int(t.macOps - before), &VerifyError{Level: level - 1, Index: child, Want: stored, Got: mac}
+		}
+		if trustCached && t.dirty[nodeKey{level, idx}] {
+			// The node is live on-chip (metadata cache); once verified
+			// against it the path is trusted without walking to the
+			// root. This is what makes lazy updates sound at run time.
+			return int(t.macOps - before), nil
+		}
+		mac = t.nodeMAC(level, idx, img)
+		child = idx
+	}
+	if t.rootSet && mac != t.root {
+		return int(t.macOps - before), &VerifyError{Level: level - 1, Index: 0, Want: t.root, Got: mac}
+	}
+	return int(t.macOps - before), nil
+}
+
+// PersistNode writes an interior node image to its NVM home (metadata
+// cache eviction of a dirty block, or Anubis shadow replay).
+func (t *Tree) PersistNode(level int, index uint64) {
+	k := nodeKey{level, index}
+	img, ok := t.volatile[k]
+	if !ok {
+		return
+	}
+	t.dev.WriteLine(t.NodeNVMAddr(level, index), *img)
+	delete(t.dirty, k)
+}
+
+// PersistAll writes every live interior node to NVM (clean shutdown).
+func (t *Tree) PersistAll() {
+	for k := range t.volatile {
+		t.PersistNode(k.level, k.index)
+	}
+}
+
+// DirtyNodes returns the (level, index) pairs of interior nodes whose
+// live image is newer than their NVM copy, for the Anubis shadow tracker.
+func (t *Tree) DirtyNodes() [][2]uint64 {
+	var out [][2]uint64
+	for k := range t.dirty {
+		out = append(out, [2]uint64{uint64(k.level), k.index})
+	}
+	return out
+}
+
+// NodeImage returns a copy of the live image of an interior node.
+func (t *Tree) NodeImage(level int, index uint64) [NodeSize]byte {
+	return *t.node(level, index)
+}
+
+// RestoreNode installs an interior node image directly (Anubis shadow
+// replay during recovery).
+func (t *Tree) RestoreNode(level int, index uint64, img [NodeSize]byte) {
+	k := nodeKey{level, index}
+	p := new([NodeSize]byte)
+	*p = img
+	t.volatile[k] = p
+	t.dirty[k] = true
+}
+
+// DropVolatile models power failure: the overlay (metadata cache content)
+// is lost; NVM copies and the persistent root register survive.
+func (t *Tree) DropVolatile() {
+	t.volatile = make(map[nodeKey]*[NodeSize]byte)
+	t.dirty = make(map[nodeKey]bool)
+}
+
+// RebuildFromLeaves recomputes the tree bottom-up from the given leaf
+// images (index -> image) — the Osiris slow-recovery path after counters
+// have been re-identified. It returns the recomputed root without
+// modifying the root register; the caller compares it against Root().
+func (t *Tree) RebuildFromLeaves(leafImages map[uint64][64]byte) crypt.MAC {
+	// Recompute affected paths; untouched subtrees stay under the
+	// zero-slot convention.
+	type pending struct {
+		level int
+		index uint64
+	}
+	touched := make(map[pending]bool)
+	for idx, img := range leafImages {
+		img := img
+		mac := t.leafMAC(idx, &img)
+		parent := t.node(1, idx/Arity)
+		copy(parent[(idx%Arity)*crypt.MACSize:], mac[:])
+		touched[pending{1, idx / Arity}] = true
+	}
+	for level := 1; level < len(t.counts)-1; level++ {
+		next := make(map[pending]bool)
+		for p := range touched {
+			if p.level != level {
+				next[p] = true
+				continue
+			}
+			img := t.node(level, p.index)
+			mac := t.nodeMAC(level, p.index, img)
+			parent := t.node(level+1, p.index/Arity)
+			copy(parent[(p.index%Arity)*crypt.MACSize:], mac[:])
+			next[pending{level + 1, p.index / Arity}] = true
+		}
+		touched = next
+	}
+	top := t.node(len(t.counts)-1, 0)
+	return t.nodeMAC(len(t.counts)-1, 0, top)
+}

@@ -1,0 +1,55 @@
+package bmt
+
+import "testing"
+
+// Benchmark trees use the full 16 GB geometry (4M leaves, 8 interior
+// levels) so per-update costs match the evaluation configuration.
+func benchTree(b *testing.B) *Tree {
+	b.Helper()
+	tree, _ := newTestTree(4 << 20)
+	return tree
+}
+
+func BenchmarkEagerUpdate(b *testing.B) {
+	tree := benchTree(b)
+	img := leafImg(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.UpdateLeaf(uint64(i)%1024, &img, Eager)
+	}
+}
+
+func BenchmarkLazyUpdate(b *testing.B) {
+	tree := benchTree(b)
+	img := leafImg(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.UpdateLeaf(uint64(i)%1024, &img, Lazy)
+	}
+}
+
+func BenchmarkVerifyLeaf(b *testing.B) {
+	tree := benchTree(b)
+	img := leafImg(1)
+	for i := uint64(0); i < 1024; i++ {
+		tree.UpdateLeaf(i, &img, Eager)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.VerifyLeaf(uint64(i)%1024, &img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreparePathUpdate(b *testing.B) {
+	tree := benchTree(b)
+	img := leafImg(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ups, root := tree.PreparePathUpdate(uint64(i)%1024, &img)
+		tree.InstallPathUpdate(ups, root, Eager)
+	}
+}

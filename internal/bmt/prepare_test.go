@@ -1,0 +1,72 @@
+package bmt
+
+import "testing"
+
+func TestPrepareInstallMatchesUpdate(t *testing.T) {
+	// Two trees, same writes: one via UpdateLeaf, one via
+	// Prepare+Install. Roots must track exactly.
+	direct, _ := newTestTree(512)
+	staged, _ := newTestTree(512)
+	for i := byte(0); i < 20; i++ {
+		idx := uint64(i) * 25 % 512
+		img := leafImg(i)
+		direct.UpdateLeaf(idx, &img, Eager)
+		ups, root := staged.PreparePathUpdate(idx, &img)
+		staged.InstallPathUpdate(ups, root, Eager)
+		if direct.Root() != staged.Root() {
+			t.Fatalf("roots diverged at write %d", i)
+		}
+	}
+}
+
+func TestPrepareDoesNotMutate(t *testing.T) {
+	tree, _ := newTestTree(64)
+	img := leafImg(1)
+	tree.UpdateLeaf(5, &img, Eager)
+	rootBefore := tree.Root()
+	img2 := leafImg(2)
+	ups, newRoot := tree.PreparePathUpdate(5, &img2)
+	if tree.Root() != rootBefore {
+		t.Fatal("Prepare moved the root")
+	}
+	if _, err := tree.VerifyLeaf(5, &img); err != nil {
+		t.Fatalf("Prepare disturbed the live path: %v", err)
+	}
+	if newRoot == rootBefore || len(ups) != tree.Levels() {
+		t.Fatalf("prepared update malformed: %d nodes", len(ups))
+	}
+}
+
+func TestInstallLazyStopsAtParent(t *testing.T) {
+	tree, _ := newTestTree(512)
+	img := leafImg(3)
+	root0 := tree.Root()
+	ups, root := tree.PreparePathUpdate(9, &img)
+	tree.InstallPathUpdate(ups, root, Lazy)
+	if tree.Root() != root0 {
+		t.Fatal("lazy install moved the root")
+	}
+	if _, err := tree.VerifyLeaf(9, &img); err != nil {
+		t.Fatalf("lazy-installed leaf does not verify: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tree, _ := newTestTree(64)
+	if tree.Leaves() != 64 {
+		t.Fatal("Leaves wrong")
+	}
+	img := leafImg(1)
+	tree.UpdateLeaf(0, &img, Eager)
+	if tree.Updates() != 1 || tree.MACOps() == 0 {
+		t.Fatal("counters wrong")
+	}
+	if Eager.String() != "eager" || Lazy.String() != "lazy" {
+		t.Fatal("mode names wrong")
+	}
+	var m = tree.Root()
+	tree.SetRoot(m)
+	if tree.Root() != m {
+		t.Fatal("SetRoot wrong")
+	}
+}

@@ -1,0 +1,266 @@
+// Package cache implements the set-associative write-back caches of the
+// simulated system: the L1/L2/LLC data hierarchy the persistent workloads
+// run against (Table 1) and the counter / Merkle-tree metadata caches
+// inside the secure memory controller.
+package cache
+
+import "fmt"
+
+// Line is one cache line's state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch stamp; higher = more recent
+}
+
+// Victim describes a line evicted by a fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Cache is a set-associative write-back cache with LRU replacement.
+// It tracks presence and dirtiness only; data contents live in the
+// functional memory model. The zero value is not usable; use New.
+type Cache struct {
+	name     string
+	sets     uint64
+	ways     int
+	lineSize uint64
+	lines    []line // sets*ways entries
+	stamp    uint64
+
+	hits, misses, evictions, writebacks uint64
+}
+
+// New creates a cache. size and lineSize are in bytes; size must be a
+// multiple of ways*lineSize and the resulting set count a power of two,
+// matching the Table 1 configurations.
+func New(name string, size uint64, ways int, lineSize uint64) *Cache {
+	if ways <= 0 || lineSize == 0 || size == 0 {
+		panic("cache: invalid geometry")
+	}
+	setBytes := uint64(ways) * lineSize
+	if size%setBytes != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not a multiple of ways*lineSize %d", name, size, setBytes))
+	}
+	sets := size / setBytes
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets not a power of two", name, sets))
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		lineSize: lineSize,
+		lines:    make([]line, sets*uint64(ways)),
+	}
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() uint64 { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return c.lineSize }
+
+// Hits returns the number of hits observed.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses observed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns the number of valid lines displaced by fills.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// Writebacks returns the number of dirty lines displaced by fills.
+func (c *Cache) Writebacks() uint64 { return c.writebacks }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr / c.lineSize
+	return lineAddr % c.sets, lineAddr / c.sets
+}
+
+func (c *Cache) set(set uint64) []line {
+	base := set * uint64(c.ways)
+	return c.lines[base : base+uint64(c.ways)]
+}
+
+// Contains reports whether addr's line is present, without touching LRU
+// state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirty reports whether addr's line is present and dirty.
+func (c *Cache) IsDirty(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			return l.dirty
+		}
+	}
+	return false
+}
+
+// Access looks up addr, filling on miss. write marks the line dirty.
+// It returns whether the access hit, and, when a fill displaced a valid
+// line, the victim (evicted == true).
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim, evicted bool) {
+	set, tag := c.index(addr)
+	ways := c.set(set)
+	c.stamp++
+	for i := range ways {
+		l := &ways[i]
+		if l.valid && l.tag == tag {
+			c.hits++
+			l.lru = c.stamp
+			if write {
+				l.dirty = true
+			}
+			return true, Victim{}, false
+		}
+	}
+	c.misses++
+	// Choose victim: first invalid way, else LRU.
+	vi := 0
+	for i := range ways {
+		if !ways[i].valid {
+			vi = i
+			break
+		}
+		if ways[i].lru < ways[vi].lru {
+			vi = i
+		}
+	}
+	v := &ways[vi]
+	if v.valid {
+		c.evictions++
+		if v.dirty {
+			c.writebacks++
+		}
+		victim = Victim{Addr: (v.tag*c.sets + set) * c.lineSize, Dirty: v.dirty}
+		evicted = true
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return false, victim, evicted
+}
+
+// Fill inserts addr's line clean without counting a hit or miss (used when
+// a lower level pushes a line upward, or after recovery reload). It returns
+// any displaced victim.
+func (c *Cache) Fill(addr uint64, dirty bool) (victim Victim, evicted bool) {
+	set, tag := c.index(addr)
+	ways := c.set(set)
+	c.stamp++
+	for i := range ways {
+		l := &ways[i]
+		if l.valid && l.tag == tag {
+			l.lru = c.stamp
+			if dirty {
+				l.dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	vi := 0
+	for i := range ways {
+		if !ways[i].valid {
+			vi = i
+			break
+		}
+		if ways[i].lru < ways[vi].lru {
+			vi = i
+		}
+	}
+	v := &ways[vi]
+	if v.valid {
+		c.evictions++
+		if v.dirty {
+			c.writebacks++
+		}
+		victim = Victim{Addr: (v.tag*c.sets + set) * c.lineSize, Dirty: v.dirty}
+		evicted = true
+	}
+	*v = line{tag: tag, valid: true, dirty: dirty, lru: c.stamp}
+	return victim, evicted
+}
+
+// CleanLine clears the dirty bit of addr's line if present (a write-back
+// that keeps the line, i.e. clwb semantics). It reports whether the line
+// was present and dirty.
+func (c *Cache) CleanLine(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			wasDirty := l.dirty
+			l.dirty = false
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line, returning whether it was present and
+// whether it was dirty (clflush semantics).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for i := range c.set(set) {
+		l := &c.set(set)[i]
+		if l.valid && l.tag == tag {
+			present, dirty = true, l.dirty
+			*l = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// DirtyLines returns the addresses of all dirty lines, in no particular
+// order. Used by the Anubis-style shadow tracker and by drain-on-crash
+// audits of the metadata caches.
+func (c *Cache) DirtyLines() []uint64 {
+	var out []uint64
+	for si := uint64(0); si < c.sets; si++ {
+		for i, l := range c.set(si) {
+			_ = i
+			if l.valid && l.dirty {
+				out = append(out, (l.tag*c.sets+si)*c.lineSize)
+			}
+		}
+	}
+	return out
+}
+
+// InvalidateAll drops every line (a power failure destroys volatile state).
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, l := range c.lines {
+		if l.valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New("b", L1Size, L1Ways, DataLineSize)
+	c.Access(0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, false)
+	}
+}
+
+func BenchmarkAccessStream(b *testing.B) {
+	c := New("b", LLCSize, LLCWays, DataLineSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, i%2 == 0)
+	}
+}
+
+func BenchmarkHierarchyReadHit(b *testing.B) {
+	eng, _, h := newTestHier()
+	h.Read(0, func() {})
+	eng.Run(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(0, func() {})
+		eng.Run(0)
+	}
+}
+
+func BenchmarkHierarchyWrite(b *testing.B) {
+	_, _, h := newTestHier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Write(uint64(i%100000) * 64)
+	}
+}

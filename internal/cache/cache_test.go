@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New("t", 1024, 2, 64) // 8 sets, 2 ways
+	hit, _, _ := c.Access(0, false)
+	if hit {
+		t.Fatal("cold access hit")
+	}
+	hit, _, _ = c.Access(0, false)
+	if !hit {
+		t.Fatal("second access missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New("t", 1024, 2, 64) // 8 sets, 2 ways
+	// Three lines mapping to set 0: line addresses 0, 8*64, 16*64.
+	a, b, d := uint64(0), uint64(8*64), uint64(16*64)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent; b is LRU
+	_, victim, evicted := c.Access(d, false)
+	if !evicted || victim.Addr != b {
+		t.Fatalf("victim = %+v (evicted=%v), want addr %#x", victim, evicted, b)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyVictimWriteback(t *testing.T) {
+	c := New("t", 128, 1, 64) // 2 sets, direct mapped
+	c.Access(0, true)         // dirty
+	_, victim, evicted := c.Access(2*64, false)
+	if !evicted || !victim.Dirty || victim.Addr != 0 {
+		t.Fatalf("victim = %+v evicted=%v", victim, evicted)
+	}
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d", c.Writebacks())
+	}
+}
+
+func TestVictimAddressReconstruction(t *testing.T) {
+	c := New("t", 4096, 4, 64)
+	addrs := []uint64{0x12340, 0x98700, 0xABCC0}
+	for _, a := range addrs {
+		c.Access(a, true)
+	}
+	for _, a := range addrs {
+		if !c.Contains(a) {
+			t.Fatalf("%#x not present", a)
+		}
+		present, dirty := c.Invalidate(a)
+		if !present || !dirty {
+			t.Fatalf("invalidate %#x: present=%v dirty=%v", a, present, dirty)
+		}
+	}
+}
+
+func TestCleanLine(t *testing.T) {
+	c := New("t", 1024, 2, 64)
+	c.Access(0, true)
+	if !c.IsDirty(0) {
+		t.Fatal("line not dirty after write")
+	}
+	if !c.CleanLine(0) {
+		t.Fatal("CleanLine reported clean")
+	}
+	if c.IsDirty(0) {
+		t.Fatal("line dirty after CleanLine")
+	}
+	if c.CleanLine(0) {
+		t.Fatal("second CleanLine reported dirty")
+	}
+	if c.CleanLine(999999) {
+		t.Fatal("CleanLine of absent line reported dirty")
+	}
+}
+
+func TestFillDoesNotCountMiss(t *testing.T) {
+	c := New("t", 1024, 2, 64)
+	c.Fill(0, false)
+	if c.Misses() != 0 || c.Hits() != 0 {
+		t.Fatal("Fill affected hit/miss counters")
+	}
+	if !c.Contains(0) {
+		t.Fatal("Fill did not insert")
+	}
+	c.Fill(0, true)
+	if !c.IsDirty(0) {
+		t.Fatal("re-Fill with dirty did not mark dirty")
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	c := New("t", 1024, 2, 64)
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Access(128, true)
+	dirty := c.DirtyLines()
+	if len(dirty) != 2 {
+		t.Fatalf("dirty lines = %v", dirty)
+	}
+	seen := map[uint64]bool{}
+	for _, a := range dirty {
+		seen[a] = true
+	}
+	if !seen[0] || !seen[128] {
+		t.Fatalf("dirty lines = %v, want {0,128}", dirty)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New("t", 1024, 2, 64)
+	for i := uint64(0); i < 10; i++ {
+		c.Access(i*64, true)
+	}
+	if c.Occupancy() != 10 {
+		t.Fatalf("occupancy = %d", c.Occupancy())
+	}
+	c.InvalidateAll()
+	if c.Occupancy() != 0 {
+		t.Fatal("InvalidateAll left lines")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, tc := range []struct{ size, ways, line uint64 }{
+		{1000, 2, 64}, // not multiple
+		{1536, 2, 64}, // 12 sets, not power of two
+		{0, 2, 64},
+	} {
+		func() {
+			defer func() { recover() }()
+			New("bad", tc.size, int(tc.ways), tc.line)
+			t.Fatalf("geometry %+v did not panic", tc)
+		}()
+	}
+}
+
+func TestOccupancyBoundProperty(t *testing.T) {
+	// Property: occupancy never exceeds capacity and contains what was
+	// most recently inserted per set.
+	f := func(addrs []uint16) bool {
+		c := New("p", 2048, 4, 64) // 8 sets
+		for _, a := range addrs {
+			c.Access(uint64(a)*64, a%2 == 0)
+		}
+		if c.Occupancy() > 32 {
+			return false
+		}
+		if len(addrs) > 0 {
+			last := uint64(addrs[len(addrs)-1]) * 64
+			if !c.Contains(last) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	// Property: hits + misses == number of Access calls.
+	f := func(addrs []uint8) bool {
+		c := New("p", 1024, 2, 64)
+		for _, a := range addrs {
+			c.Access(uint64(a)*64, false)
+		}
+		return c.Hits()+c.Misses() == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

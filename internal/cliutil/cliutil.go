@@ -1,0 +1,63 @@
+// Package cliutil holds the flag-parsing helpers shared by the Dolos
+// command-line tools: scheme and tree-kind names, and key material
+// derivation for demo binaries.
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dolos/internal/controller"
+	"dolos/internal/masu"
+)
+
+// schemeNames maps CLI names to controller schemes.
+var schemeNames = map[string]controller.Scheme{
+	"ideal":         controller.NonSecureADR,
+	"baseline":      controller.PreWPQSecure,
+	"dolos-full":    controller.DolosFull,
+	"dolos-partial": controller.DolosPartial,
+	"dolos-post":    controller.DolosPost,
+	"eadr":          controller.EADRSecure,
+}
+
+// SchemeNames returns the accepted scheme flag values, sorted.
+func SchemeNames() []string {
+	out := make([]string, 0, len(schemeNames))
+	for n := range schemeNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseScheme resolves a CLI scheme name.
+func ParseScheme(name string) (controller.Scheme, error) {
+	s, ok := schemeNames[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown scheme %q (want one of %s)",
+			name, strings.Join(SchemeNames(), ", "))
+	}
+	return s, nil
+}
+
+// ParseTree resolves a CLI integrity-backend name ("eager" or "lazy").
+func ParseTree(name string) (masu.TreeKind, error) {
+	switch name {
+	case "eager":
+		return masu.BMTEager, nil
+	case "lazy":
+		return masu.ToCLazy, nil
+	}
+	return 0, fmt.Errorf("unknown tree %q (want eager or lazy)", name)
+}
+
+// DemoKeys returns deterministic AES/MAC keys for the demo binaries.
+// Real deployments would use processor-fused secrets; determinism keeps
+// CLI runs reproducible.
+func DemoKeys(label string) (aes, mac [16]byte) {
+	copy(aes[:], label+"-aes-key-0123456")
+	copy(mac[:], label+"-mac-key-0123456")
+	return aes, mac
+}

@@ -1,0 +1,66 @@
+package cliutil
+
+import (
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/masu"
+)
+
+func TestParseScheme(t *testing.T) {
+	for name, want := range map[string]controller.Scheme{
+		"ideal":         controller.NonSecureADR,
+		"baseline":      controller.PreWPQSecure,
+		"dolos-full":    controller.DolosFull,
+		"dolos-partial": controller.DolosPartial,
+		"dolos-post":    controller.DolosPost,
+		"eadr":          controller.EADRSecure,
+	} {
+		got, err := ParseScheme(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseScheme(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestParseTree(t *testing.T) {
+	if k, err := ParseTree("eager"); err != nil || k != masu.BMTEager {
+		t.Fatal("eager parse failed")
+	}
+	if k, err := ParseTree("lazy"); err != nil || k != masu.ToCLazy {
+		t.Fatal("lazy parse failed")
+	}
+	if _, err := ParseTree("x"); err == nil {
+		t.Fatal("unknown tree accepted")
+	}
+}
+
+func TestSchemeNamesSorted(t *testing.T) {
+	names := SchemeNames()
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("unsorted: %v", names)
+		}
+	}
+}
+
+func TestDemoKeysDeterministicDistinct(t *testing.T) {
+	a1, m1 := DemoKeys("x")
+	a2, m2 := DemoKeys("x")
+	if a1 != a2 || m1 != m2 {
+		t.Fatal("demo keys not deterministic")
+	}
+	b1, _ := DemoKeys("y")
+	if a1 == b1 {
+		t.Fatal("different labels share keys")
+	}
+	if a1 == m1 {
+		t.Fatal("AES and MAC keys identical")
+	}
+}

@@ -1,0 +1,266 @@
+// Package controller implements the secure NVM memory controller: the WPQ,
+// the Mi-SU and Ma-SU, and the insertion/drain/read machinery, in the five
+// configurations the paper evaluates:
+//
+//   - NonSecureADR — the ideal reference (Figure 5-c as a hypothetical):
+//     writes persist the moment they enter the WPQ; security is applied
+//     functionally at drain time with no run-time cost. Infeasible in
+//     hardware (ADR cannot power the security unit), used as the upper
+//     bound in Figure 6.
+//   - PreWPQSecure — the state-of-the-art baseline (Figure 5-b, Anubis
+//     AGIT): every write pays counter fetch + encryption + MAC + eager
+//     tree update before entering the persistence domain.
+//   - DolosFull / DolosPartial / DolosPost — Figure 5-d with the three
+//     Mi-SU designs: a cheap Mi-SU protects the WPQ at insertion; the
+//     Ma-SU performs the conventional security work after eviction from
+//     the WPQ, off the critical path.
+//
+// The controller is simultaneously functional (real ciphertext, MACs,
+// trees on the NVM device — crashes, recovery and attacks operate on real
+// state) and timed (latencies from Table 1 drive the discrete-event
+// model).
+package controller
+
+import (
+	"fmt"
+
+	"dolos/internal/crypt"
+	"dolos/internal/layout"
+	"dolos/internal/masu"
+	"dolos/internal/misu"
+	"dolos/internal/nvm"
+	"dolos/internal/sim"
+	"dolos/internal/stats"
+	"dolos/internal/wpq"
+)
+
+// Scheme identifies a secure-memory controller configuration.
+type Scheme int
+
+const (
+	// NonSecureADR is the infeasible ideal: persist first, secure later
+	// at zero run-time cost.
+	NonSecureADR Scheme = iota
+	// PreWPQSecure is the baseline: security before the WPQ.
+	PreWPQSecure
+	// DolosFull is Dolos with the Full-WPQ Mi-SU.
+	DolosFull
+	// DolosPartial is Dolos with the Partial-WPQ Mi-SU.
+	DolosPartial
+	// DolosPost is Dolos with the Post-WPQ Mi-SU.
+	DolosPost
+	// EADRSecure models the extended-ADR platform the paper's
+	// introduction weighs Dolos against: the entire cache hierarchy is
+	// inside the persistence domain, so a store is persistent the moment
+	// it retires and flushes/fences cost nothing. Security work happens
+	// on eviction, off every critical path. The catch is platform cost —
+	// eADR needs "non-standard extensions, high costs, and
+	// environment-unfriendly batteries"; Dolos' point is approaching
+	// this bound within the standard ADR budget.
+	EADRSecure
+)
+
+// String returns the scheme name as used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case NonSecureADR:
+		return "NonSecure-ADR"
+	case PreWPQSecure:
+		return "Pre-WPQ-Secure"
+	case DolosFull:
+		return "Dolos-Full-WPQ"
+	case DolosPartial:
+		return "Dolos-Partial-WPQ"
+	case DolosPost:
+		return "Dolos-Post-WPQ"
+	case EADRSecure:
+		return "eADR-Secure"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// IsDolos reports whether the scheme uses the split Mi-SU/Ma-SU design.
+func (s Scheme) IsDolos() bool {
+	return s == DolosFull || s == DolosPartial || s == DolosPost
+}
+
+// MiSUDesign maps a Dolos scheme to its Mi-SU design.
+func (s Scheme) MiSUDesign() misu.Design {
+	switch s {
+	case DolosFull:
+		return misu.FullWPQ
+	case DolosPartial:
+		return misu.PartialWPQ
+	case DolosPost:
+		return misu.PostWPQ
+	}
+	panic("controller: not a Dolos scheme")
+}
+
+// Config parameterizes a controller.
+type Config struct {
+	// Scheme selects the secure-memory configuration.
+	Scheme Scheme
+	// Tree selects the Ma-SU integrity backend (eager BMT or lazy ToC).
+	Tree masu.TreeKind
+	// HardwareWPQ is the physical WPQ entry count (16 in Table 1). The
+	// usable count under each Mi-SU design derives from it.
+	HardwareWPQ int
+	// OsirisPeriod is the counter persist period (0 = default).
+	OsirisPeriod uint64
+	// Layout is the NVM address map (zero value = layout.Default()).
+	Layout layout.Map
+	// AESKey and MACKey are the processor key registers.
+	AESKey, MACKey [16]byte
+	// DisableCoalescing turns off the WPQ tag-array coalescing
+	// optimization (ablation).
+	DisableCoalescing bool
+	// CounterCacheBytes / MTCacheBytes override the Table 1 metadata
+	// cache capacities (0 = defaults; cache-size ablations).
+	CounterCacheBytes uint64
+	MTCacheBytes      uint64
+	// MaSUInterval overrides the Ma-SU pipeline initiation interval
+	// (0 = one write per MAC stage). Larger values model weaker memory
+	// back-ends — the knob for the "Dolos composes with any back-end
+	// optimization" ablation.
+	MaSUInterval sim.Cycle
+}
+
+func (c Config) withDefaults() Config {
+	if c.HardwareWPQ == 0 {
+		c.HardwareWPQ = 16
+	}
+	if c.Layout == (layout.Map{}) {
+		c.Layout = layout.Default()
+	}
+	return c
+}
+
+// UsableWPQ returns the WPQ entries available for writes under the
+// configured scheme.
+func (c Config) UsableWPQ() int {
+	c = c.withDefaults()
+	if c.Scheme.IsDolos() {
+		return c.Scheme.MiSUDesign().Entries(c.HardwareWPQ)
+	}
+	return c.HardwareWPQ
+}
+
+// waiter is a write waiting for WPQ space (a retried insertion).
+type waiter struct {
+	addr     uint64
+	data     [64]byte
+	accepted func()
+}
+
+// Controller is a secure NVM memory controller instance.
+type Controller struct {
+	cfg Config
+	eng *sim.Engine
+	dev *nvm.Device
+
+	ma *masu.Unit
+	mi *misu.Unit // Dolos schemes only
+	bq *wpq.Queue // baseline/ideal schemes: plain WPQ (timing + drain)
+	st *stats.Set
+
+	secUnit *sim.PipeServer // PreWPQSecure: the security pipeline
+	miSU    *sim.PipeServer // Dolos: the Mi-SU MAC engine
+	maSU    *sim.PipeServer // Dolos: the Ma-SU pipeline
+	waiters []waiter
+
+	insertTime  map[int]sim.Cycle // WPQ slot -> insertion cycle (drain-delay window)
+	crashed     bool
+	epoch       uint64 // bumped at every crash; stale events self-cancel
+	maPumpArmed bool
+	haveArrival bool
+	lastArrival float64
+}
+
+// New creates a controller bound to a simulation engine and NVM device.
+// The device must span cfg.Layout.DeviceSize.
+func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	engine := crypt.NewEngine(cfg.AESKey, cfg.MACKey)
+	// Initiation intervals: a new write can enter a security pipeline
+	// every MAC stage. Post-WPQ's insert path has no MAC at all.
+	miII := crypt.MACLatency
+	if cfg.Scheme == DolosPost {
+		miII = crypt.XORLatency
+	}
+	maII := cfg.MaSUInterval
+	if maII == 0 {
+		maII = crypt.MACLatency
+	}
+	c := &Controller{
+		cfg: cfg,
+		eng: eng,
+		dev: dev,
+		ma: masu.NewWithParams(cfg.Tree, engine, dev, cfg.Layout, masu.Params{
+			OsirisPeriod:      cfg.OsirisPeriod,
+			CounterCacheBytes: cfg.CounterCacheBytes,
+			MTCacheBytes:      cfg.MTCacheBytes,
+		}),
+		st:         stats.NewSet(),
+		secUnit:    sim.NewPipeServer(eng, "security-unit", maII),
+		miSU:       sim.NewPipeServer(eng, "mi-su", miII),
+		maSU:       sim.NewPipeServer(eng, "ma-su", maII),
+		insertTime: make(map[int]sim.Cycle),
+	}
+	if cfg.Scheme.IsDolos() {
+		c.mi = misu.New(cfg.Scheme.MiSUDesign(), engine, dev, cfg.Layout.DrainBase, cfg.UsableWPQ())
+	} else {
+		c.bq = wpq.New(cfg.UsableWPQ())
+	}
+	if cfg.DisableCoalescing {
+		c.queue().SetCoalescing(false)
+	}
+	return c
+}
+
+// Stats returns the controller's statistics registry.
+func (c *Controller) Stats() *stats.Set { return c.st }
+
+// MaSU returns the Major Security Unit.
+func (c *Controller) MaSU() *masu.Unit { return c.ma }
+
+// MiSU returns the Minor Security Unit (nil for non-Dolos schemes).
+func (c *Controller) MiSU() *misu.Unit { return c.mi }
+
+// Config returns the configuration in effect.
+func (c *Controller) Config() Config { return c.cfg }
+
+// queue returns the WPQ regardless of scheme.
+func (c *Controller) queue() *wpq.Queue {
+	if c.mi != nil {
+		return c.mi.Queue()
+	}
+	return c.bq
+}
+
+// stale returns a predicate that reports whether the controller has
+// crashed, or crashed-and-recovered, since the predicate was created —
+// every deferred completion checks it so events scheduled before a power
+// failure cannot touch post-recovery state.
+func (c *Controller) stale() func() bool {
+	epoch := c.epoch
+	return func() bool { return c.crashed || c.epoch != epoch }
+}
+
+// WPQLive returns the current number of live WPQ entries.
+func (c *Controller) WPQLive() int { return c.queue().Live() }
+
+// RetryEvents returns the number of WPQ insertion re-try events.
+func (c *Controller) RetryEvents() uint64 { return c.st.Counter("wpq.retry_events").Value() }
+
+// WriteRequests returns the number of write requests that arrived.
+func (c *Controller) WriteRequests() uint64 { return c.st.Counter("wpq.write_requests").Value() }
+
+// RetryPerKWR returns retry events per kilo write requests (Table 2).
+func (c *Controller) RetryPerKWR() float64 {
+	w := c.WriteRequests()
+	if w == 0 {
+		return 0
+	}
+	return float64(c.RetryEvents()) / float64(w) * 1000
+}

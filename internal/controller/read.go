@@ -1,0 +1,71 @@
+package controller
+
+import (
+	"fmt"
+
+	"dolos/internal/crypt"
+	"dolos/internal/masu"
+	"dolos/internal/sim"
+)
+
+// wpqHitLatency is the cost of serving a read from the WPQ: the tag-array
+// lookup plus the one-cycle XOR decrypt (Section 4.5: "such a decryption
+// would merely take an XOR operation (one cycle)").
+const wpqHitLatency = 4 + crypt.XORLatency
+
+// ReadLine serves an LLC-miss read. done fires when the verified,
+// decrypted line would be available to the cache hierarchy. Reads that
+// hit the WPQ tag array are served on-chip; others pay the NVM fetch,
+// MAC verification and any metadata-cache misses.
+//
+// An integrity violation on the read path panics: during benign
+// simulation it indicates a model bug, and adversarial scenarios are
+// driven through the recovery/attack APIs where errors are returned.
+func (c *Controller) ReadLine(addr uint64, done func()) {
+	addr &^= 63
+	c.st.Counter("mem.reads").Inc()
+
+	if slot, ok := c.queue().Lookup(addr); ok {
+		c.queue().ReadHit()
+		c.st.Counter("wpq.read_hits").Inc()
+		if c.mi != nil {
+			// Exercise the functional decrypt so WPQ read data is real.
+			if a, _ := c.mi.DecryptSlot(slot); a != addr {
+				panic(fmt.Sprintf("controller: WPQ tag/slot mismatch at %#x", addr))
+			}
+		}
+		c.eng.After(wpqHitLatency, done)
+		return
+	}
+
+	plainCost, err := c.readThroughMaSU(addr)
+	if err != nil {
+		panic("controller: read integrity violation: " + err.Error())
+	}
+	extra := c.readExtraLatency(plainCost)
+	c.dev.AccessRead(addr, func() {
+		c.eng.After(extra, done)
+	})
+}
+
+// readThroughMaSU performs the functional verified read.
+func (c *Controller) readThroughMaSU(addr uint64) (masu.Cost, error) {
+	_, cost, err := c.ma.ReadLine(addr)
+	c.st.Counter("masu.read_counter_misses").Add(uint64(cost.CounterMisses))
+	c.st.Counter("masu.read_tree_misses").Add(uint64(cost.TreeMisses))
+	return cost, err
+}
+
+// readExtraLatency converts a read cost into cycles beyond the NVM data
+// fetch: MAC verification plus metadata fetches. When the counter is
+// cached the decryption pad is pre-generated during the data fetch and
+// the decrypt costs one XOR; a counter miss serializes the counter fetch
+// and pad generation before the XOR.
+func (c *Controller) readExtraLatency(cost masu.Cost) sim.Cycle {
+	extra := crypt.MACLatency + crypt.XORLatency // data MAC verify + decrypt
+	if cost.CounterMisses > 0 {
+		extra += 600 + crypt.AESLatency
+	}
+	extra += sim.Cycle(cost.TreeMisses) * (600 + crypt.MACLatency)
+	return extra
+}

@@ -1,0 +1,354 @@
+package controller
+
+import (
+	"dolos/internal/crypt"
+	"dolos/internal/masu"
+	"dolos/internal/sim"
+	"dolos/internal/wpq"
+)
+
+// PersistWrite submits a flushed cache line to the persistence path.
+// accepted fires at the cycle the write is considered persisted — i.e.
+// it has entered the persistence domain (WPQ), which is what a pending
+// sfence waits for. Writes that find the WPQ full (or the Post-WPQ Mi-SU
+// busy) are retried; each failed attempt counts one retry event
+// (Table 2's metric).
+func (c *Controller) PersistWrite(addr uint64, data [64]byte, accepted func()) {
+	addr &^= 63
+	c.st.Counter("wpq.write_requests").Inc()
+	c.noteArrival()
+	c.tryInsert(waiter{addr: addr, data: data, accepted: accepted}, false)
+}
+
+// EvictWrite submits a dirty non-persist writeback (an LLC victim). It
+// takes the same secured path but nothing waits on it.
+func (c *Controller) EvictWrite(addr uint64, data [64]byte) {
+	addr &^= 63
+	c.st.Counter("wpq.evict_requests").Inc()
+	c.tryInsert(waiter{addr: addr, data: data}, false)
+}
+
+// noteArrival tracks the WPQ request inter-arrival distribution, the
+// statistic the paper's Post-WPQ design motivation quotes (473 cycles).
+func (c *Controller) noteArrival() {
+	now := float64(c.eng.Now())
+	if c.haveArrival {
+		c.st.Histogram("wpq.interarrival_cycles").Observe(now - c.lastArrival)
+	}
+	c.haveArrival = true
+	c.lastArrival = now
+	c.st.Histogram("wpq.occupancy_at_arrival").Observe(float64(c.queue().Live()))
+}
+
+// tryInsert routes a write into the scheme's insertion path. wake marks
+// re-attempts of parked writes.
+func (c *Controller) tryInsert(w waiter, wake bool) {
+	if c.crashed {
+		return
+	}
+	switch {
+	case c.cfg.Scheme.IsDolos():
+		c.insertDolos(w, wake)
+	case c.cfg.Scheme == PreWPQSecure:
+		c.insertPreWPQ(w)
+	case c.cfg.Scheme == EADRSecure:
+		c.insertEADR(w)
+	default:
+		c.insertIdeal(w, wake)
+	}
+}
+
+// insertEADR handles a persist under extended ADR: the store was already
+// inside the persistence domain when it retired into the cache, so the
+// flush is acknowledged immediately — no WPQ involvement, no retries.
+// Security work still runs (functionally now, its latency charged to the
+// background pipeline), exactly as an eADR platform would secure lines
+// on their way from the persistent caches to NVM.
+func (c *Controller) insertEADR(w waiter) {
+	c.st.Counter("wpq.inserted").Inc()
+	if w.accepted != nil {
+		c.eng.After(1, w.accepted)
+	}
+	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
+	c.chargeWriteCost(cost)
+	stale := c.stale()
+	c.secUnit.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
+		if stale() {
+			return
+		}
+		c.dev.AccessWrite(w.addr, func() {
+			c.st.Counter("masu.drained").Inc()
+		})
+	})
+}
+
+// park queues a write for retry when space frees. countRetry marks
+// Table 2's metric: an insertion attempt that found the WPQ full (a
+// Post-WPQ wait on the busy Mi-SU parks without counting — the paper's
+// retry events are specifically full-queue events).
+func (c *Controller) park(w waiter, front, countRetry bool) {
+	if countRetry {
+		c.st.Counter("wpq.retry_events").Inc()
+	}
+	if front {
+		c.waiters = append([]waiter{w}, c.waiters...)
+	} else {
+		c.waiters = append(c.waiters, w)
+	}
+}
+
+// wakeWaiters re-attempts the oldest parked write after a slot freed or
+// the deferred Mi-SU op finished.
+func (c *Controller) wakeWaiters() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.tryInsert(w, true)
+}
+
+// --- Dolos insertion (Figure 5-d) ---
+
+func (c *Controller) insertDolos(w waiter, _ bool) {
+	if !c.mi.CanAccept(w.addr) {
+		// Rotate failed attempts to the back of the waiter queue: a
+		// write stalled on same-line ordering must not block unrelated
+		// waiters (head-of-line blocking).
+		full := c.mi.Queue().Full() && !c.mi.Queue().CanCoalesce(w.addr)
+		c.park(w, false, full)
+		return
+	}
+	// The Mi-SU MAC engine is a serial resource; the insert occupies it
+	// for the design's latency. Post-WPQ's XOR-only path is effectively
+	// immediate and the deferred MAC runs after commit.
+	stale := c.stale()
+	c.miSU.Submit(c.cfg.Scheme.MiSUDesign().InsertLatency(), func(_, _ sim.Cycle) {
+		if stale() {
+			return
+		}
+		// Re-check: a competing insert may have consumed the last slot
+		// while this one was in the engine.
+		if !c.mi.CanAccept(w.addr) {
+			full := c.mi.Queue().Full() && !c.mi.Queue().CanCoalesce(w.addr)
+			c.park(w, false, full)
+			return
+		}
+		slot := c.mi.Protect(w.addr, w.data)
+		c.insertTime[slot] = c.eng.Now()
+		c.st.Counter("wpq.inserted").Inc()
+		if w.accepted != nil {
+			w.accepted()
+		}
+		if c.cfg.Scheme == DolosPost {
+			// The deferred MAC occupies the Mi-SU after commit; new
+			// writes are rejected until it completes.
+			c.miSU.Submit(crypt.MACLatency, func(_, _ sim.Cycle) {
+				if stale() {
+					return
+				}
+				c.mi.CompleteDeferredMAC(slot)
+				c.wakeWaiters()
+				// The entry only became fetchable now that its MAC is
+				// in place; re-arm the Ma-SU.
+				c.pumpMaSU()
+			})
+		}
+		c.pumpMaSU()
+	})
+}
+
+// DrainDelay is how long an entry rests in the WPQ before the Ma-SU
+// picks it up, when the pipeline is otherwise free. Write buffers drain
+// lazily in hardware; the rest window is what makes the Section 4.5
+// write-coalescing optimization effective for repeated lines (undo-log
+// headers, hot YCSB records).
+const DrainDelay sim.Cycle = 400
+
+// pumpMaSU schedules the Ma-SU's next fetch from the WPQ (the run-time
+// drain path, Figure 11). The entry is picked when the pipelined engine
+// actually starts it — until then it stays coalescible in the WPQ — and
+// its slot clears only after both the security work and the NVM write
+// complete, which is what makes the queue fill under bursts.
+func (c *Controller) pumpMaSU() {
+	if c.crashed || c.maPumpArmed {
+		return
+	}
+	slot, ok := c.mi.Queue().FetchOldest()
+	if !ok {
+		return
+	}
+	at := c.maSU.NextStart()
+	if e := c.insertTime[slot] + DrainDelay; e > at {
+		at = e
+	}
+	c.maPumpArmed = true
+	stale := c.stale()
+	c.eng.At(at, func() {
+		c.maPumpArmed = false
+		if stale() {
+			return
+		}
+		slot, ok := c.mi.Queue().FetchOldest()
+		if !ok {
+			return
+		}
+		if c.insertTime[slot]+DrainDelay > c.eng.Now() {
+			// The oldest entry changed (coalesce/clear); re-arm.
+			c.pumpMaSU()
+			return
+		}
+		c.mi.Queue().MarkFetched(slot)
+		fetchSeq := c.mi.Queue().Entry(slot).Seq
+		addr, plain := c.mi.DecryptSlot(slot)
+		cost := c.ma.ProcessWrite(addr, plain, slot)
+		c.chargeWriteCost(cost)
+		c.maSU.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
+			if stale() {
+				return
+			}
+			// Step 3: the ciphertext heads to NVM; step 4 clears the
+			// WPQ entry once the write is in the array.
+			c.dev.AccessWrite(addr, func() {
+				if stale() {
+					return
+				}
+				c.st.Counter("masu.drained").Inc()
+				e := c.mi.Queue().Entry(slot)
+				if e.Valid && !e.Cleared && e.Seq == fetchSeq {
+					// Unchanged since fetch: retire the entry. A newer
+					// coalesced value (different Seq) stays live and
+					// will be re-fetched.
+					c.mi.Queue().Clear(slot)
+				}
+				c.wakeWaiters()
+				c.pumpMaSU()
+			})
+		})
+		c.pumpMaSU()
+	})
+}
+
+// maSUService converts a Ma-SU cost into pipeline occupancy cycles:
+// the XOR decrypt, pad generation, the serial MAC chain, and metadata
+// fetches that missed the on-chip caches.
+func (c *Controller) maSUService(cost masu.Cost) sim.Cycle {
+	cycles := crypt.XORLatency + crypt.AESLatency
+	cycles += sim.Cycle(cost.SerialMACs) * crypt.MACLatency
+	cycles += sim.Cycle(cost.CounterMisses+cost.TreeMisses) * 600
+	cycles += sim.Cycle(cost.ReencryptedLines) * (2*crypt.AESLatency + crypt.MACLatency)
+	return cycles
+}
+
+// chargeWriteCost records cost composition statistics.
+func (c *Controller) chargeWriteCost(cost masu.Cost) {
+	c.st.Counter("masu.counter_misses").Add(uint64(cost.CounterMisses))
+	c.st.Counter("masu.tree_misses").Add(uint64(cost.TreeMisses))
+	c.st.Counter("masu.serial_macs").Add(uint64(cost.SerialMACs))
+	c.st.Counter("masu.nvm_writes").Add(uint64(cost.NVMWrites))
+	c.st.Counter("masu.shadow_writes").Add(uint64(cost.ShadowWrites))
+	if cost.ReencryptedLines > 0 {
+		c.st.Counter("masu.page_reencryptions").Inc()
+	}
+}
+
+// --- Baseline insertion (Figure 5-b): security before the WPQ ---
+
+func (c *Controller) insertPreWPQ(w waiter) {
+	// The conventional security unit serializes: counter fetch, pad
+	// generation, data MAC and the eager tree update all happen before
+	// the write may enter the persistence domain.
+	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
+	c.chargeWriteCost(cost)
+	service := crypt.AESLatency + sim.Cycle(cost.SerialMACs)*crypt.MACLatency +
+		sim.Cycle(cost.CounterMisses+cost.TreeMisses)*600 +
+		sim.Cycle(cost.ReencryptedLines)*(2*crypt.AESLatency+crypt.MACLatency)
+	stale := c.stale()
+	c.secUnit.Submit(service, func(_, _ sim.Cycle) {
+		if stale() {
+			return
+		}
+		c.allocBaseline(w, false)
+	})
+}
+
+// allocBaseline places a security-processed write into the baseline WPQ.
+func (c *Controller) allocBaseline(w waiter, wake bool) {
+	if c.crashed {
+		return
+	}
+	slot, coalesced, ok := c.bq.Allocate(w.addr)
+	if !ok {
+		c.park(w, wake, true)
+		return
+	}
+	c.st.Counter("wpq.inserted").Inc()
+	if w.accepted != nil {
+		w.accepted()
+	}
+	if coalesced {
+		// Merged into a live entry whose drain is already scheduled.
+		return
+	}
+	c.bq.Commit(slot, wpq.Entry{Addr: w.addr, Valid: true})
+	// Drain: the entry only awaits its NVM write (already secured).
+	stale := c.stale()
+	c.dev.AccessWrite(w.addr, func() {
+		if stale() {
+			return
+		}
+		c.bq.Clear(slot)
+		c.st.Counter("masu.drained").Inc()
+		c.wakeBaseline()
+	})
+}
+
+// wakeBaseline re-attempts a parked baseline write after a slot freed.
+func (c *Controller) wakeBaseline() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.allocBaseline(w, true)
+}
+
+// --- Ideal insertion (NonSecureADR): persist immediately ---
+
+func (c *Controller) insertIdeal(w waiter, wake bool) {
+	slot, coalesced, ok := c.bq.Allocate(w.addr)
+	if !ok {
+		c.park(w, wake, true)
+		return
+	}
+	c.st.Counter("wpq.inserted").Inc()
+	// Security is applied with zero charged latency (the infeasible
+	// reference point): functional state stays exact.
+	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
+	c.chargeWriteCost(cost)
+	if w.accepted != nil {
+		c.eng.After(1, w.accepted)
+	}
+	if coalesced {
+		return
+	}
+	c.bq.Commit(slot, wpq.Entry{Addr: w.addr, Valid: true})
+	stale := c.stale()
+	c.dev.AccessWrite(w.addr, func() {
+		if stale() {
+			return
+		}
+		c.bq.Clear(slot)
+		c.st.Counter("masu.drained").Inc()
+		c.wakeIdeal()
+	})
+}
+
+func (c *Controller) wakeIdeal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.insertIdeal(w, true)
+}

@@ -1,0 +1,116 @@
+package core
+
+import "testing"
+
+func TestAblateBackendDegradesGracefully(t *testing.T) {
+	r := NewRunner(Options{Transactions: 120, Workloads: []string{"Hashmap"}})
+	tab, err := r.AblateBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully serial back-end (II=1600) must show a smaller Dolos win
+	// than the pipelined one — the back-end becomes the shared
+	// bottleneck — but still >= ~1 (Dolos never loses).
+	fast := tab.Cell(0, 0)
+	serial := tab.Cell(0, len(BackendIntervals)-1)
+	if serial >= fast {
+		t.Fatalf("serial backend speedup %.2f not below pipelined %.2f", serial, fast)
+	}
+	if serial < 0.95 {
+		t.Fatalf("Dolos lost to baseline with a serial backend: %.2f", serial)
+	}
+}
+
+func TestAblateOsirisTradeoff(t *testing.T) {
+	r := NewRunner(Options{Transactions: 100})
+	tab, err := r.AblateOsiris("Hashmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != len(OsirisPeriods) {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	// Persists per write fall monotonically with the period; probes per
+	// line never decrease.
+	for i := 1; i < tab.Rows(); i++ {
+		if tab.Cell(i, 1) > tab.Cell(i-1, 1) {
+			t.Fatalf("persists/write rose with period: %v", tab)
+		}
+		if tab.Cell(i, 2)+1e-9 < tab.Cell(i-1, 2) {
+			t.Fatalf("probes/line fell with period: %v", tab)
+		}
+	}
+	// Period 1 is write-through: exactly one persist per write, and one
+	// probe (immediate hit) per line.
+	if tab.Cell(0, 1) != 1 || tab.Cell(0, 2) != 1 {
+		t.Fatalf("write-through row wrong: %v", tab)
+	}
+}
+
+func TestEADRComparison(t *testing.T) {
+	r := NewRunner(Options{Transactions: 100, Workloads: []string{"Hashmap"}})
+	tab, err := r.EADRComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eadr, dolos, frac := tab.Cell(0, 0), tab.Cell(0, 1), tab.Cell(0, 2)
+	if eadr <= dolos {
+		t.Fatalf("eADR bound (%.2f) not above Dolos (%.2f)", eadr, dolos)
+	}
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("fraction of eADR gain = %.2f, want in (0,1)", frac)
+	}
+}
+
+func TestWriteAmplificationEqualAcrossSchemes(t *testing.T) {
+	r := NewRunner(Options{Transactions: 80, Workloads: []string{"Redis"}})
+	tab, err := r.WriteAmplification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run-time NVM write amplification is a property of the Ma-SU
+	// pipeline, not the front-end scheme: all columns match closely.
+	a, b, c := tab.Cell(0, 0), tab.Cell(0, 1), tab.Cell(0, 2)
+	if a < 2 {
+		t.Fatalf("amplification %.2f implausibly low (MAC+ECC+shadow writes missing?)", a)
+	}
+	for _, v := range []float64{b, c} {
+		if v < a*0.9 || v > a*1.1 {
+			t.Fatalf("amplification diverges across schemes: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestSeedSweepVariance(t *testing.T) {
+	r := NewRunner(Options{Transactions: 80, Workloads: []string{"Ctree"}})
+	tab, err := r.SeedSweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, sd, lo, hi := tab.Cell(0, 0), tab.Cell(0, 1), tab.Cell(0, 2), tab.Cell(0, 3)
+	if mean < 1.2 || mean > 2.5 {
+		t.Fatalf("mean speedup %.2f outside band", mean)
+	}
+	if lo > hi || mean < lo || mean > hi {
+		t.Fatalf("summary stats inconsistent: %v %v %v %v", mean, sd, lo, hi)
+	}
+	if sd > 0.3 {
+		t.Fatalf("cross-seed stddev %.3f suspiciously large", sd)
+	}
+}
+
+func TestAblateCounterCacheRuns(t *testing.T) {
+	r := NewRunner(Options{Transactions: 80, Workloads: []string{"Ctree"}})
+	tab, err := r.AblateCounterCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 1 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	for col := range CounterCacheSizes {
+		if v := tab.Cell(0, col); v < 1.0 || v > 4 {
+			t.Fatalf("speedup at size %d = %.2f implausible", CounterCacheSizes[col], v)
+		}
+	}
+}

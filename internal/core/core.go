@@ -1,0 +1,134 @@
+// Package core is the experiment layer of the Dolos reproduction: it
+// builds complete simulated systems (workload -> trace -> core + caches ->
+// secure memory controller -> NVM) and regenerates every table and figure
+// of the paper's evaluation (Section 5). See DESIGN.md for the
+// per-experiment index.
+package core
+
+import (
+	"fmt"
+
+	"dolos/internal/controller"
+	"dolos/internal/cpu"
+	"dolos/internal/masu"
+	"dolos/internal/sim"
+	"dolos/internal/trace"
+	"dolos/internal/whisper"
+)
+
+// Options configures an experiment batch.
+type Options struct {
+	// Transactions per workload run (the paper uses 50000; the default
+	// 1000 reaches queueing steady state in seconds).
+	Transactions int
+	// Workloads to include (default: all six).
+	Workloads []string
+	// Seed for the workload generators.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Transactions == 0 {
+		o.Transactions = 1000
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = whisper.Names()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Spec pins down one simulated configuration.
+type Spec struct {
+	Scheme            controller.Scheme
+	Tree              masu.TreeKind
+	TxSize            int // bytes per transaction (default 1024)
+	HardwareWPQ       int // physical WPQ entries (default 16)
+	DisableCoalescing bool
+	// CounterCacheBytes overrides the counter metadata cache capacity
+	// (0 = Table 1's 128 KB; cache-size ablation).
+	CounterCacheBytes uint64
+	// MaSUInterval overrides the Ma-SU pipeline initiation interval in
+	// cycles (0 = one write per 160-cycle MAC stage; back-end ablation).
+	MaSUInterval uint64
+	// OsirisPeriod overrides the counter persist period (0 = default 4;
+	// write-overhead vs recovery-window ablation).
+	OsirisPeriod uint64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.TxSize == 0 {
+		s.TxSize = 1024
+	}
+	if s.HardwareWPQ == 0 {
+		s.HardwareWPQ = 16
+	}
+	return s
+}
+
+// Runner executes simulations, caching generated traces so every scheme
+// replays the identical operation stream (paired comparisons).
+type Runner struct {
+	opts   Options
+	traces map[string]*trace.Trace
+}
+
+// NewRunner creates a runner with the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts.withDefaults(), traces: make(map[string]*trace.Trace)}
+}
+
+// Options returns the effective options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Trace returns the (cached) trace for a workload at a transaction size.
+func (r *Runner) Trace(workload string, txSize int) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d", workload, txSize)
+	if tr, ok := r.traces[key]; ok {
+		return tr, nil
+	}
+	w, err := whisper.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	tr := w.Generate(whisper.Params{
+		Transactions: r.opts.Transactions,
+		TxSize:       txSize,
+		Seed:         r.opts.Seed,
+	})
+	r.traces[key] = tr
+	return tr, nil
+}
+
+// Run simulates one workload under one configuration.
+func (r *Runner) Run(workload string, spec Spec) (cpu.Result, error) {
+	spec = spec.withDefaults()
+	tr, err := r.Trace(workload, spec.TxSize)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	cfg := controller.Config{
+		Scheme:            spec.Scheme,
+		Tree:              spec.Tree,
+		HardwareWPQ:       spec.HardwareWPQ,
+		DisableCoalescing: spec.DisableCoalescing,
+		CounterCacheBytes: spec.CounterCacheBytes,
+		MaSUInterval:      sim.Cycle(spec.MaSUInterval),
+		OsirisPeriod:      spec.OsirisPeriod,
+	}
+	copy(cfg.AESKey[:], "dolos-aes-key-16")
+	copy(cfg.MACKey[:], "dolos-mac-key-16")
+	sys := cpu.NewSystem(cfg)
+	return sys.Run(tr), nil
+}
+
+// Speedup returns baseline cycles divided by candidate cycles — the
+// paper's speedup metric (higher is better for the candidate).
+func Speedup(baseline, candidate cpu.Result) float64 {
+	if candidate.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(candidate.Cycles)
+}

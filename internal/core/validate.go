@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dolos/internal/stats"
+)
+
+// Claim is one qualitative result of the paper, checked against a fresh
+// simulation. The reproduction's contract is the set of claims, not
+// gem5's absolute numbers.
+type Claim struct {
+	ID     string
+	Text   string
+	Passed bool
+	Detail string
+}
+
+// Validate runs the core experiments and checks every qualitative claim
+// of the evaluation section, returning the claim list and whether all
+// passed — an automated reproduction certificate.
+func (r *Runner) Validate() ([]Claim, bool, error) {
+	var claims []Claim
+	add := func(id, text string, passed bool, detail string, args ...any) {
+		claims = append(claims, Claim{
+			ID: id, Text: text, Passed: passed,
+			Detail: fmt.Sprintf(detail, args...),
+		})
+	}
+
+	fig6, err := r.Fig6()
+	if err != nil {
+		return nil, false, err
+	}
+	slow := stats.Mean(fig6.ColumnValues(2))
+	add("fig6", "Security before the WPQ slows workloads ~2x vs after it",
+		slow > 1.5 && slow < 4, "mean slowdown %.2f (paper 2.1)", slow)
+
+	fig12, err := r.Fig12()
+	if err != nil {
+		return nil, false, err
+	}
+	full := stats.Mean(fig12.ColumnValues(0))
+	partial := stats.Mean(fig12.ColumnValues(1))
+	post := stats.Mean(fig12.ColumnValues(2))
+	add("fig12-band", "All three Mi-SU designs speed up eager-BMT workloads substantially",
+		full > 1.25 && partial > 1.25 && post > 1.25,
+		"means %.2f / %.2f / %.2f (paper 1.66 / 1.66 / 1.59)", full, partial, post)
+	perWorkloadWin := true
+	for row := 0; row < fig12.Rows(); row++ {
+		for col := 0; col < 3; col++ {
+			if fig12.Cell(row, col) <= 1 {
+				perWorkloadWin = false
+			}
+		}
+	}
+	add("fig12-everywhere", "Dolos wins on every workload under every design",
+		perWorkloadWin, "checked %d workloads x 3 designs", fig12.Rows())
+
+	t2, err := r.Table2()
+	if err != nil {
+		return nil, false, err
+	}
+	fullR := stats.Mean(t2.ColumnValues(0))
+	partialR := stats.Mean(t2.ColumnValues(1))
+	postR := stats.Mean(t2.ColumnValues(2))
+	add("table2-order", "Retry pressure orders Full < Partial < Post (queue sizes 16/13/10)",
+		fullR < partialR && partialR < postR,
+		"means %.0f / %.0f / %.0f per KWR", fullR, partialR, postR)
+	nstoreLowest := true
+	for row := 0; row < t2.Rows(); row++ {
+		if t2.RowLabel(row) == "NStore:YCSB" {
+			continue
+		}
+		if rowHas(t2, "NStore:YCSB", 1) >= t2.Cell(row, 1) {
+			nstoreLowest = false
+		}
+	}
+	add("table2-nstore", "NStore:YCSB retries least (zipfian hot set coalesces)",
+		nstoreLowest, "NStore Partial %.1f per KWR", rowHas(t2, "NStore:YCSB", 1))
+
+	f14, err := r.Fig14()
+	if err != nil {
+		return nil, false, err
+	}
+	first := stats.Mean(f14.ColumnValues(0))
+	last := stats.Mean(f14.ColumnValues(len(TxSizes) - 1))
+	add("fig14-trend", "Speedups are higher at small transactions and stay >1 at 2048B",
+		first > last && last > 1, "mean %.2f at 128B -> %.2f at 2048B", first, last)
+
+	f13, err := r.Fig13()
+	if err != nil {
+		return nil, false, err
+	}
+	add("fig13-trend", "Retry pressure rises steeply with transaction size",
+		stats.Mean(f13.ColumnValues(len(TxSizes)-1)) > 10*stats.Mean(f13.ColumnValues(0))+1,
+		"mean %.1f at 128B -> %.1f at 2048B",
+		stats.Mean(f13.ColumnValues(0)), stats.Mean(f13.ColumnValues(len(TxSizes)-1)))
+
+	spd, rtr, err := r.Fig15()
+	if err != nil {
+		return nil, false, err
+	}
+	knee := stats.Mean(spd.ColumnValues(1)) > stats.Mean(spd.ColumnValues(0)) &&
+		stats.Mean(spd.ColumnValues(3)) < stats.Mean(spd.ColumnValues(1))*1.05
+	add("fig15-knee", "Growing the WPQ helps up to ~28 entries then saturates",
+		knee, "means %.2f / %.2f / %.2f / %.2f",
+		stats.Mean(spd.ColumnValues(0)), stats.Mean(spd.ColumnValues(1)),
+		stats.Mean(spd.ColumnValues(2)), stats.Mean(spd.ColumnValues(3)))
+	add("fig15-retries", "Retry pressure collapses once the WPQ exceeds ~28 entries",
+		stats.Mean(rtr.ColumnValues(1)) < stats.Mean(rtr.ColumnValues(0))/4,
+		"%.1f -> %.1f per KWR", stats.Mean(rtr.ColumnValues(0)), stats.Mean(rtr.ColumnValues(1)))
+
+	f16, err := r.Fig16()
+	if err != nil {
+		return nil, false, err
+	}
+	lazyFull := stats.Mean(f16.ColumnValues(0))
+	lazyPartial := stats.Mean(f16.ColumnValues(1))
+	add("fig16-shrink", "Lazy-ToC gains are far smaller than eager-BMT gains",
+		lazyPartial < partial-0.2, "lazy %.2f vs eager %.2f (Partial)", lazyPartial, partial)
+	add("fig16-full-worst", "Full-WPQ is clearly the worst design under lazy ToC",
+		lazyFull < lazyPartial && lazyFull < stats.Mean(f16.ColumnValues(2)),
+		"lazy means %.2f / %.2f / %.2f", lazyFull, lazyPartial, stats.Mean(f16.ColumnValues(2)))
+
+	adr := ADRCompliance()
+	adrOK := true
+	for row := 0; row < adr.Rows(); row++ {
+		if adr.Cell(row, 0) > adr.Cell(row, 1) || adr.Cell(row, 2) > adr.Cell(row, 3) {
+			adrOK = false
+		}
+	}
+	add("adr", "Every design's crash drain fits the standard ADR budget",
+		adrOK, "checked %d designs", adr.Rows())
+
+	rec := Sec55Recovery()
+	add("sec55", "Full-WPQ Mi-SU recovery costs 44480 cycles (~0.01 ms), the paper's figure",
+		rec[0].TotalCycles == 44480, "computed %d cycles", rec[0].TotalCycles)
+
+	all := true
+	for _, c := range claims {
+		if !c.Passed {
+			all = false
+		}
+	}
+	return claims, all, nil
+}
+
+// rowHas finds the row with the given label and returns its column value
+// (NaN-free 0 if absent).
+func rowHas(t *stats.Table, label string, col int) float64 {
+	for row := 0; row < t.Rows(); row++ {
+		if t.RowLabel(row) == label {
+			return t.Cell(row, col)
+		}
+	}
+	return 0
+}
+
+// FormatClaims renders a claim list as a checklist.
+func FormatClaims(claims []Claim) string {
+	var b strings.Builder
+	for _, c := range claims {
+		mark := "PASS"
+		if !c.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-16s %s\n%17s measured: %s\n", mark, c.ID, c.Text, "", c.Detail)
+	}
+	return b.String()
+}

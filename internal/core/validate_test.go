@@ -1,0 +1,32 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateCertificate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation sweep")
+	}
+	r := NewRunner(Options{Transactions: 150})
+	claims, all, err := r.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 12 {
+		t.Fatalf("only %d claims checked", len(claims))
+	}
+	out := FormatClaims(claims)
+	for _, c := range claims {
+		if !c.Passed {
+			t.Errorf("claim %s failed: %s (%s)", c.ID, c.Text, c.Detail)
+		}
+		if !strings.Contains(out, c.ID) {
+			t.Errorf("formatted output missing claim %s", c.ID)
+		}
+	}
+	if !all && !t.Failed() {
+		t.Fatal("all=false but every claim passed")
+	}
+}

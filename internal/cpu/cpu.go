@@ -1,0 +1,249 @@
+// Package cpu is the timing front-end of the simulated machine: it
+// replays a workload trace against the Table-1 cache hierarchy and a
+// secure memory controller, enforcing the x86 persistency semantics the
+// workloads were written with — stores complete into the caches, clwb
+// pushes a line toward the memory controller asynchronously, and sfence
+// stalls the core until every outstanding flush has been accepted into
+// the persistence domain.
+package cpu
+
+import (
+	"fmt"
+
+	"dolos/internal/cache"
+	"dolos/internal/controller"
+	"dolos/internal/nvm"
+	"dolos/internal/sim"
+	"dolos/internal/stats"
+	"dolos/internal/trace"
+)
+
+// Result summarizes one trace execution.
+type Result struct {
+	// Scheme and Workload identify the run.
+	Scheme   string
+	Workload string
+	// Cycles is the cycle at which the last trace operation completed.
+	Cycles sim.Cycle
+	// Transactions is the number of durable transactions executed.
+	Transactions int
+	// Ops is the number of trace operations executed.
+	Ops int
+	// CyclesPerTx is the mean transaction latency.
+	CyclesPerTx float64
+	// CPI is cycles per trace operation (the Figure 6 CPI proxy).
+	CPI float64
+	// FenceStalls is the total cycles the core spent blocked in sfence.
+	FenceStalls sim.Cycle
+	// WriteRequests and RetryEvents feed Table 2.
+	WriteRequests, RetryEvents uint64
+	// RetryPerKWR is retry events per kilo write requests.
+	RetryPerKWR float64
+	// MeanInterarrival is the mean WPQ request inter-arrival in cycles.
+	MeanInterarrival float64
+	// MedianTxCycles and P99TxCycles are transaction-latency quantiles —
+	// the tail is where persist stalls surface.
+	MedianTxCycles, P99TxCycles float64
+	// WPQMeanOccupancy is the mean number of live WPQ entries observed
+	// at write arrivals.
+	WPQMeanOccupancy float64
+	// WPQReadHits counts reads served from the WPQ.
+	WPQReadHits uint64
+	// MemReads counts reads that reached the memory controller.
+	MemReads uint64
+}
+
+// System wires a core, the cache hierarchy and a secure memory
+// controller around one discrete-event engine.
+type System struct {
+	Eng  *sim.Engine
+	Dev  *nvm.Device
+	Ctrl *controller.Controller
+	Hier *cache.Hierarchy
+
+	mirror map[uint64][64]byte
+
+	// OnAccepted, when set, observes every persist acceptance (used by
+	// the crash driver to know which writes the platform has promised).
+	OnAccepted func(addr uint64, data [64]byte)
+
+	running      bool
+	finished     bool
+	endCycle     sim.Cycle
+	outstanding  int
+	fenceResume  func()
+	fenceStart   sim.Cycle
+	fenceStalls  sim.Cycle
+	txStart      sim.Cycle
+	txLatencies  *stats.Histogram
+	txReservoir  *stats.Reservoir
+	opsExecuted  int
+	transactions int
+}
+
+// backend adapts the controller to the cache.Backend interface, sourcing
+// eviction data from the line mirror.
+type backend struct{ s *System }
+
+func (b backend) ReadLine(addr uint64, done func()) { b.s.Ctrl.ReadLine(addr, done) }
+
+func (b backend) EvictLine(addr uint64) {
+	data := b.s.mirror[addr&^63]
+	b.s.Ctrl.EvictWrite(addr, data)
+}
+
+// NewSystem builds a full machine for the given controller configuration.
+func NewSystem(cfg controller.Config) *System {
+	eng := sim.NewEngine()
+	s := &System{
+		Eng:         eng,
+		mirror:      make(map[uint64][64]byte),
+		txLatencies: stats.NewHistogram("tx_latency"),
+		txReservoir: stats.NewReservoir("tx_latency", 0),
+	}
+	dev := nvm.NewDevice(eng, deviceSize(cfg), 0)
+	s.Dev = dev
+	s.Ctrl = controller.New(eng, dev, cfg)
+	s.Hier = cache.NewHierarchy(eng, backend{s})
+	return s
+}
+
+func deviceSize(cfg controller.Config) uint64 {
+	if cfg.Layout.DeviceSize != 0 {
+		return cfg.Layout.DeviceSize
+	}
+	return 24 << 30 // layout.Default()
+}
+
+// Run executes the trace to completion and returns the result. The
+// engine is drained afterwards so the controller quiesces.
+func (s *System) Run(tr *trace.Trace) Result {
+	s.Start(tr)
+	s.Eng.Run(0)
+	if !s.finished {
+		panic("cpu: trace execution deadlocked (fence never satisfied)")
+	}
+	return s.Collect(tr)
+}
+
+// Mirror returns the current plaintext value of addr's line as the
+// application last wrote it.
+func (s *System) Mirror(addr uint64) ([64]byte, bool) {
+	d, ok := s.mirror[addr&^63]
+	return d, ok
+}
+
+// Finished reports whether the trace has fully executed.
+func (s *System) Finished() bool { return s.finished }
+
+// Start schedules trace execution on the engine without running it; the
+// caller drives the clock (RunUntil for crash injection). The trace's
+// checkpoint image (the fast-forwarded warm-up state) is loaded into the
+// secure memory functionally first, with no cycles charged.
+func (s *System) Start(tr *trace.Trace) {
+	if s.running {
+		panic("cpu: system already running a trace")
+	}
+	s.running = true
+
+	for i := range tr.InitImage {
+		il := &tr.InitImage[i]
+		s.Ctrl.MaSU().ProcessWrite(il.Addr, il.Data, -1)
+		s.mirror[il.Addr] = il.Data
+	}
+
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(tr.Ops) {
+			s.endCycle = s.Eng.Now()
+			s.finished = true
+			return
+		}
+		op := &tr.Ops[i]
+		s.opsExecuted++
+		next := func() { step(i + 1) }
+		switch op.Kind {
+		case trace.Compute:
+			s.Eng.After(op.Cycles, next)
+		case trace.Read:
+			s.Hier.Read(op.Addr, next)
+		case trace.Write:
+			s.mirror[op.Addr] = op.Data
+			lat := s.Hier.Write(op.Addr)
+			s.Eng.After(lat, next)
+		case trace.Flush:
+			s.mirror[op.Addr] = op.Data
+			if s.Hier.FlushLine(op.Addr) {
+				s.outstanding++
+				addr, data := op.Addr, op.Data
+				s.Ctrl.PersistWrite(addr, data, func() {
+					s.outstanding--
+					if s.OnAccepted != nil {
+						s.OnAccepted(addr, data)
+					}
+					if s.outstanding == 0 && s.fenceResume != nil {
+						resume := s.fenceResume
+						s.fenceResume = nil
+						s.fenceStalls += s.Eng.Now() - s.fenceStart
+						resume()
+					}
+				})
+			}
+			s.Eng.After(2, next) // clwb issue cost; completion is async
+		case trace.Fence:
+			if s.outstanding == 0 {
+				s.Eng.After(1, next)
+			} else {
+				s.fenceStart = s.Eng.Now()
+				s.fenceResume = next
+			}
+		case trace.TxBegin:
+			s.txStart = s.Eng.Now()
+			next()
+		case trace.TxEnd:
+			s.transactions++
+			lat := float64(s.Eng.Now() - s.txStart)
+			s.txLatencies.Observe(lat)
+			s.txReservoir.Observe(lat)
+			next()
+		default:
+			panic(fmt.Sprintf("cpu: unknown op kind %v", op.Kind))
+		}
+	}
+
+	s.Eng.At(s.Eng.Now(), func() { step(0) })
+}
+
+// Collect gathers the result after a Run (or a partial run).
+func (s *System) Collect(tr *trace.Trace) Result {
+	st := s.Ctrl.Stats()
+	res := Result{
+		Scheme:        s.Ctrl.Config().Scheme.String(),
+		Workload:      tr.Name,
+		Cycles:        s.endCycle,
+		Transactions:  s.transactions,
+		Ops:           s.opsExecuted,
+		FenceStalls:   s.fenceStalls,
+		WriteRequests: s.Ctrl.WriteRequests(),
+		RetryEvents:   s.Ctrl.RetryEvents(),
+		RetryPerKWR:   s.Ctrl.RetryPerKWR(),
+		WPQReadHits:   st.Counter("wpq.read_hits").Value(),
+		MemReads:      st.Counter("mem.reads").Value(),
+	}
+	if s.transactions > 0 {
+		res.CyclesPerTx = float64(s.endCycle) / float64(s.transactions)
+	}
+	if s.opsExecuted > 0 {
+		res.CPI = float64(s.endCycle) / float64(s.opsExecuted)
+	}
+	res.MeanInterarrival = st.Histogram("wpq.interarrival_cycles").Mean()
+	res.WPQMeanOccupancy = st.Histogram("wpq.occupancy_at_arrival").Mean()
+	if s.txReservoir.Count() > 0 {
+		res.MedianTxCycles = s.txReservoir.Median()
+		res.P99TxCycles = s.txReservoir.P99()
+	}
+	return res
+}
+
+// TxLatency returns the per-transaction latency histogram.
+func (s *System) TxLatency() *stats.Histogram { return s.txLatencies }

@@ -1,0 +1,39 @@
+package cpu
+
+import (
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/trace"
+	"dolos/internal/whisper"
+)
+
+// benchTrace is generated once and replayed per scheme.
+var benchTrace *trace.Trace
+
+func getBenchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	if benchTrace == nil {
+		benchTrace = whisper.Hashmap{}.Generate(whisper.Params{
+			Transactions: 100, Warmup: 50, TxSize: 1024, Seed: 1, HeapSize: 32 << 20,
+		})
+	}
+	return benchTrace
+}
+
+func benchScheme(b *testing.B, s controller.Scheme) {
+	tr := getBenchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := NewSystem(testConfig(s))
+		res := sys.Run(tr)
+		b.ReportMetric(float64(res.Cycles), "sim-cycles")
+	}
+}
+
+func BenchmarkRunIdeal(b *testing.B)        { benchScheme(b, controller.NonSecureADR) }
+func BenchmarkRunBaseline(b *testing.B)     { benchScheme(b, controller.PreWPQSecure) }
+func BenchmarkRunDolosFull(b *testing.B)    { benchScheme(b, controller.DolosFull) }
+func BenchmarkRunDolosPartial(b *testing.B) { benchScheme(b, controller.DolosPartial) }
+func BenchmarkRunDolosPost(b *testing.B)    { benchScheme(b, controller.DolosPost) }

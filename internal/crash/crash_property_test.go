@@ -1,0 +1,97 @@
+package crash
+
+import (
+	"math/rand"
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/masu"
+	"dolos/internal/sim"
+	"dolos/internal/trace"
+	"dolos/internal/whisper"
+)
+
+// TestRandomCrashPointsProperty is the model's crash-consistency sweep:
+// crash at many pseudo-random cycles across schemes, tree kinds and
+// recovery modes; every accepted write must survive with verified
+// integrity at every single point.
+func TestRandomCrashPointsProperty(t *testing.T) {
+	traces := map[string]*trace.Trace{}
+	for _, name := range []string{"Hashmap", "RBtree"} {
+		w, err := whisper.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[name] = w.Generate(whisper.Params{
+			Transactions: 25, Warmup: 15, TxSize: 512, Seed: 5, HeapSize: 16 << 20,
+		})
+	}
+
+	rng := rand.New(rand.NewSource(2024))
+	schemes := []controller.Scheme{
+		controller.PreWPQSecure, controller.DolosFull,
+		controller.DolosPartial, controller.DolosPost,
+	}
+	cases := 0
+	for name, tr := range traces {
+		for _, s := range schemes {
+			for trial := 0; trial < 4; trial++ {
+				at := sim.Cycle(rng.Intn(700_000) + 100)
+				mode := controller.AnubisRecovery
+				if trial%2 == 1 && s != controller.PreWPQSecure {
+					mode = controller.OsirisRecovery
+				}
+				cfg := testConfig(s)
+				d := NewDriver(cfg)
+				if _, err := d.RunAndCrash(tr, at, mode); err != nil {
+					t.Fatalf("%s/%s crash@%d mode=%d: %v", name, s, at, mode, err)
+				}
+				cases++
+			}
+		}
+	}
+	if cases != 32 {
+		t.Fatalf("ran %d cases", cases)
+	}
+}
+
+// TestDoubleCrash exercises crash-during-recovery-adjacent state: crash,
+// recover, resume nothing, crash again immediately — the second recovery
+// must also be clean (recovery idempotence at the system level).
+func TestDoubleCrash(t *testing.T) {
+	tr := whisper.Ctree{}.Generate(whisper.Params{
+		Transactions: 20, Warmup: 10, TxSize: 512, Seed: 9, HeapSize: 16 << 20,
+	})
+	d := NewDriver(testConfig(controller.DolosPartial))
+	if _, err := d.RunAndCrash(tr, 60_000, controller.AnubisRecovery); err != nil {
+		t.Fatalf("first crash: %v", err)
+	}
+	ctrl := d.System().Ctrl
+	if _, err := ctrl.Crash(); err != nil {
+		t.Fatalf("second crash: %v", err)
+	}
+	if _, err := ctrl.Recover(controller.AnubisRecovery); err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	// Audit still holds after the double cycle.
+	var out Outcome
+	if err := d.auditDurability(&out); err != nil {
+		t.Fatalf("post-double-crash audit: %v", err)
+	}
+}
+
+// TestCrashUnderLazyToC covers the ToC/Phoenix backend across crash
+// points (Figure 16's configuration).
+func TestCrashUnderLazyToC(t *testing.T) {
+	tr := whisper.Redis{}.Generate(whisper.Params{
+		Transactions: 20, Warmup: 10, TxSize: 512, Seed: 3, HeapSize: 16 << 20,
+	})
+	for _, at := range []sim.Cycle{5_000, 50_000, 250_000} {
+		cfg := testConfig(controller.DolosPartial)
+		cfg.Tree = masu.ToCLazy
+		d := NewDriver(cfg)
+		if _, err := d.RunAndCrash(tr, at, controller.AnubisRecovery); err != nil {
+			t.Fatalf("ToC crash at %d: %v", at, err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package crash
+
+import (
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/layout"
+	"dolos/internal/sim"
+	"dolos/internal/whisper"
+)
+
+func testConfig(s controller.Scheme) controller.Config {
+	cfg := controller.Config{Scheme: s, Layout: layout.Small()}
+	copy(cfg.AESKey[:], "crash-aes-key-16")
+	copy(cfg.MACKey[:], "crash-mac-key-16")
+	return cfg
+}
+
+func TestCrashAtManyPointsAllSchemes(t *testing.T) {
+	tr := whisper.Hashmap{}.Generate(whisper.Params{
+		Transactions: 30, Warmup: 20, TxSize: 512, Seed: 11, HeapSize: 16 << 20,
+	})
+	for _, s := range []controller.Scheme{
+		controller.NonSecureADR, controller.PreWPQSecure,
+		controller.DolosFull, controller.DolosPartial, controller.DolosPost,
+	} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			for _, at := range []sim.Cycle{1000, 25000, 100000, 400000} {
+				d := NewDriver(testConfig(s))
+				out, err := d.RunAndCrash(tr, at, controller.AnubisRecovery)
+				if err != nil {
+					t.Fatalf("crash at %d: %v (outcome %+v)", at, err, out)
+				}
+				if out.AcceptedWrites > 0 && out.LinesAudited == 0 {
+					t.Fatalf("crash at %d: nothing audited", at)
+				}
+			}
+		})
+	}
+}
+
+func TestOsirisModeCrash(t *testing.T) {
+	tr := whisper.Ctree{}.Generate(whisper.Params{
+		Transactions: 20, Warmup: 10, TxSize: 256, Seed: 2, HeapSize: 16 << 20,
+	})
+	d := NewDriver(testConfig(controller.DolosPartial))
+	out, err := d.RunAndCrash(tr, 80000, controller.OsirisRecovery)
+	if err != nil {
+		t.Fatalf("Osiris crash: %v", err)
+	}
+	if out.AcceptedWrites > 0 && out.Recover.MaSU.OsirisProbes == 0 {
+		t.Fatal("Osiris recovery ran no probes")
+	}
+}
+
+func TestUndoLogResolution(t *testing.T) {
+	// Build a tiny bespoke trace with a transaction interrupted exactly
+	// between its log fence and its commit: the recovery must roll back.
+	tr := whisper.Hashmap{}.Generate(whisper.Params{
+		Transactions: 10, Warmup: 5, TxSize: 512, Seed: 4, HeapSize: 16 << 20,
+	})
+	// Crash mid-run; whether a tx was mid-flight depends on the cycle,
+	// so try several points and require the log to parse cleanly at all
+	// of them (rolled back or not).
+	for _, at := range []sim.Cycle{5000, 30000, 60000, 90000} {
+		d := NewDriver(testConfig(controller.DolosPartial))
+		if _, err := d.RunAndCrash(tr, at, controller.AnubisRecovery); err != nil {
+			t.Fatalf("crash at %d: %v", at, err)
+		}
+		// The workload's log sits at the start of its heap allocations;
+		// the session allocates the log first.
+		logBase := uint64(4096)
+		if _, err := d.ResolveLog(logBase, 512/64+64); err != nil {
+			t.Fatalf("log resolution at %d: %v", at, err)
+		}
+	}
+}
+
+func TestCrashAfterCompletionIsClean(t *testing.T) {
+	tr := whisper.Redis{}.Generate(whisper.Params{
+		Transactions: 15, Warmup: 10, TxSize: 256, Seed: 6, HeapSize: 16 << 20,
+	})
+	d := NewDriver(testConfig(controller.DolosFull))
+	out, err := d.RunAndCrash(tr, 1<<40, controller.AnubisRecovery) // run to completion
+	if err != nil {
+		t.Fatalf("post-completion crash: %v", err)
+	}
+	if !d.System().Finished() {
+		t.Fatal("trace did not finish")
+	}
+	if out.Crash.LiveEntries != 0 {
+		t.Fatalf("WPQ had %d live entries after quiesce", out.Crash.LiveEntries)
+	}
+}

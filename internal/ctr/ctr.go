@@ -1,0 +1,353 @@
+// Package ctr implements the encryption counters of the secure memory
+// model: split counter blocks (one 64-bit major counter plus 64 7-bit
+// minor counters per 64-byte block, covering one 4 KB data page), their
+// persistent storage in a dedicated NVM region, and Osiris-style counter
+// recovery, where counters are only persisted every Nth update and the
+// crash-time value is re-identified by probing candidates against an
+// ECC-style plaintext check.
+package ctr
+
+import (
+	"fmt"
+
+	"dolos/internal/nvm"
+)
+
+// Geometry constants.
+const (
+	// LinesPerBlock is the number of minor counters in one counter block:
+	// one per 64 B line of a 4 KB page.
+	LinesPerBlock = 64
+	// BlockSize is the size of one counter block in NVM (64 bytes:
+	// 8-byte major + 56 bytes of packed 7-bit minors).
+	BlockSize = 64
+	// MinorBits is the width of a minor counter.
+	MinorBits = 7
+	// MinorMax is the largest minor counter value before overflow.
+	MinorMax = 1<<MinorBits - 1
+	// DefaultOsirisPeriod is how many block updates elapse between
+	// persists of the counter block (Osiris' "write counters every Nth
+	// update" parameter).
+	DefaultOsirisPeriod = 4
+)
+
+// Block is the in-controller representation of one counter block.
+type Block struct {
+	Major  uint64
+	Minors [LinesPerBlock]uint8 // 7-bit values
+}
+
+// Counter returns the effective per-line encryption counter for the line
+// at index idx: the concatenation of major and minor.
+func (b *Block) Counter(idx int) uint64 {
+	return b.Major<<MinorBits | uint64(b.Minors[idx])
+}
+
+// Encode packs the block into its 64-byte NVM image.
+func (b *Block) Encode() [BlockSize]byte {
+	var out [BlockSize]byte
+	for i := 0; i < 8; i++ {
+		out[i] = byte(b.Major >> (8 * i))
+	}
+	// Pack 64 7-bit minors into 56 bytes.
+	bitpos := 0
+	for _, m := range b.Minors {
+		v := uint(m) & MinorMax
+		byteIdx := 8 + bitpos/8
+		bitOff := bitpos % 8
+		out[byteIdx] |= byte(v << bitOff)
+		if bitOff > 1 { // spills into next byte
+			out[byteIdx+1] |= byte(v >> (8 - bitOff))
+		}
+		bitpos += MinorBits
+	}
+	return out
+}
+
+// DecodeBlock unpacks a 64-byte NVM image into a Block.
+func DecodeBlock(img [BlockSize]byte) Block {
+	var b Block
+	for i := 0; i < 8; i++ {
+		b.Major |= uint64(img[i]) << (8 * i)
+	}
+	bitpos := 0
+	for i := range b.Minors {
+		byteIdx := 8 + bitpos/8
+		bitOff := bitpos % 8
+		v := uint(img[byteIdx]) >> bitOff
+		if bitOff > 1 {
+			v |= uint(img[byteIdx+1]) << (8 - bitOff)
+		}
+		b.Minors[i] = uint8(v & MinorMax)
+		bitpos += MinorBits
+	}
+	return b
+}
+
+// Store manages the counters for a contiguous data region. The current
+// (architectural) counters live in volatile state — modelling the counter
+// cache plus in-flight registers — and are persisted to the NVM counter
+// region on Osiris period boundaries, minor-counter overflows, and
+// explicit evictions. A power failure drops the volatile state; recovery
+// goes through Recover* methods.
+type Store struct {
+	dev      *nvm.Device
+	base     uint64 // NVM address of the counter region
+	dataBase uint64 // first data byte covered
+	dataSpan uint64 // bytes of data covered
+	period   uint64
+
+	volatile map[uint64]*Block // page index -> live block
+	updates  map[uint64]uint64 // page index -> updates since last persist
+
+	persists  uint64
+	overflows uint64
+}
+
+// NewStore creates a counter store covering dataSpan bytes of data
+// starting at dataBase, with counter blocks stored at base in dev.
+// period 0 selects DefaultOsirisPeriod.
+func NewStore(dev *nvm.Device, base, dataBase, dataSpan uint64, period uint64) *Store {
+	if period == 0 {
+		period = DefaultOsirisPeriod
+	}
+	return &Store{
+		dev:      dev,
+		base:     base,
+		dataBase: dataBase,
+		dataSpan: dataSpan,
+		period:   period,
+		volatile: make(map[uint64]*Block),
+		updates:  make(map[uint64]uint64),
+	}
+}
+
+// RegionBytes returns the size of the counter region needed for the
+// covered data span: one 64 B block per 4 KB page.
+func (s *Store) RegionBytes() uint64 { return (s.dataSpan / nvm.PageSize) * BlockSize }
+
+// Persists returns the number of counter-block persists to NVM.
+func (s *Store) Persists() uint64 { return s.persists }
+
+// Overflows returns the number of minor-counter overflows handled.
+func (s *Store) Overflows() uint64 { return s.overflows }
+
+// Period returns the Osiris persist period.
+func (s *Store) Period() uint64 { return s.period }
+
+// pageIndex maps a data address to its covering page index.
+func (s *Store) pageIndex(addr uint64) uint64 {
+	if addr < s.dataBase || addr >= s.dataBase+s.dataSpan {
+		panic(fmt.Sprintf("ctr: data address %#x outside covered region", addr))
+	}
+	return (addr - s.dataBase) / nvm.PageSize
+}
+
+// lineIndex maps a data address to its minor-counter slot.
+func lineIndex(addr uint64) int { return int(addr/nvm.LineSize) % LinesPerBlock }
+
+// BlockNVMAddr returns the NVM address of the counter block covering addr.
+// This is the address the metadata (counter) cache is indexed by.
+func (s *Store) BlockNVMAddr(addr uint64) uint64 {
+	return s.base + s.pageIndex(addr)*BlockSize
+}
+
+// block returns the live block for the page covering addr, loading it
+// from NVM on first touch.
+func (s *Store) block(addr uint64) *Block {
+	pi := s.pageIndex(addr)
+	b, ok := s.volatile[pi]
+	if !ok {
+		img := s.dev.ReadLine(s.base + pi*BlockSize)
+		blk := DecodeBlock(img)
+		b = &blk
+		s.volatile[pi] = b
+	}
+	return b
+}
+
+// Counter returns the current effective counter for addr's line.
+func (s *Store) Counter(addr uint64) uint64 {
+	return s.block(addr).Counter(lineIndex(addr))
+}
+
+// IncrementResult reports what an Increment did.
+type IncrementResult struct {
+	// Counter is the new effective counter to encrypt with.
+	Counter uint64
+	// Persisted is true when the counter block was written to NVM as
+	// part of this update (Osiris period boundary or overflow).
+	Persisted bool
+	// Overflow is true when the minor counter wrapped, the major counter
+	// was incremented, and the whole page must be re-encrypted.
+	Overflow bool
+}
+
+// Increment advances addr's line counter, applying split-counter overflow
+// and the Osiris persist policy. On overflow every line in the page gets
+// a fresh counter (page re-encryption is the caller's responsibility).
+func (s *Store) Increment(addr uint64) IncrementResult {
+	pi := s.pageIndex(addr)
+	b := s.block(addr)
+	li := lineIndex(addr)
+
+	var res IncrementResult
+	if b.Minors[li] == MinorMax {
+		b.Major++
+		for i := range b.Minors {
+			b.Minors[i] = 0
+		}
+		b.Minors[li] = 1
+		s.overflows++
+		res.Overflow = true
+	} else {
+		b.Minors[li]++
+	}
+	res.Counter = b.Counter(li)
+
+	s.updates[pi]++
+	if res.Overflow || s.updates[pi]%s.period == 0 {
+		s.persistBlock(pi)
+		res.Persisted = true
+	}
+	return res
+}
+
+// persistBlock writes the live block image to the NVM counter region.
+func (s *Store) persistBlock(pi uint64) {
+	b := s.volatile[pi]
+	s.dev.WriteLine(s.base+pi*BlockSize, b.Encode())
+	s.persists++
+}
+
+// PersistAddr persists the counter block covering addr (counter-cache
+// eviction of a dirty block, or an Anubis-style forced persist).
+func (s *Store) PersistAddr(addr uint64) {
+	pi := s.pageIndex(addr)
+	if _, ok := s.volatile[pi]; ok {
+		s.persistBlock(pi)
+	}
+}
+
+// PersistAll persists every live block (clean shutdown).
+func (s *Store) PersistAll() {
+	for pi := range s.volatile {
+		s.persistBlock(pi)
+	}
+}
+
+// DropVolatile models power failure: all live (cached) counter state is
+// lost; only what was persisted to NVM survives.
+func (s *Store) DropVolatile() {
+	s.volatile = make(map[uint64]*Block)
+	s.updates = make(map[uint64]uint64)
+}
+
+// StoredCounter returns the persisted (NVM) counter for addr's line,
+// which may lag the architectural counter by up to the Osiris period.
+func (s *Store) StoredCounter(addr uint64) uint64 {
+	pi := s.pageIndex(addr)
+	img := s.dev.ReadLine(s.base + pi*BlockSize)
+	b := DecodeBlock(img)
+	return b.Counter(lineIndex(addr))
+}
+
+// RecoverLine performs the Osiris probe for addr's line: starting from the
+// persisted counter, it tries successive candidates (up to the period,
+// plus the overflow edge) until verify accepts one — verify typically
+// decrypts the line with the candidate and compares the stored ECC. On
+// success the live counter state is restored. The number of candidates
+// tried is returned for recovery-cost accounting.
+func (s *Store) RecoverLine(addr uint64, verify func(counter uint64) bool) (counter uint64, tried int, ok bool) {
+	stored := s.StoredCounter(addr)
+	for k := uint64(0); k <= s.period; k++ {
+		tried++
+		if verify(stored + k) {
+			s.setCounter(addr, stored+k)
+			return stored + k, tried, true
+		}
+	}
+	return 0, tried, false
+}
+
+// setCounter forces addr's line counter to the given effective value,
+// used after a successful Osiris probe.
+func (s *Store) setCounter(addr uint64, counter uint64) {
+	b := s.block(addr)
+	li := lineIndex(addr)
+	b.Major = counter >> MinorBits
+	b.Minors[li] = uint8(counter & MinorMax)
+}
+
+// Preview returns what Increment(addr) would produce, without mutating
+// any state: the Ma-SU computes and redo-logs results before applying.
+func (s *Store) Preview(addr uint64) IncrementResult {
+	b := s.block(addr)
+	li := lineIndex(addr)
+	var res IncrementResult
+	if b.Minors[li] == MinorMax {
+		res.Overflow = true
+		res.Counter = (b.Major+1)<<MinorBits | 1
+	} else {
+		res.Counter = b.Major<<MinorBits | uint64(b.Minors[li]) + 1
+	}
+	pi := s.pageIndex(addr)
+	res.Persisted = res.Overflow || (s.updates[pi]+1)%s.period == 0
+	return res
+}
+
+// ApplyUpdate installs a counter-block image computed by Preview (the
+// Ma-SU redo-log path), advancing the update count and applying the
+// Osiris persist policy. Unlike Increment it is idempotent with respect
+// to a staged image, which makes redo replay after a crash safe.
+func (s *Store) ApplyUpdate(pi uint64, img [BlockSize]byte, forcePersist bool) {
+	b := DecodeBlock(img)
+	s.volatile[pi] = &b
+	s.updates[pi]++
+	if forcePersist || s.updates[pi]%s.period == 0 {
+		s.persistBlock(pi)
+	}
+}
+
+// ImageByIndex returns the current 64-byte image of page pi's counter
+// block (the integrity-tree leaf image).
+func (s *Store) ImageByIndex(pi uint64) [BlockSize]byte {
+	b, ok := s.volatile[pi]
+	if !ok {
+		return s.dev.ReadLine(s.base + pi*BlockSize)
+	}
+	return b.Encode()
+}
+
+// PersistByIndex persists page pi's counter block if live (metadata-cache
+// eviction keyed by NVM address).
+func (s *Store) PersistByIndex(pi uint64) {
+	if _, ok := s.volatile[pi]; ok {
+		s.persistBlock(pi)
+	}
+}
+
+// RestoreByIndex installs a counter-block image into live state (Anubis
+// shadow replay during recovery).
+func (s *Store) RestoreByIndex(pi uint64, img [BlockSize]byte) {
+	b := DecodeBlock(img)
+	s.volatile[pi] = &b
+}
+
+// PageIndexOfNVMAddr maps a counter-region NVM address back to its page
+// index; ok is false for addresses outside the region.
+func (s *Store) PageIndexOfNVMAddr(nvmAddr uint64) (uint64, bool) {
+	if nvmAddr < s.base || nvmAddr >= s.base+s.RegionBytes() {
+		return 0, false
+	}
+	return (nvmAddr - s.base) / BlockSize, true
+}
+
+// TouchedPages returns the indices of pages with live counter blocks.
+func (s *Store) TouchedPages() []uint64 {
+	out := make([]uint64, 0, len(s.volatile))
+	for pi := range s.volatile {
+		out = append(out, pi)
+	}
+	return out
+}

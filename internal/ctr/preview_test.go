@@ -1,0 +1,128 @@
+package ctr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPreviewMatchesIncrement(t *testing.T) {
+	// Property: Preview always predicts exactly what Increment then does.
+	f := func(steps uint8) bool {
+		a := newTestStore(4)
+		b := newTestStore(4)
+		addr := uint64(1 << 20)
+		for i := 0; i <= int(steps)%200; i++ {
+			p := a.Preview(addr)
+			r := a.Increment(addr)
+			_ = b
+			if p.Counter != r.Counter || p.Overflow != r.Overflow || p.Persisted != r.Persisted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreviewDoesNotMutate(t *testing.T) {
+	s := newTestStore(4)
+	addr := uint64(1 << 20)
+	s.Increment(addr)
+	before := s.Counter(addr)
+	for i := 0; i < 5; i++ {
+		s.Preview(addr)
+	}
+	if s.Counter(addr) != before {
+		t.Fatal("Preview mutated the counter")
+	}
+	if s.Persists() != 0 {
+		t.Fatal("Preview persisted")
+	}
+}
+
+func TestPreviewOverflowEdge(t *testing.T) {
+	s := newTestStore(1000)
+	addr := uint64(1 << 20)
+	for i := 0; i < MinorMax; i++ {
+		s.Increment(addr)
+	}
+	p := s.Preview(addr)
+	if !p.Overflow || p.Counter != 1<<MinorBits|1 {
+		t.Fatalf("overflow preview wrong: %+v", p)
+	}
+	if !p.Persisted {
+		t.Fatal("overflow preview must force persist")
+	}
+}
+
+func TestApplyUpdateIdempotent(t *testing.T) {
+	s := newTestStore(4)
+	addr := uint64(1 << 20)
+	pi := uint64(0)
+	var b Block
+	b.Minors[0] = 5
+	img := b.Encode()
+	s.ApplyUpdate(pi, img, false)
+	s.ApplyUpdate(pi, img, false) // redo replay: same image twice
+	if s.Counter(addr) != 5 {
+		t.Fatalf("counter = %d after double apply", s.Counter(addr))
+	}
+}
+
+func TestApplyUpdatePersistPolicy(t *testing.T) {
+	s := newTestStore(4)
+	pi := uint64(0)
+	var b Block
+	for i := 1; i <= 8; i++ {
+		b.Minors[0] = uint8(i)
+		s.ApplyUpdate(pi, b.Encode(), false)
+	}
+	if s.Persists() != 2 { // at applies 4 and 8
+		t.Fatalf("persists = %d", s.Persists())
+	}
+	s.ApplyUpdate(pi, b.Encode(), true) // forced
+	if s.Persists() != 3 {
+		t.Fatalf("forced persist missing: %d", s.Persists())
+	}
+}
+
+func TestImageRestoreRoundTrip(t *testing.T) {
+	s := newTestStore(4)
+	addr := uint64(1 << 20)
+	s.Increment(addr)
+	s.Increment(addr)
+	img := s.ImageByIndex(0)
+	s.DropVolatile()
+	s.RestoreByIndex(0, img)
+	if s.Counter(addr) != 2 {
+		t.Fatalf("restored counter = %d", s.Counter(addr))
+	}
+}
+
+func TestPageIndexOfNVMAddr(t *testing.T) {
+	s := newTestStore(4)
+	base := s.BlockNVMAddr(1 << 20)
+	if pi, ok := s.PageIndexOfNVMAddr(base); !ok || pi != 0 {
+		t.Fatalf("pi=%d ok=%v", pi, ok)
+	}
+	if pi, ok := s.PageIndexOfNVMAddr(base + BlockSize); !ok || pi != 1 {
+		t.Fatalf("pi=%d ok=%v", pi, ok)
+	}
+	if _, ok := s.PageIndexOfNVMAddr(0); ok {
+		t.Fatal("address below region accepted")
+	}
+	if _, ok := s.PageIndexOfNVMAddr(base + s.RegionBytes()); ok {
+		t.Fatal("address past region accepted")
+	}
+}
+
+func TestPeriodAccessor(t *testing.T) {
+	if newTestStore(0).Period() != DefaultOsirisPeriod {
+		t.Fatal("default period wrong")
+	}
+	if newTestStore(9).Period() != 9 {
+		t.Fatal("explicit period wrong")
+	}
+}

@@ -1,0 +1,94 @@
+// Package layout defines the physical address map of the simulated
+// persistent-memory system: where user data, encryption counters,
+// integrity-tree nodes, data MACs, ECC words, the Anubis shadow region and
+// the WPQ drain area live on the NVM device. All secure-memory components
+// share this map so that metadata caches, recovery and attacks agree on
+// addresses.
+package layout
+
+// Map is the address map. All fields are byte offsets into one device.
+type Map struct {
+	// DataBase/DataSpan delimit the protected user-visible memory
+	// (Table 1: 16 GB).
+	DataBase uint64
+	DataSpan uint64
+	// CounterBase is the encryption-counter region (one 64 B split
+	// counter block per 4 KB data page).
+	CounterBase uint64
+	// TreeBase is the integrity-tree interior node region (BMT or ToC).
+	TreeBase uint64
+	// MACBase is the per-line data MAC region (8 B per 64 B line).
+	MACBase uint64
+	// ECCBase is the Osiris ECC-word region (4 B per 64 B line).
+	ECCBase uint64
+	// ShadowBase is the Anubis shadow-tracker region.
+	ShadowBase uint64
+	// DrainBase is the WPQ ADR drain region.
+	DrainBase uint64
+	// DeviceSize is the total device size covering every region.
+	DeviceSize uint64
+}
+
+// Default returns the evaluation address map: 16 GB of protected data
+// followed by the metadata regions. The backing device is sparse, so the
+// map can be generous with spacing.
+func Default() Map {
+	const gb = 1 << 30
+	return Map{
+		DataBase:    0,
+		DataSpan:    16 * gb,
+		CounterBase: 16 * gb,
+		TreeBase:    17 * gb,
+		MACBase:     18 * gb,
+		ECCBase:     21 * gb,
+		ShadowBase:  22 * gb,
+		DrainBase:   23 * gb,
+		DeviceSize:  24 * gb,
+	}
+}
+
+// Small returns a compact map for tests: 64 MB of data with tightly
+// packed metadata regions, keeping sparse-page overhead low while
+// preserving the same structure.
+func Small() Map {
+	const mb = 1 << 20
+	return Map{
+		DataBase:    0,
+		DataSpan:    64 * mb,
+		CounterBase: 64 * mb,
+		TreeBase:    80 * mb,
+		MACBase:     96 * mb,
+		ECCBase:     112 * mb,
+		ShadowBase:  120 * mb,
+		DrainBase:   124 * mb,
+		DeviceSize:  128 * mb,
+	}
+}
+
+// LineMACAddr returns the NVM address of the 8-byte MAC of the data line
+// at addr. MACs are packed 8 per 64-byte metadata line.
+func (m Map) LineMACAddr(addr uint64) uint64 {
+	line := (addr - m.DataBase) / 64
+	return m.MACBase + line*8
+}
+
+// ECCAddr returns the NVM address of the 4-byte Osiris ECC word of the
+// data line at addr.
+func (m Map) ECCAddr(addr uint64) uint64 {
+	line := (addr - m.DataBase) / 64
+	return m.ECCBase + line*4
+}
+
+// LeafIndex returns the integrity-tree leaf (counter-block index) covering
+// the data line at addr: one leaf per 4 KB page.
+func (m Map) LeafIndex(addr uint64) uint64 {
+	return (addr - m.DataBase) / 4096
+}
+
+// Leaves returns the number of integrity-tree leaves for the data span.
+func (m Map) Leaves() uint64 { return m.DataSpan / 4096 }
+
+// ValidData reports whether addr lies in the protected data region.
+func (m Map) ValidData(addr uint64) bool {
+	return addr >= m.DataBase && addr < m.DataBase+m.DataSpan
+}

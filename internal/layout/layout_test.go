@@ -1,0 +1,93 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultRegionsDisjoint(t *testing.T) {
+	for _, m := range []Map{Default(), Small()} {
+		type region struct {
+			name       string
+			base, size uint64
+		}
+		regions := []region{
+			{"data", m.DataBase, m.DataSpan},
+			{"counter", m.CounterBase, m.DataSpan / 4096 * 64},
+			{"tree", m.TreeBase, m.MACBase - m.TreeBase},
+			{"mac", m.MACBase, m.DataSpan / 64 * 8},
+			{"ecc", m.ECCBase, m.DataSpan / 64 * 4},
+		}
+		for i, a := range regions {
+			if a.base+a.size > m.DeviceSize {
+				t.Fatalf("%s overruns device: %#x+%#x > %#x", a.name, a.base, a.size, m.DeviceSize)
+			}
+			for j, b := range regions {
+				if i == j {
+					continue
+				}
+				if a.base < b.base+b.size && b.base < a.base+a.size {
+					t.Fatalf("regions %s and %s overlap", a.name, b.name)
+				}
+			}
+		}
+	}
+}
+
+func TestLineMACAddrInjective(t *testing.T) {
+	m := Small()
+	f := func(a, b uint32) bool {
+		la := m.DataBase + uint64(a)%m.DataSpan&^63
+		lb := m.DataBase + uint64(b)%m.DataSpan&^63
+		if la == lb {
+			return true
+		}
+		return m.LineMACAddr(la) != m.LineMACAddr(lb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafIndexCoversPages(t *testing.T) {
+	m := Small()
+	if m.LeafIndex(m.DataBase) != 0 {
+		t.Fatal("first leaf not zero")
+	}
+	if m.LeafIndex(m.DataBase+4095) != 0 || m.LeafIndex(m.DataBase+4096) != 1 {
+		t.Fatal("leaf boundary wrong")
+	}
+	if m.Leaves() != m.DataSpan/4096 {
+		t.Fatalf("leaves = %d", m.Leaves())
+	}
+}
+
+func TestValidData(t *testing.T) {
+	m := Small()
+	if !m.ValidData(m.DataBase) || !m.ValidData(m.DataBase+m.DataSpan-1) {
+		t.Fatal("in-range address rejected")
+	}
+	if m.ValidData(m.DataBase + m.DataSpan) {
+		t.Fatal("out-of-range address accepted")
+	}
+}
+
+func TestECCAddrDistinct(t *testing.T) {
+	m := Small()
+	if m.ECCAddr(0) == m.ECCAddr(64) {
+		t.Fatal("ECC addresses collide for adjacent lines")
+	}
+	if m.ECCAddr(64)-m.ECCAddr(0) != 4 {
+		t.Fatalf("ECC stride = %d, want 4", m.ECCAddr(64)-m.ECCAddr(0))
+	}
+}
+
+func TestDefault16GB(t *testing.T) {
+	m := Default()
+	if m.DataSpan != 16<<30 {
+		t.Fatalf("data span = %d, want 16 GB (Table 1)", m.DataSpan)
+	}
+	if m.Leaves() != 4<<20 {
+		t.Fatalf("leaves = %d, want 4M", m.Leaves())
+	}
+}

@@ -1,0 +1,467 @@
+// Package masu implements the Major Security Unit: the conventional
+// secure-memory pipeline that protects the whole NVM with counter-mode
+// encryption, per-line MACs and an integrity tree, and that in Dolos runs
+// after eviction from the WPQ, off the critical path of persistence
+// (Section 4.4, Figure 11).
+//
+// The unit follows the Anubis recipe for crash consistency: results of
+// step 2 (encrypt, MAC, tree path, temp root) are staged in persistent
+// redo-log registers before step 3 applies them to the metadata caches
+// and NVM; a shadow-tracker region mirrors every dirty metadata block so
+// recovery can restore the caches to a state consistent with the eagerly
+// updated root. Counters are additionally recoverable via Osiris ECC
+// probing (the slow path).
+package masu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dolos/internal/bmt"
+	"dolos/internal/cache"
+	"dolos/internal/crypt"
+	"dolos/internal/ctr"
+	"dolos/internal/layout"
+	"dolos/internal/nvm"
+	"dolos/internal/toc"
+)
+
+// TreeKind selects the integrity-protection backend (Section 5.1).
+type TreeKind int
+
+const (
+	// BMTEager is an 8-ary Bonsai Merkle Tree with eager (AGIT) updates.
+	BMTEager TreeKind = iota
+	// ToCLazy is an 8-ary Tree of Counters with lazy, parallel updates
+	// protected by Phoenix-style shadow tracking.
+	ToCLazy
+)
+
+// String returns the configuration name used in the paper's figures.
+func (k TreeKind) String() string {
+	if k == BMTEager {
+		return "eager-BMT"
+	}
+	return "lazy-ToC"
+}
+
+// SerialMACs returns the critical-path MAC count the paper charges the
+// Ma-SU per write: 10 for eager BMT (data MAC + 9 tree levels, Table 1:
+// 160x10) and 4 for lazy ToC (Table 1: 160x4).
+func (k TreeKind) SerialMACs() int {
+	if k == BMTEager {
+		return 10
+	}
+	return 4
+}
+
+// Metadata cache geometry (Table 1).
+const (
+	CounterCacheSize = 128 << 10
+	CounterCacheWays = 4
+	MTCacheSize      = 256 << 10
+	MTCacheWays      = 8
+	MetaLineSize     = 64
+)
+
+// Cost aggregates the work of one Ma-SU operation for the timing model.
+type Cost struct {
+	// CounterMisses and TreeMisses are metadata-cache misses, each
+	// costing an NVM read.
+	CounterMisses int
+	TreeMisses    int
+	// SerialMACs is the critical-path MAC count.
+	SerialMACs int
+	// TotalMACs counts every MAC computed (parallel ones included).
+	TotalMACs int
+	// AESOps counts encryption-pad generations.
+	AESOps int
+	// NVMWrites counts 64-byte lines written to the device.
+	NVMWrites int
+	// ShadowWrites counts Anubis shadow-region writes.
+	ShadowWrites int
+	// ReencryptedLines counts page re-encryption work after a minor-
+	// counter overflow.
+	ReencryptedLines int
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.CounterMisses += o.CounterMisses
+	c.TreeMisses += o.TreeMisses
+	c.SerialMACs += o.SerialMACs
+	c.TotalMACs += o.TotalMACs
+	c.AESOps += o.AESOps
+	c.NVMWrites += o.NVMWrites
+	c.ShadowWrites += o.ShadowWrites
+	c.ReencryptedLines += o.ReencryptedLines
+}
+
+// Op is a prepared write held in the redo-log registers (Figure 11
+// step 2 output). Ready becomes true once fully staged.
+type Op struct {
+	Addr     uint64
+	Plain    [64]byte
+	Cipher   [64]byte
+	MAC      crypt.MAC
+	Counter  uint64
+	ECC      uint32
+	Overflow bool
+
+	LeafIndex uint64
+	LeafImage [64]byte
+
+	BMTNodes []bmt.NodeUpdate
+	TempRoot crypt.MAC
+
+	ToCNodes   []toc.NodeUpdate
+	ToCLeafMAC crypt.MAC
+	ToCRootVer uint64
+
+	WPQSlot int
+}
+
+// redoLog models the persistent redo registers.
+type redoLog struct {
+	ready bool
+	op    *Op
+}
+
+// Unit is the Major Security Unit.
+type Unit struct {
+	kind TreeKind
+	eng  *crypt.Engine
+	dev  *nvm.Device
+	lay  layout.Map
+
+	counters *ctr.Store
+	bmtTree  *bmt.Tree
+	tocTree  *toc.Tree
+
+	counterCache *cache.Cache
+	mtCache      *cache.Cache
+	nodeByAddr   map[uint64][2]uint64 // tree-node NVM addr -> (level, index)
+
+	// shadow is the Anubis shadow-tracker region: NVM-resident by
+	// construction (it survives CrashVolatile), mirroring every metadata
+	// block that is dirty in the caches.
+	shadow map[uint64][64]byte
+
+	// written tracks lines that have ever been written (the recovery
+	// scan set; in hardware this is a memory scan).
+	written map[uint64]bool
+	// lineCounter records the counter each line's current NVM ciphertext
+	// was produced with. Normally equal to the counter store's value; it
+	// diverges only transiently during post-overflow page re-encryption,
+	// where hardware reads the pre-reset counters from the old block.
+	lineCounter map[uint64]uint64
+
+	redo redoLog
+
+	writes, reads uint64
+}
+
+// Params tunes a Ma-SU beyond Table 1's defaults (cache-size ablations).
+type Params struct {
+	// OsirisPeriod is the counter persist period (0 = default).
+	OsirisPeriod uint64
+	// CounterCacheBytes overrides the counter-cache capacity (0 = Table
+	// 1's 128 KB). Must keep a power-of-two set count.
+	CounterCacheBytes uint64
+	// MTCacheBytes overrides the MT-cache capacity (0 = 256 KB).
+	MTCacheBytes uint64
+}
+
+// New builds a Ma-SU over the device using the given address map.
+// osirisPeriod 0 selects the default.
+func New(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout.Map, osirisPeriod uint64) *Unit {
+	return NewWithParams(kind, eng, dev, lay, Params{OsirisPeriod: osirisPeriod})
+}
+
+// NewWithParams builds a Ma-SU with explicit tuning parameters.
+func NewWithParams(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout.Map, p Params) *Unit {
+	ccBytes := p.CounterCacheBytes
+	if ccBytes == 0 {
+		ccBytes = CounterCacheSize
+	}
+	mtBytes := p.MTCacheBytes
+	if mtBytes == 0 {
+		mtBytes = MTCacheSize
+	}
+	u := &Unit{
+		kind:         kind,
+		eng:          eng,
+		dev:          dev,
+		lay:          lay,
+		counters:     ctr.NewStore(dev, lay.CounterBase, lay.DataBase, lay.DataSpan, p.OsirisPeriod),
+		counterCache: cache.New("counter-cache", ccBytes, CounterCacheWays, MetaLineSize),
+		mtCache:      cache.New("mt-cache", mtBytes, MTCacheWays, MetaLineSize),
+		nodeByAddr:   make(map[uint64][2]uint64),
+		shadow:       make(map[uint64][64]byte),
+		written:      make(map[uint64]bool),
+		lineCounter:  make(map[uint64]uint64),
+	}
+	switch kind {
+	case BMTEager:
+		u.bmtTree = bmt.New(eng, dev, lay.TreeBase, lay.Leaves())
+	case ToCLazy:
+		u.tocTree = toc.New(eng, dev, lay.TreeBase, lay.Leaves())
+	}
+	return u
+}
+
+// Kind returns the integrity backend in use.
+func (u *Unit) Kind() TreeKind { return u.kind }
+
+// Counters exposes the counter store (recovery drivers, tests).
+func (u *Unit) Counters() *ctr.Store { return u.counters }
+
+// BMT returns the Merkle tree (nil in ToC mode).
+func (u *Unit) BMT() *bmt.Tree { return u.bmtTree }
+
+// ToC returns the Tree of Counters (nil in BMT mode).
+func (u *Unit) ToC() *toc.Tree { return u.tocTree }
+
+// CounterCache returns the counter metadata cache.
+func (u *Unit) CounterCache() *cache.Cache { return u.counterCache }
+
+// MTCache returns the tree metadata cache.
+func (u *Unit) MTCache() *cache.Cache { return u.mtCache }
+
+// Writes returns the number of writes fully processed.
+func (u *Unit) Writes() uint64 { return u.writes }
+
+// Reads returns the number of reads served.
+func (u *Unit) Reads() uint64 { return u.reads }
+
+// RedoReady reports whether a staged op awaits application (used by the
+// crash model).
+func (u *Unit) RedoReady() bool { return u.redo.ready }
+
+// WrittenLines returns the number of distinct lines ever written.
+func (u *Unit) WrittenLines() int { return len(u.written) }
+
+// tocLeafMACAddr is where a ToC leaf MAC is persisted.
+func (u *Unit) tocLeafMACAddr(leaf uint64) uint64 {
+	return u.lay.TreeBase + u.tocTree.RegionBytes() + leaf*crypt.MACSize
+}
+
+// touchCounter charges a counter-cache access for addr's counter block
+// and handles dirty victim persistence.
+func (u *Unit) touchCounter(addr uint64, write bool, cost *Cost) {
+	blockAddr := u.counters.BlockNVMAddr(addr)
+	hit, victim, evicted := u.counterCache.Access(blockAddr, write)
+	if !hit {
+		cost.CounterMisses++
+	}
+	if evicted && victim.Dirty {
+		u.persistMetaVictim(victim.Addr, cost)
+	}
+}
+
+// touchTreeNode charges an MT-cache access for a tree-node NVM address.
+func (u *Unit) touchTreeNode(nodeAddr uint64, level int, index uint64, write bool, cost *Cost) {
+	u.nodeByAddr[nodeAddr] = [2]uint64{uint64(level), index}
+	hit, victim, evicted := u.mtCache.Access(nodeAddr, write)
+	if !hit {
+		cost.TreeMisses++
+	}
+	if evicted && victim.Dirty {
+		u.persistMetaVictim(victim.Addr, cost)
+	}
+}
+
+// persistMetaVictim writes an evicted dirty metadata block to NVM and
+// retires its shadow entry (the NVM copy is now current).
+func (u *Unit) persistMetaVictim(nvmAddr uint64, cost *Cost) {
+	if pi, ok := u.counters.PageIndexOfNVMAddr(nvmAddr); ok {
+		u.counters.PersistByIndex(pi)
+	} else if li, ok := u.nodeByAddr[nvmAddr]; ok {
+		if u.bmtTree != nil {
+			u.bmtTree.PersistNode(int(li[0]), li[1])
+		} else {
+			u.tocTree.PersistNode(int(li[0]), li[1])
+		}
+	}
+	delete(u.shadow, nvmAddr)
+	cost.NVMWrites++
+}
+
+// shadowWrite records the current image of a dirty metadata block in the
+// Anubis shadow region (one extra NVM write, off the critical path).
+func (u *Unit) shadowWrite(nvmAddr uint64, img [64]byte, cost *Cost) {
+	u.shadow[nvmAddr] = img
+	cost.ShadowWrites++
+	cost.NVMWrites++
+}
+
+// PrepareWrite performs Figure 11 step 2 for a write to addr: it computes
+// the ciphertext, MAC, ECC, counter update and tree-path update, stages
+// everything in the redo-log registers and sets the ready bit. No
+// architectural state changes yet.
+func (u *Unit) PrepareWrite(addr uint64, plain [64]byte, wpqSlot int) (*Op, Cost) {
+	if !u.lay.ValidData(addr) {
+		panic(fmt.Sprintf("masu: write outside data region: %#x", addr))
+	}
+	if u.redo.ready {
+		panic("masu: PrepareWrite with a staged op pending")
+	}
+	var cost Cost
+	addr &^= uint64(63)
+
+	u.touchCounter(addr, true, &cost)
+	prev := u.counters.Preview(addr)
+
+	op := &Op{
+		Addr:     addr,
+		Plain:    plain,
+		Counter:  prev.Counter,
+		Overflow: prev.Overflow,
+		ECC:      crypt.ECC(&plain),
+		WPQSlot:  wpqSlot,
+	}
+	iv := crypt.MakeIV(addr/nvm.PageSize, uint16(addr%nvm.PageSize/64), prev.Counter)
+	op.Cipher = u.eng.EncryptLine(plain, iv)
+	cost.AESOps++
+	op.MAC = u.eng.LineMAC(&op.Cipher, addr, prev.Counter)
+	cost.TotalMACs++
+
+	// New leaf image: the counter block after this increment.
+	leaf := u.lay.LeafIndex(addr)
+	op.LeafIndex = leaf
+	blk := ctr.DecodeBlock(u.counters.ImageByIndex(leaf))
+	li := int(addr/64) % ctr.LinesPerBlock
+	if prev.Overflow {
+		blk.Major++
+		for i := range blk.Minors {
+			blk.Minors[i] = 0
+		}
+		blk.Minors[li] = 1
+	} else {
+		blk.Minors[li]++
+	}
+	op.LeafImage = blk.Encode()
+
+	switch u.kind {
+	case BMTEager:
+		op.BMTNodes, op.TempRoot = u.bmtTree.PreparePathUpdate(leaf, &op.LeafImage)
+		cost.TotalMACs += len(op.BMTNodes)
+	case ToCLazy:
+		op.ToCNodes, op.ToCLeafMAC, op.ToCRootVer = u.tocTree.PrepareUpdate(leaf, &op.LeafImage)
+		cost.TotalMACs += len(op.ToCNodes) + 1
+	}
+	cost.SerialMACs = u.kind.SerialMACs()
+
+	u.redo = redoLog{ready: true, op: op}
+	return op, cost
+}
+
+// ApplyWrite performs Figure 11 step 3: metadata caches, NVM and shadow
+// region are updated from the staged op; the redo ready bit clears after
+// the caller also clears the WPQ entry (step 4 is the controller's).
+func (u *Unit) ApplyWrite(op *Op) Cost {
+	var cost Cost
+
+	// Counter store: install the staged block image (idempotent, so redo
+	// replay after a crash is safe). Overflow forces a persist.
+	u.counters.ApplyUpdate(op.LeafIndex, op.LeafImage, op.Overflow)
+	u.shadowWrite(u.counters.BlockNVMAddr(op.Addr), op.LeafImage, &cost)
+
+	// Integrity tree.
+	switch u.kind {
+	case BMTEager:
+		u.bmtTree.InstallPathUpdate(op.BMTNodes, op.TempRoot, bmt.Eager)
+		for _, up := range op.BMTNodes {
+			nodeAddr := u.bmtTree.NodeNVMAddr(up.Level, up.Index)
+			u.touchTreeNode(nodeAddr, up.Level, up.Index, true, &cost)
+			u.shadowWrite(nodeAddr, up.Image, &cost)
+		}
+	case ToCLazy:
+		u.tocTree.InstallUpdate(op.ToCNodes, op.ToCRootVer)
+		for _, up := range op.ToCNodes {
+			nodeAddr := u.tocTree.NodeNVMAddr(up.Level, up.Index)
+			u.touchTreeNode(nodeAddr, up.Level, up.Index, true, &cost)
+			u.shadowWrite(nodeAddr, up.Node.Encode(), &cost)
+		}
+		var macLine [64]byte
+		copy(macLine[:8], op.ToCLeafMAC[:])
+		u.dev.Write(u.tocLeafMACAddr(op.LeafIndex), macLine[:8])
+		cost.NVMWrites++
+	}
+
+	// Data, MAC and ECC to NVM.
+	u.dev.WriteLine(op.Addr, op.Cipher)
+	cost.NVMWrites++
+	var macBytes [8]byte
+	copy(macBytes[:], op.MAC[:])
+	u.dev.Write(u.lay.LineMACAddr(op.Addr), macBytes[:])
+	var eccBytes [4]byte
+	binary.LittleEndian.PutUint32(eccBytes[:], op.ECC)
+	u.dev.Write(u.lay.ECCAddr(op.Addr), eccBytes[:])
+	cost.NVMWrites++ // MAC+ECC share a metadata write slot in the model
+
+	u.written[op.Addr] = true
+	u.lineCounter[op.Addr] = op.Counter
+	u.writes++
+
+	if op.Overflow {
+		cost.Add(u.reencryptPage(op.Addr))
+	}
+
+	u.redo = redoLog{}
+	return cost
+}
+
+// ProcessWrite runs the full prepare+apply pipeline (the common case when
+// no crash interrupts the Ma-SU).
+func (u *Unit) ProcessWrite(addr uint64, plain [64]byte, wpqSlot int) Cost {
+	op, cost := u.PrepareWrite(addr, plain, wpqSlot)
+	cost2 := u.ApplyWrite(op)
+	cost.Add(cost2)
+	return cost
+}
+
+// reencryptPage re-encrypts every line of addr's page after a minor-
+// counter overflow gave the whole page fresh counters. Previously
+// written lines are decrypted with the counter their ciphertext was
+// produced under and re-encrypted under the reset counter; never-written
+// lines get their defined zero content encrypted too, because the reset
+// leaves them with a nonzero counter and the invariant "counter != 0
+// implies valid ciphertext+MAC" must hold for the read path and for
+// recovery audits.
+func (u *Unit) reencryptPage(addr uint64) Cost {
+	var cost Cost
+	page := addr / nvm.PageSize * nvm.PageSize
+	for a := page; a < page+nvm.PageSize; a += 64 {
+		if a == addr {
+			continue
+		}
+		newCtr := u.counters.Counter(a)
+		var plain [64]byte
+		if u.written[a] {
+			oldCtr := u.lineCounter[a]
+			ct := u.dev.ReadLine(a)
+			ivOld := crypt.MakeIV(a/nvm.PageSize, uint16(a%nvm.PageSize/64), oldCtr)
+			plain = u.eng.DecryptLine(ct, ivOld)
+			cost.AESOps++
+		} else {
+			u.written[a] = true
+			var eccBytes [4]byte
+			binary.LittleEndian.PutUint32(eccBytes[:], crypt.ECC(&plain))
+			u.dev.Write(u.lay.ECCAddr(a), eccBytes[:])
+		}
+		ivNew := crypt.MakeIV(a/nvm.PageSize, uint16(a%nvm.PageSize/64), newCtr)
+		ct2 := u.eng.EncryptLine(plain, ivNew)
+		u.dev.WriteLine(a, ct2)
+		mac := u.eng.LineMAC(&ct2, a, newCtr)
+		var macBytes [8]byte
+		copy(macBytes[:], mac[:])
+		u.dev.Write(u.lay.LineMACAddr(a), macBytes[:])
+		u.lineCounter[a] = newCtr
+		cost.ReencryptedLines++
+		cost.AESOps++
+		cost.TotalMACs++
+		cost.NVMWrites += 2
+	}
+	return cost
+}

@@ -1,0 +1,69 @@
+package masu
+
+import "testing"
+
+func BenchmarkProcessWriteEager(b *testing.B) {
+	u, _, _ := newUnit(BMTEager)
+	p := line(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.ProcessWrite(0x1000+uint64(i%4096)*64, p, -1)
+	}
+}
+
+func BenchmarkProcessWriteLazy(b *testing.B) {
+	u, _, _ := newUnit(ToCLazy)
+	p := line(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.ProcessWrite(0x1000+uint64(i%4096)*64, p, -1)
+	}
+}
+
+func BenchmarkReadLineVerified(b *testing.B) {
+	u, _, _ := newUnit(BMTEager)
+	p := line(1)
+	for i := uint64(0); i < 256; i++ {
+		u.ProcessWrite(0x1000+i*64, p, -1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := u.ReadLine(0x1000 + uint64(i%256)*64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnubisRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u, _, _ := newUnit(BMTEager)
+		p := line(1)
+		for j := uint64(0); j < 64; j++ {
+			u.ProcessWrite(0x1000+j*64, p, -1)
+		}
+		u.CrashVolatile()
+		b.StartTimer()
+		if _, err := u.RecoverAnubis(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOsirisRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u, _, _ := newUnit(BMTEager)
+		p := line(1)
+		for j := uint64(0); j < 64; j++ {
+			u.ProcessWrite(0x1000+j*64, p, -1)
+		}
+		u.CrashVolatile()
+		u.shadow = make(map[uint64][64]byte)
+		b.StartTimer()
+		if _, err := u.RecoverOsiris(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

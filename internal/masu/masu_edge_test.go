@@ -1,0 +1,157 @@
+package masu
+
+import (
+	"testing"
+
+	"dolos/internal/crypt"
+	"dolos/internal/layout"
+	"dolos/internal/nvm"
+)
+
+// newSmallCacheUnit builds a Ma-SU whose metadata caches are tiny, so
+// evictions (and the lazy persistence they trigger) happen constantly.
+func newSmallCacheUnit(kind TreeKind) (*Unit, *nvm.Device) {
+	var aesKey, macKey [16]byte
+	copy(aesKey[:], "edge-aes-key-016")
+	copy(macKey[:], "edge-mac-key-016")
+	eng := crypt.NewEngine(aesKey, macKey)
+	lay := layout.Small()
+	dev := nvm.NewDevice(nil, lay.DeviceSize, 0)
+	u := NewWithParams(kind, eng, dev, lay, Params{
+		CounterCacheBytes: 1 << 10, // 4 sets x 4 ways
+		MTCacheBytes:      2 << 10,
+	})
+	return u, dev
+}
+
+func TestEvictionPersistsMetadata(t *testing.T) {
+	u, _ := newSmallCacheUnit(BMTEager)
+	// Write across many pages so counter blocks and tree nodes thrash
+	// through the tiny caches, forcing dirty evictions to NVM.
+	var p [64]byte
+	for i := uint64(0); i < 128; i++ {
+		p[0] = byte(i)
+		u.ProcessWrite(0x1000+i*4096, p, -1)
+	}
+	if u.CounterCache().Writebacks() == 0 {
+		t.Fatal("tiny counter cache produced no writebacks")
+	}
+	// After evictions persisted the metadata, even a shadow-less crash
+	// must recover via the NVM copies for the evicted (clean) blocks
+	// plus Osiris probing for the rest.
+	u.CrashVolatile()
+	if _, err := u.RecoverOsiris(); err != nil {
+		t.Fatalf("Osiris recovery after heavy eviction: %v", err)
+	}
+	for i := uint64(0); i < 128; i++ {
+		got, _, err := u.ReadLine(0x1000 + i*4096)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("line %d content wrong after recovery", i)
+		}
+	}
+}
+
+func TestShadowRetiredOnEviction(t *testing.T) {
+	u, _ := newSmallCacheUnit(BMTEager)
+	var p [64]byte
+	for i := uint64(0); i < 64; i++ {
+		u.ProcessWrite(0x1000+i*4096, p, -1)
+	}
+	// The shadow region mirrors only dirty-in-cache metadata; with a
+	// tiny cache most blocks have been evicted (persisted), so shadow
+	// entries must have been retired rather than accumulating forever.
+	if u.ShadowEntries() > 200 {
+		t.Fatalf("shadow region grew to %d entries; eviction retirement broken", u.ShadowEntries())
+	}
+}
+
+func TestAnubisWithTinyCaches(t *testing.T) {
+	u, _ := newSmallCacheUnit(BMTEager)
+	want := map[uint64][64]byte{}
+	var p [64]byte
+	for i := uint64(0); i < 64; i++ {
+		p[0] = byte(i * 3)
+		u.ProcessWrite(0x1000+i*4096, p, -1)
+		want[0x1000+i*4096] = p
+	}
+	u.CrashVolatile()
+	if _, err := u.RecoverAnubis(); err != nil {
+		t.Fatalf("Anubis recovery with tiny caches: %v", err)
+	}
+	for addr, exp := range want {
+		got, _, err := u.ReadLine(addr)
+		if err != nil || got != exp {
+			t.Fatalf("line %#x wrong: %v", addr, err)
+		}
+	}
+}
+
+func TestToCSmallCacheCrash(t *testing.T) {
+	u, _ := newSmallCacheUnit(ToCLazy)
+	var p [64]byte
+	for i := uint64(0); i < 48; i++ {
+		p[0] = byte(i)
+		u.ProcessWrite(0x1000+i*4096, p, -1)
+	}
+	u.CrashVolatile()
+	if _, err := u.RecoverAnubis(); err != nil {
+		t.Fatalf("ToC recovery with tiny caches: %v", err)
+	}
+}
+
+func TestRepeatedCrashRecoverCycles(t *testing.T) {
+	u, _ := newSmallCacheUnit(BMTEager)
+	var p [64]byte
+	for round := 0; round < 5; round++ {
+		for i := uint64(0); i < 16; i++ {
+			p[0] = byte(round*16 + int(i))
+			u.ProcessWrite(0x1000+i*64, p, -1)
+		}
+		u.CrashVolatile()
+		if _, err := u.RecoverAnubis(); err != nil {
+			t.Fatalf("round %d recovery: %v", round, err)
+		}
+	}
+	got, _, err := u.ReadLine(0x1000)
+	if err != nil || got[0] != byte(4*16) {
+		t.Fatalf("final state wrong after 5 crash cycles: %v", err)
+	}
+}
+
+func TestPrepareWithoutApplyThenDiscard(t *testing.T) {
+	// A crash before the ready bit is architecturally the same as the
+	// redo log being discarded — but our model sets ready at the end of
+	// Prepare, so simulate discard by recovering with the op applied and
+	// verifying idempotence of a second recovery.
+	u, _ := newSmallCacheUnit(BMTEager)
+	var p [64]byte
+	u.ProcessWrite(0x1000, p, -1)
+	op, _ := u.PrepareWrite(0x2000, p, 1)
+	_ = op
+	u.CrashVolatile()
+	if _, err := u.RecoverAnubis(); err != nil {
+		t.Fatal(err)
+	}
+	u.CrashVolatile()
+	rep, err := u.RecoverAnubis()
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if rep.RedoReplayed {
+		t.Fatal("redo replayed twice")
+	}
+}
+
+func TestWriteLineSizes(t *testing.T) {
+	u, _ := newSmallCacheUnit(BMTEager)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-region write did not panic")
+		}
+	}()
+	var p [64]byte
+	u.ProcessWrite(layout.Small().DataSpan+4096, p, -1)
+}

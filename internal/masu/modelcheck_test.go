@@ -1,0 +1,141 @@
+package masu
+
+// Model check: drive the Ma-SU with long randomized operation sequences
+// — writes, verified reads, crashes with both recovery paths, audits —
+// against a plain map oracle. Every read must return the oracle's value;
+// every audit and recovery must pass; nothing may be lost at any crash
+// point. This hunts interaction bugs (overflow x crash x recovery x
+// cache eviction) that directed tests miss.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type modelChecker struct {
+	t      *testing.T
+	u      *Unit
+	oracle map[uint64][64]byte
+	rng    *rand.Rand
+	addrs  []uint64
+}
+
+func newModelChecker(t *testing.T, kind TreeKind, seed int64, smallCaches bool) *modelChecker {
+	var u *Unit
+	if smallCaches {
+		u, _ = newSmallCacheUnit(kind)
+	} else {
+		u, _, _ = newUnit(kind)
+	}
+	// A small address pool with several lines per page plus distinct
+	// pages: exercises counter-block sharing and overflow clustering.
+	var addrs []uint64
+	for p := uint64(0); p < 4; p++ {
+		for l := uint64(0); l < 6; l++ {
+			addrs = append(addrs, 0x1000+p*4096+l*64)
+		}
+	}
+	return &modelChecker{
+		t:      t,
+		u:      u,
+		oracle: make(map[uint64][64]byte),
+		rng:    rand.New(rand.NewSource(seed)),
+		addrs:  addrs,
+	}
+}
+
+func (m *modelChecker) randAddr() uint64 { return m.addrs[m.rng.Intn(len(m.addrs))] }
+
+func (m *modelChecker) randLine() [64]byte {
+	var l [64]byte
+	m.rng.Read(l[:])
+	return l
+}
+
+func (m *modelChecker) step(i int) {
+	switch op := m.rng.Intn(100); {
+	case op < 55: // write
+		addr := m.randAddr()
+		val := m.randLine()
+		m.u.ProcessWrite(addr, val, -1)
+		m.oracle[addr] = val
+	case op < 85: // verified read
+		addr := m.randAddr()
+		got, _, err := m.u.ReadLine(addr)
+		if err != nil {
+			m.t.Fatalf("step %d: read %#x: %v", i, addr, err)
+		}
+		want := m.oracle[addr] // zero value for never-written
+		if got != want {
+			m.t.Fatalf("step %d: read %#x diverged from oracle", i, addr)
+		}
+	case op < 93: // crash + Anubis recovery
+		m.u.CrashVolatile()
+		if _, err := m.u.RecoverAnubis(); err != nil {
+			m.t.Fatalf("step %d: Anubis recovery: %v", i, err)
+		}
+	case op < 97: // crash + Osiris recovery (BMT only)
+		if m.u.Kind() != BMTEager {
+			return
+		}
+		m.u.CrashVolatile()
+		if _, err := m.u.RecoverOsiris(); err != nil {
+			m.t.Fatalf("step %d: Osiris recovery: %v", i, err)
+		}
+	default: // audit scrub
+		if _, err := m.u.Audit(); err != nil {
+			m.t.Fatalf("step %d: audit: %v", i, err)
+		}
+	}
+}
+
+func (m *modelChecker) finish() {
+	if _, err := m.u.Audit(); err != nil {
+		m.t.Fatalf("final audit: %v", err)
+	}
+	for addr, want := range m.oracle {
+		got, _, err := m.u.ReadLine(addr)
+		if err != nil || got != want {
+			m.t.Fatalf("final state: %#x diverged (%v)", addr, err)
+		}
+	}
+}
+
+func TestModelCheckBMT(t *testing.T) {
+	m := newModelChecker(t, BMTEager, 1, false)
+	for i := 0; i < 4000; i++ {
+		m.step(i)
+	}
+	m.finish()
+}
+
+func TestModelCheckToC(t *testing.T) {
+	m := newModelChecker(t, ToCLazy, 2, false)
+	for i := 0; i < 4000; i++ {
+		m.step(i)
+	}
+	m.finish()
+}
+
+func TestModelCheckTinyCaches(t *testing.T) {
+	// Tiny metadata caches force constant evictions (lazy persistence)
+	// under the same random mix.
+	m := newModelChecker(t, BMTEager, 3, true)
+	for i := 0; i < 3000; i++ {
+		m.step(i)
+	}
+	m.finish()
+}
+
+func TestModelCheckManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long model check")
+	}
+	for seed := int64(10); seed < 18; seed++ {
+		m := newModelChecker(t, BMTEager, seed, seed%2 == 0)
+		for i := 0; i < 1200; i++ {
+			m.step(i)
+		}
+		m.finish()
+	}
+}

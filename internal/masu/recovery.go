@@ -1,0 +1,212 @@
+package masu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dolos/internal/crypt"
+	"dolos/internal/nvm"
+)
+
+// CrashVolatile models power failure inside the Ma-SU: metadata caches
+// and the live (cached) counter/tree state vanish. The redo-log
+// registers, the root register, the shadow region and all NVM contents
+// survive.
+func (u *Unit) CrashVolatile() {
+	u.counterCache.InvalidateAll()
+	u.mtCache.InvalidateAll()
+	u.counters.DropVolatile()
+	if u.bmtTree != nil {
+		u.bmtTree.DropVolatile()
+	}
+	if u.tocTree != nil {
+		u.tocTree.DropVolatile()
+	}
+}
+
+// RecoveryReport summarizes a recovery pass.
+type RecoveryReport struct {
+	// RedoReplayed is true when a staged op was re-applied (the ready
+	// bit was set at the crash).
+	RedoReplayed bool
+	// ShadowRestored counts metadata blocks restored from the shadow
+	// region.
+	ShadowRestored int
+	// LinesVerified counts data lines whose full path re-verified.
+	LinesVerified int
+	// OsirisProbes counts counter candidates tried (Osiris path only).
+	OsirisProbes int
+}
+
+// RecoverAnubis performs the fast (Anubis) recovery: replay the redo log
+// if it was ready, restore every shadow-tracked metadata block, then
+// verify each written line's counter path against the persistent root
+// register and its data MAC. Any tampering of NVM, shadow or drained
+// state surfaces as an error here.
+func (u *Unit) RecoverAnubis() (RecoveryReport, error) {
+	var rep RecoveryReport
+
+	// Restore the metadata caches from the shadow region first, so the
+	// counter/tree state is consistent with the root register...
+	for nvmAddr, img := range u.shadow {
+		if pi, ok := u.counters.PageIndexOfNVMAddr(nvmAddr); ok {
+			u.counters.RestoreByIndex(pi, img)
+			rep.ShadowRestored++
+			continue
+		}
+		if li, ok := u.nodeByAddr[nvmAddr]; ok {
+			if u.bmtTree != nil {
+				u.bmtTree.RestoreNode(int(li[0]), li[1], img)
+			} else {
+				u.tocTree.RestoreNode(int(li[0]), li[1], img)
+			}
+			rep.ShadowRestored++
+		}
+	}
+
+	// ...then resume from step 3 if the crash hit between Prepare and
+	// Apply (ready bit set). Step 4 (WPQ clear) is skipped — the
+	// controller treats the entry as already evicted.
+	if u.redo.ready {
+		u.ApplyWrite(u.redo.op)
+		rep.RedoReplayed = true
+	}
+
+	if err := u.auditWrittenLines(&rep); err != nil {
+		return rep, err
+	}
+	// Re-persist the recovered counter state: the Osiris invariant
+	// (live - stored <= period) must hold from a fresh base, or repeated
+	// crash/recovery cycles would let the gap grow beyond the probe
+	// window.
+	u.counters.PersistAll()
+	u.rebuildLineCounters()
+	return rep, nil
+}
+
+// RecoverOsiris performs the slow recovery path: discard all volatile
+// counter state, re-identify each written line's counter by probing
+// candidates against the stored ECC, rebuild the integrity tree from the
+// recovered counter blocks, and compare with the root register. Only
+// meaningful for the BMT backend (as in the Osiris/Triad-NVM lineage).
+func (u *Unit) RecoverOsiris() (RecoveryReport, error) {
+	var rep RecoveryReport
+	if u.kind != BMTEager {
+		return rep, fmt.Errorf("masu: Osiris recovery requires the BMT backend")
+	}
+	if u.redo.ready {
+		u.ApplyWrite(u.redo.op)
+		rep.RedoReplayed = true
+	}
+
+	for addr := range u.written {
+		ct := u.dev.ReadLine(addr)
+		var eccBytes [4]byte
+		u.dev.Read(u.lay.ECCAddr(addr), eccBytes[:])
+		wantECC := binary.LittleEndian.Uint32(eccBytes[:])
+		a := addr
+		_, tried, ok := u.counters.RecoverLine(a, func(cand uint64) bool {
+			iv := crypt.MakeIV(a/nvm.PageSize, uint16(a%nvm.PageSize/64), cand)
+			plain := u.eng.DecryptLine(ct, iv)
+			return crypt.ECC(&plain) == wantECC
+		})
+		rep.OsirisProbes += tried
+		if !ok {
+			return rep, &IntegrityError{Addr: addr, Reason: "Osiris probe found no counter matching ECC"}
+		}
+	}
+
+	// Rebuild the tree over recovered counter blocks and check the root.
+	leafImages := make(map[uint64][64]byte)
+	for addr := range u.written {
+		leaf := u.lay.LeafIndex(addr)
+		leafImages[leaf] = u.counters.ImageByIndex(leaf)
+	}
+	if got := u.bmtTree.RebuildFromLeaves(leafImages); got != u.bmtTree.Root() {
+		return rep, &IntegrityError{Addr: 0, Reason: "rebuilt tree root mismatch"}
+	}
+	// Install the rebuilt leaves as the live state.
+	for leaf, img := range leafImages {
+		img := img
+		u.bmtTree.UpdateLeaf(leaf, &img, 0) // Eager re-install; root unchanged by identical content
+	}
+
+	if err := u.auditWrittenLines(&rep); err != nil {
+		return rep, err
+	}
+	// Fresh Osiris base for the probed counters (see RecoverAnubis).
+	u.counters.PersistAll()
+	u.rebuildLineCounters()
+	return rep, nil
+}
+
+// auditWrittenLines re-verifies every written line post-recovery: data
+// MAC against the recovered counter, and the counter block against the
+// root register (full path, no trusted-cache shortcut for the BMT).
+func (u *Unit) auditWrittenLines(rep *RecoveryReport) error {
+	verifiedLeaves := make(map[uint64]bool)
+	for addr := range u.written {
+		counter := u.counters.Counter(addr)
+		ct := u.dev.ReadLine(addr)
+		var stored crypt.MAC
+		macLine := u.dev.ReadLine(u.lay.LineMACAddr(addr))
+		copy(stored[:], macLine[(addr/64%8)*8:])
+		if got := u.eng.LineMAC(&ct, addr, counter); got != stored {
+			return &IntegrityError{Addr: addr, Reason: "post-recovery data MAC mismatch"}
+		}
+		leaf := u.lay.LeafIndex(addr)
+		if !verifiedLeaves[leaf] {
+			leafImg := u.counters.ImageByIndex(leaf)
+			switch u.kind {
+			case BMTEager:
+				if _, err := u.bmtTree.VerifyLeafFull(leaf, &leafImg); err != nil {
+					return &IntegrityError{Addr: addr, Reason: err.Error()}
+				}
+			case ToCLazy:
+				var leafMAC crypt.MAC
+				u.dev.Read(u.tocLeafMACAddr(leaf), leafMAC[:])
+				if err := u.tocTree.VerifyLeafFull(leaf, &leafImg, leafMAC); err != nil {
+					return &IntegrityError{Addr: addr, Reason: err.Error()}
+				}
+			}
+			verifiedLeaves[leaf] = true
+		}
+		rep.LinesVerified++
+	}
+	return nil
+}
+
+// rebuildLineCounters re-derives the per-line ciphertext counters from
+// the recovered counter store.
+func (u *Unit) rebuildLineCounters() {
+	for addr := range u.written {
+		u.lineCounter[addr] = u.counters.Counter(addr)
+	}
+}
+
+// Audit scrubs the protected memory: every written line's MAC is checked
+// against its ciphertext and counter, and every touched counter block is
+// verified through the integrity tree (full path, no trusted-cache
+// shortcut). It returns the number of lines scrubbed, or the first
+// integrity violation found. Suitable for periodic scrubbing and as the
+// final step of a recovery.
+func (u *Unit) Audit() (int, error) {
+	var rep RecoveryReport
+	if err := u.auditWrittenLines(&rep); err != nil {
+		return rep.LinesVerified, err
+	}
+	return rep.LinesVerified, nil
+}
+
+// TamperShadow corrupts a shadow-region entry (attack modeling).
+func (u *Unit) TamperShadow() bool {
+	for addr, img := range u.shadow {
+		img[0] ^= 0xFF
+		u.shadow[addr] = img
+		return true
+	}
+	return false
+}
+
+// ShadowEntries returns the number of live shadow-region entries.
+func (u *Unit) ShadowEntries() int { return len(u.shadow) }

@@ -1,0 +1,82 @@
+package pmem
+
+import (
+	"testing"
+
+	"dolos/internal/trace"
+)
+
+func TestHeapAccessors(t *testing.T) {
+	rec := trace.NewRecorder("acc", 0)
+	h := NewHeap(1<<20, 1<<20, rec)
+	if h.Base() != 1<<20 || h.Size() != 1<<20 {
+		t.Fatal("base/size accessors wrong")
+	}
+	if h.Recorder() != rec {
+		t.Fatal("recorder accessor wrong")
+	}
+	h.SetRecorder(nil)
+	if h.Recorder() != nil {
+		t.Fatal("SetRecorder(nil) ignored")
+	}
+}
+
+func TestUsedImageNonZeroLinesOnly(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	a := h.Alloc(256) // 4 lines allocated
+	h.WriteU64(a, 7)
+	h.WriteU64(a+128, 9)
+	img := h.UsedImage()
+	if len(img) != 2 {
+		t.Fatalf("image has %d lines, want the 2 non-zero ones", len(img))
+	}
+	if img[0].Addr != a || img[1].Addr != a+128 {
+		t.Fatalf("image addrs %#x %#x", img[0].Addr, img[1].Addr)
+	}
+	if img[0].Data[0] != 7 {
+		t.Fatal("image content wrong")
+	}
+}
+
+func TestFlushRangeCoversLines(t *testing.T) {
+	rec := trace.NewRecorder("fr", 0)
+	h := NewHeap(1<<20, 1<<20, rec)
+	a := h.Alloc(256)
+	h.FlushRange(a+10, 150) // overlaps lines 0, 1, 2
+	c := rec.Finish().Count()
+	if c.Flushes != 3 {
+		t.Fatalf("FlushRange flushed %d lines, want 3", c.Flushes)
+	}
+}
+
+func TestStoreFreshSkipsLog(t *testing.T) {
+	rec := trace.NewRecorder("sf", 0)
+	h := NewHeap(1<<20, 1<<20, rec)
+	tx := NewTx(h, 8)
+	a := h.Alloc(128)
+	tx.Begin()
+	tx.StoreFresh(a, make([]byte, 128))
+	tx.StoreFreshU64(a, 42)
+	if tx.entries != 0 {
+		t.Fatalf("StoreFresh logged %d undo entries", tx.entries)
+	}
+	tx.Commit()
+	if h.ReadU64(a) != 42 {
+		t.Fatal("StoreFreshU64 content lost")
+	}
+	// Data lines still flushed at commit: status + 2 data + commit = 4.
+	if c := rec.Finish().Count(); c.Flushes != 4 {
+		t.Fatalf("flushes = %d, want 4", c.Flushes)
+	}
+}
+
+func TestStoreFreshOutsideTxPanics(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	tx := NewTx(h, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tx.StoreFresh(h.Alloc(64), []byte{1})
+}

@@ -1,0 +1,296 @@
+package pmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dolos/internal/trace"
+)
+
+func newHeap() (*Heap, *trace.Recorder) {
+	rec := trace.NewRecorder("test", 0)
+	return NewHeap(1<<20, 1<<20, rec), rec
+}
+
+func TestAllocAligned(t *testing.T) {
+	h, _ := newHeap()
+	a := h.Alloc(10)
+	b := h.Alloc(100)
+	if a%64 != 0 || b%64 != 0 {
+		t.Fatalf("unaligned allocations %#x %#x", a, b)
+	}
+	if b != a+64 {
+		t.Fatalf("alloc(10) consumed %d bytes", b-a)
+	}
+	if h.Used() != 192 {
+		t.Fatalf("used = %d", h.Used())
+	}
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	h := NewHeap(0, 128, nil)
+	h.Alloc(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on exhaustion")
+		}
+	}()
+	h.Alloc(1)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	h, _ := newHeap()
+	a := h.Alloc(256)
+	h.WriteU64(a+8, 0xDEADBEEF)
+	if got := h.ReadU64(a + 8); got != 0xDEADBEEF {
+		t.Fatalf("read back %#x", got)
+	}
+}
+
+func TestOutOfHeapPanics(t *testing.T) {
+	h, _ := newHeap()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-heap access")
+		}
+	}()
+	h.ReadU64(0)
+}
+
+func TestTraceRecording(t *testing.T) {
+	h, rec := newHeap()
+	a := h.Alloc(64)
+	h.WriteU64(a, 7)
+	h.Flush(a)
+	h.Fence()
+	h.ReadU64(a)
+	tr := rec.Finish()
+	c := tr.Count()
+	if c.Writes != 1 || c.Flushes != 1 || c.Fences != 1 || c.Reads != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.ComputeCycles == 0 {
+		t.Fatal("no compute overhead recorded")
+	}
+}
+
+func TestFlushCarriesLineContent(t *testing.T) {
+	h, rec := newHeap()
+	a := h.Alloc(64)
+	h.WriteU64(a, 42)
+	h.Flush(a)
+	tr := rec.Finish()
+	var found bool
+	for _, op := range tr.Ops {
+		if op.Kind == trace.Flush {
+			found = true
+			if op.Data[0] != 42 {
+				t.Fatalf("flush data = %v", op.Data[:8])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no flush op recorded")
+	}
+}
+
+func TestCrossLineWrite(t *testing.T) {
+	h, rec := newHeap()
+	a := h.Alloc(128)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	h.Write(a+30, data) // spans two lines
+	got := make([]byte, 100)
+	h.Read(a+30, got)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	c := rec.Finish().Count()
+	if c.Writes != 3 { // lines at +0, +64, +128? 30..130 touches lines 0,64,128
+		t.Fatalf("writes = %d, want 3", c.Writes)
+	}
+}
+
+func TestTxCommitProtocol(t *testing.T) {
+	rec := trace.NewRecorder("tx", 0)
+	h := NewHeap(1<<20, 1<<20, rec)
+	tx := NewTx(h, 8)
+	a := h.Alloc(128)
+
+	tx.Begin()
+	tx.StoreU64(a, 1)
+	tx.StoreU64(a+64, 2)
+	tx.Commit()
+
+	tr := rec.Finish()
+	if tr.Transactions != 1 {
+		t.Fatalf("transactions = %d", tr.Transactions)
+	}
+	c := tr.Count()
+	// 1 status + 2*(2 log lines) + 2 data + 1 commit = 8 flushes.
+	if c.Flushes != 8 {
+		t.Fatalf("flushes = %d, want 8", c.Flushes)
+	}
+	// begin, one per log entry (PMDK ordering), data barrier, commit.
+	if c.Fences != 5 {
+		t.Fatalf("fences = %d, want 5", c.Fences)
+	}
+	if tx.Committed() != 1 {
+		t.Fatalf("committed = %d", tx.Committed())
+	}
+}
+
+func TestTxLogOnceRepeatedStores(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	tx := NewTx(h, 4)
+	a := h.Alloc(64)
+	tx.Begin()
+	for i := uint64(0); i < 10; i++ {
+		tx.StoreU64(a, i) // same line repeatedly: one undo entry
+	}
+	tx.Commit()
+	if tx.entries != 1 {
+		t.Fatalf("entries = %d, want 1", tx.entries)
+	}
+}
+
+func TestTxLogOverflowPanics(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	tx := NewTx(h, 2)
+	a := h.Alloc(64 * 8)
+	tx.Begin()
+	tx.StoreU64(a, 1)
+	tx.StoreU64(a+64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on log overflow")
+		}
+	}()
+	tx.StoreU64(a+128, 3)
+}
+
+func TestNestedTxPanics(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	tx := NewTx(h, 2)
+	tx.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nested Begin")
+		}
+	}()
+	tx.Begin()
+}
+
+func TestRollbackOfActiveLog(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	tx := NewTx(h, 8)
+	a := h.Alloc(128)
+	h.WriteU64(a, 100)
+	h.WriteU64(a+64, 200)
+
+	tx.Begin()
+	tx.StoreU64(a, 111)
+	tx.StoreU64(a+64, 222)
+	// Crash before commit: parse the log straight from the heap image
+	// (stands in for recovered NVM contents).
+	status, entries := ParseLog(tx.LogBase(), 8, h.Line)
+	if status != logStatusActive {
+		t.Fatalf("status = %d", status)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	restores := Rollback(status, entries)
+	if len(restores) != 2 {
+		t.Fatalf("restores = %d", len(restores))
+	}
+	// Reverse order, and old values preserved.
+	if restores[0].Addr != a+64 || restores[1].Addr != a {
+		t.Fatalf("rollback order wrong: %#x %#x", restores[0].Addr, restores[1].Addr)
+	}
+	for _, r := range restores {
+		h.SetLine(r.Addr, r.Old)
+	}
+	if h.ReadU64(a) != 100 || h.ReadU64(a+64) != 200 {
+		t.Fatal("rollback did not restore old values")
+	}
+}
+
+func TestCommittedLogNoRollback(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	tx := NewTx(h, 8)
+	a := h.Alloc(64)
+	tx.Begin()
+	tx.StoreU64(a, 5)
+	tx.Commit()
+	status, entries := ParseLog(tx.LogBase(), 8, h.Line)
+	if Rollback(status, entries) != nil {
+		t.Fatal("rollback proposed for committed transaction")
+	}
+}
+
+func TestStaleEntriesIgnored(t *testing.T) {
+	h := NewHeap(1<<20, 1<<20, nil)
+	tx := NewTx(h, 8)
+	a := h.Alloc(256)
+	// Tx 1 logs three lines.
+	tx.Begin()
+	tx.StoreU64(a, 1)
+	tx.StoreU64(a+64, 2)
+	tx.StoreU64(a+128, 3)
+	tx.Commit()
+	// Tx 2 logs one line and crashes.
+	tx.Begin()
+	tx.StoreU64(a+192, 4)
+	status, entries := ParseLog(tx.LogBase(), 8, h.Line)
+	if len(entries) != 1 {
+		t.Fatalf("parsed %d entries; stale entries from tx 1 leaked in", len(entries))
+	}
+	_ = status
+}
+
+func TestTxAtomicityProperty(t *testing.T) {
+	// Property: for any crash point inside a transaction, rolling back
+	// with the parsed log restores exactly the pre-transaction image.
+	f := func(vals []uint64, crashAfter uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 8 {
+			vals = vals[:8]
+		}
+		h := NewHeap(1<<20, 1<<20, nil)
+		tx := NewTx(h, 16)
+		base := h.Alloc(uint64(len(vals)) * 64)
+		for i := range vals {
+			h.WriteU64(base+uint64(i)*64, uint64(i)+1000)
+		}
+		before := make([][64]byte, len(vals))
+		for i := range vals {
+			before[i] = h.Line(base + uint64(i)*64)
+		}
+		tx.Begin()
+		stop := int(crashAfter) % (len(vals) + 1)
+		for i := 0; i < stop; i++ {
+			tx.StoreU64(base+uint64(i)*64, vals[i])
+		}
+		// Crash here. Roll back from the log.
+		status, entries := ParseLog(tx.LogBase(), 16, h.Line)
+		for _, r := range Rollback(status, entries) {
+			h.SetLine(r.Addr, r.Old)
+		}
+		for i := range vals {
+			if h.Line(base+uint64(i)*64) != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

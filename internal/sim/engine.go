@@ -1,0 +1,130 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with a cycle-granular clock. All timing in the Dolos model is expressed
+// in CPU cycles at 4 GHz (1 ns = 4 cycles).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// CyclesPerNanosecond converts wall time to cycles for the 4 GHz core
+// configuration used throughout the paper's evaluation (Table 1).
+const CyclesPerNanosecond = 4
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type scheduled struct {
+	at  Cycle
+	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	fn  Event
+}
+
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduled)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine. Engines are not safe for concurrent use:
+// the simulated system is single-clock-domain by design, matching the
+// single memory controller modeled in the paper.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	queue  eventQueue
+	events uint64
+}
+
+// NewEngine returns an engine with the clock at cycle 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at the absolute cycle at. Scheduling in the past
+// panics: it would violate causality and always indicates a model bug.
+func (e *Engine) At(at Cycle, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) { e.At(e.now+delay, fn) }
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*scheduled)
+	e.now = ev.at
+	e.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or limit events have run.
+// A limit of 0 means no limit. It returns the number of events executed
+// by this call.
+func (e *Engine) Run(limit uint64) uint64 {
+	var n uint64
+	for limit == 0 || n < limit {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. It returns the number executed.
+func (e *Engine) RunUntil(deadline Cycle) uint64 {
+	var n uint64
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package sim
+
+// PipeServer models a pipelined functional unit (a MAC engine): a new
+// job may start every initiation-interval cycles, and each job completes
+// after its own latency. This captures Table 1's security engines, whose
+// per-write latency (e.g. 10 x 160 cycles for an eager tree update) far
+// exceeds their initiation interval (one new write per MAC stage).
+type PipeServer struct {
+	eng  *Engine
+	name string
+	ii   Cycle
+
+	nextStart Cycle
+	jobs      uint64
+}
+
+// NewPipeServer returns a pipelined server with the given initiation
+// interval (minimum cycles between job starts).
+func NewPipeServer(eng *Engine, name string, ii Cycle) *PipeServer {
+	if ii == 0 {
+		ii = 1
+	}
+	return &PipeServer{eng: eng, name: name, ii: ii}
+}
+
+// Name returns the diagnostic name.
+func (p *PipeServer) Name() string { return p.name }
+
+// Jobs returns how many jobs have been submitted.
+func (p *PipeServer) Jobs() uint64 { return p.jobs }
+
+// II returns the initiation interval.
+func (p *PipeServer) II() Cycle { return p.ii }
+
+// NextStart returns the earliest cycle at which a job submitted now
+// would start.
+func (p *PipeServer) NextStart() Cycle {
+	if p.nextStart > p.eng.Now() {
+		return p.nextStart
+	}
+	return p.eng.Now()
+}
+
+// Submit enqueues a job with the given completion latency. done, if
+// non-nil, fires at start+latency.
+func (p *PipeServer) Submit(latency Cycle, done func(start, end Cycle)) {
+	start := p.eng.Now()
+	if p.nextStart > start {
+		start = p.nextStart
+	}
+	p.nextStart = start + p.ii
+	p.jobs++
+	end := start + latency
+	p.eng.At(end, func() {
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// Server models a serially-occupied resource (a security unit, an NVM
+// channel): jobs queue FIFO and each occupies the server for its service
+// time. It captures the serialization the paper attributes to the single
+// security pipeline per memory controller.
+type Server struct {
+	eng  *Engine
+	name string
+
+	busyUntil Cycle
+	queue     []serverJob
+
+	// Stats
+	jobs      uint64
+	busyTotal Cycle
+	maxQueue  int
+}
+
+type serverJob struct {
+	service Cycle
+	done    func(start, end Cycle)
+}
+
+// NewServer returns a server bound to the engine. The name is used only
+// for diagnostics.
+func NewServer(eng *Engine, name string) *Server {
+	return &Server{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name of the server.
+func (s *Server) Name() string { return s.name }
+
+// Busy reports whether the server is occupied at the current cycle.
+func (s *Server) Busy() bool { return s.eng.Now() < s.busyUntil }
+
+// QueueLen returns the number of jobs waiting (not including any in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Jobs returns the number of jobs that have started service.
+func (s *Server) Jobs() uint64 { return s.jobs }
+
+// BusyCycles returns the cumulative cycles spent in service.
+func (s *Server) BusyCycles() Cycle { return s.busyTotal }
+
+// MaxQueue returns the high-water mark of the wait queue.
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// Submit enqueues a job requiring service cycles of occupancy. done, if
+// non-nil, runs at service completion with the start and end cycles.
+// Jobs are served in submission order.
+func (s *Server) Submit(service Cycle, done func(start, end Cycle)) {
+	s.queue = append(s.queue, serverJob{service: service, done: done})
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+	s.pump()
+}
+
+// FreeAt returns the cycle at which the server would start a job submitted
+// now, considering the in-service job and queued work.
+func (s *Server) FreeAt() Cycle {
+	at := s.eng.Now()
+	if s.busyUntil > at {
+		at = s.busyUntil
+	}
+	for _, j := range s.queue {
+		at += j.service
+	}
+	return at
+}
+
+func (s *Server) pump() {
+	if len(s.queue) == 0 || s.Busy() {
+		return
+	}
+	job := s.queue[0]
+	s.queue = s.queue[1:]
+	start := s.eng.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end := start + job.service
+	s.busyUntil = end
+	s.jobs++
+	s.busyTotal += job.service
+	s.eng.At(end, func() {
+		if job.done != nil {
+			job.done(start, end)
+		}
+		s.pump()
+	})
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRendering(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}, Summary: "mean"}
+	tab.AddRow("x", 1, 2)
+	tab.AddRow("y", 3, 4)
+	out := tab.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "benchmark,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "x,1,2" || lines[2] != "y,3,4" {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+	if lines[3] != "mean,2,3" {
+		t.Fatalf("summary = %q", lines[3])
+	}
+}
+
+func TestCSVGeomean(t *testing.T) {
+	tab := &Table{Columns: []string{"v"}, Summary: "geomean"}
+	tab.AddRow("x", 2)
+	tab.AddRow("y", 8)
+	if !strings.Contains(tab.CSV(), "geomean,4") {
+		t.Fatalf("geomean missing:\n%s", tab.CSV())
+	}
+}
+
+func TestCSVNoSummary(t *testing.T) {
+	tab := &Table{Columns: []string{"v"}}
+	tab.AddRow("x", 1.5)
+	out := strings.TrimSpace(tab.CSV())
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("unexpected rows:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Reservoir estimates quantiles from a stream using fixed-size uniform
+// reservoir sampling (Vitter's algorithm R) — used for transaction-
+// latency tails, where the mean hides exactly what persist stalls cause.
+type Reservoir struct {
+	name    string
+	samples []float64
+	cap     int
+	seen    uint64
+	rng     *rand.Rand
+}
+
+// NewReservoir creates a reservoir holding up to capacity samples
+// (0 selects 4096). Sampling is deterministic for reproducible runs.
+func NewReservoir(name string, capacity int) *Reservoir {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Reservoir{
+		name: name,
+		cap:  capacity,
+		rng:  rand.New(rand.NewSource(42)),
+	}
+}
+
+// Name returns the reservoir's name.
+func (r *Reservoir) Name() string { return r.name }
+
+// Count returns the number of values observed (not retained).
+func (r *Reservoir) Count() uint64 { return r.seen }
+
+// Observe records one sample.
+func (r *Reservoir) Observe(v float64) {
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, v)
+		return
+	}
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+		r.samples[j] = v
+	}
+}
+
+// Quantile returns the q-quantile estimate (q in [0,1]); NaN when empty.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(r.samples))
+	copy(sorted, r.samples)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (r *Reservoir) Median() float64 { return r.Quantile(0.5) }
+
+// P99 returns the 0.99 quantile.
+func (r *Reservoir) P99() float64 { return r.Quantile(0.99) }

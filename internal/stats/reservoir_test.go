@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReservoirExactWhenSmall(t *testing.T) {
+	r := NewReservoir("lat", 100)
+	for i := 1; i <= 100; i++ {
+		r.Observe(float64(i))
+	}
+	if got := r.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := r.Quantile(1); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := r.P99(); got < 98 || got > 100 {
+		t.Fatalf("p99 = %v", got)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir("e", 10)
+	if !math.IsNaN(r.Median()) {
+		t.Fatal("empty reservoir returned a quantile")
+	}
+	if r.Count() != 0 {
+		t.Fatal("phantom samples")
+	}
+}
+
+func TestReservoirSamplingApproximation(t *testing.T) {
+	// 100k uniform values through a 4k reservoir: quantiles within a few
+	// percent of truth.
+	r := NewReservoir("s", 4096)
+	for i := 0; i < 100000; i++ {
+		r.Observe(float64(i % 1000))
+	}
+	if r.Count() != 100000 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	med := r.Median()
+	if med < 420 || med > 580 {
+		t.Fatalf("sampled median = %v, want ~500", med)
+	}
+	p99 := r.P99()
+	if p99 < 940 || p99 > 1000 {
+		t.Fatalf("sampled p99 = %v, want ~990", p99)
+	}
+}
+
+func TestReservoirQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		r := NewReservoir("p", 256)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			r.Observe(v)
+		}
+		if r.Count() == 0 {
+			return true
+		}
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return r.Quantile(qa) <= r.Quantile(qb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

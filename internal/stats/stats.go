@@ -1,0 +1,371 @@
+// Package stats provides the counters, aggregates and table rendering used
+// by the Dolos experiment harness to report results in the same shape as
+// the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// NewCounter returns a named counter starting at zero.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Histogram accumulates sample statistics without retaining samples.
+type Histogram struct {
+	name            string
+	count           uint64
+	sum, sumSquares float64
+	min, max        float64
+}
+
+// NewHistogram returns a named, empty histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	h.sumSquares += v * v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// StdDev returns the population standard deviation, or 0 with <2 samples.
+func (h *Histogram) StdDev() float64 {
+	if h.count < 2 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumSquares/float64(h.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Name returns the histogram's name.
+func (h *Histogram) Name() string { return h.name }
+
+// GeoMean returns the geometric mean of xs. It returns 0 if xs is empty or
+// any value is non-positive; speedups are strictly positive in this model.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table renders labelled rows of float columns the way the paper's tables
+// present them: a header, one row per benchmark, and an optional summary row.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []tableRow
+	Summary string // "mean", "geomean" or "" for none
+	Format  string // fmt verb for cells, default "%.2f"
+}
+
+type tableRow struct {
+	label string
+	cells []float64
+}
+
+// AddRow appends a labelled row. The number of cells should match Columns.
+func (t *Table) AddRow(label string, cells ...float64) {
+	t.rows = append(t.rows, tableRow{label: label, cells: cells})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the value at (row, col).
+func (t *Table) Cell(row, col int) float64 { return t.rows[row].cells[col] }
+
+// RowLabel returns the label of row i.
+func (t *Table) RowLabel(i int) string { return t.rows[i].label }
+
+// ColumnValues returns all values in column col, in row order.
+func (t *Table) ColumnValues(col int) []float64 {
+	out := make([]float64, 0, len(t.rows))
+	for _, r := range t.rows {
+		if col < len(r.cells) {
+			out = append(out, r.cells[col])
+		}
+	}
+	return out
+}
+
+// String renders the table as aligned ASCII.
+func (t *Table) String() string {
+	format := t.Format
+	if format == "" {
+		format = "%.2f"
+	}
+	labels := []string{"Benchmark"}
+	for _, r := range t.rows {
+		labels = append(labels, r.label)
+	}
+	switch t.Summary {
+	case "mean":
+		labels = append(labels, "Mean")
+	case "geomean":
+		labels = append(labels, "GeoMean")
+	}
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+
+	colWidths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.rows))
+	for i, c := range t.Columns {
+		colWidths[i] = len(c)
+	}
+	for ri, r := range t.rows {
+		cells[ri] = make([]string, len(r.cells))
+		for ci, v := range r.cells {
+			s := fmt.Sprintf(format, v)
+			cells[ri][ci] = s
+			if ci < len(colWidths) && len(s) > colWidths[ci] {
+				colWidths[ci] = len(s)
+			}
+		}
+	}
+	var summary []string
+	if t.Summary != "" {
+		for ci := range t.Columns {
+			vals := t.ColumnValues(ci)
+			var v float64
+			if t.Summary == "geomean" {
+				v = GeoMean(vals)
+			} else {
+				v = Mean(vals)
+			}
+			s := fmt.Sprintf(format, v)
+			summary = append(summary, s)
+			if len(s) > colWidths[ci] {
+				colWidths[ci] = len(s)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-*s", width, "Benchmark")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", colWidths[i], c)
+	}
+	b.WriteByte('\n')
+	for ri, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", width, r.label)
+		for ci := range r.cells {
+			w := 0
+			if ci < len(colWidths) {
+				w = colWidths[ci]
+			}
+			fmt.Fprintf(&b, "  %*s", w, cells[ri][ci])
+		}
+		b.WriteByte('\n')
+	}
+	if t.Summary != "" {
+		label := "Mean"
+		if t.Summary == "geomean" {
+			label = "GeoMean"
+		}
+		fmt.Fprintf(&b, "%-*s", width, label)
+		for ci := range summary {
+			fmt.Fprintf(&b, "  %*s", colWidths[ci], summary[ci])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row, data
+// rows, optional summary row), for piping into plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	writeRow := func(label string, cells []float64) {
+		b.WriteString(label)
+		for _, v := range cells {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r.label, r.cells)
+	}
+	if t.Summary != "" {
+		cells := make([]float64, 0, len(t.Columns))
+		for ci := range t.Columns {
+			if t.Summary == "geomean" {
+				cells = append(cells, GeoMean(t.ColumnValues(ci)))
+			} else {
+				cells = append(cells, Mean(t.ColumnValues(ci)))
+			}
+		}
+		label := "mean"
+		if t.Summary == "geomean" {
+			label = "geomean"
+		}
+		writeRow(label, cells)
+	}
+	return b.String()
+}
+
+// Set is a registry of named counters and histograms for one simulation run.
+type Set struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewSet returns an empty stats registry.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = NewCounter(name)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it if needed.
+func (s *Set) Histogram(name string) *Histogram {
+	h, ok := s.hists[name]
+	if !ok {
+		h = NewHistogram(name)
+		s.hists[name] = h
+	}
+	return h
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (s *Set) CounterNames() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (s *Set) HistogramNames() []string {
+	names := make([]string, 0, len(s.hists))
+	for n := range s.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters and histogram means, sorted by name.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.CounterNames() {
+		fmt.Fprintf(&b, "%-40s %d\n", n, s.counters[n].Value())
+	}
+	for _, n := range s.HistogramNames() {
+		h := s.hists[n]
+		fmt.Fprintf(&b, "%-40s mean=%.2f n=%d min=%.0f max=%.0f\n",
+			n, h.Mean(), h.Count(), h.Min(), h.Max())
+	}
+	return b.String()
+}

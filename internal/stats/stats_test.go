@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("writes")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter after reset = %d", c.Value())
+	}
+	if c.Name() != "writes" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 2.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(h.StdDev()-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", h.StdDev(), want)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.StdDev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{1, -1}); g != 0 {
+		t.Fatalf("GeoMean with nonpositive = %v, want 0", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max for positive inputs.
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "Speedup",
+		Columns: []string{"Full", "Partial"},
+		Summary: "mean",
+	}
+	tab.AddRow("Hashmap", 1.5, 1.6)
+	tab.AddRow("Btree", 1.7, 1.8)
+	out := tab.String()
+	for _, want := range []string{"Speedup", "Hashmap", "Btree", "Full", "Partial", "Mean", "1.60", "1.70"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Rows() != 2 || tab.Cell(0, 1) != 1.6 || tab.RowLabel(1) != "Btree" {
+		t.Fatal("accessors returned wrong data")
+	}
+	col := tab.ColumnValues(0)
+	if len(col) != 2 || col[0] != 1.5 || col[1] != 1.7 {
+		t.Fatalf("ColumnValues = %v", col)
+	}
+}
+
+func TestTableGeomeanSummary(t *testing.T) {
+	tab := &Table{Columns: []string{"x"}, Summary: "geomean"}
+	tab.AddRow("a", 2)
+	tab.AddRow("b", 8)
+	if !strings.Contains(tab.String(), "4.00") {
+		t.Fatalf("geomean row missing:\n%s", tab.String())
+	}
+}
+
+func TestSetRegistry(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Inc()
+	s.Counter("a").Inc()
+	s.Counter("b").Add(5)
+	s.Histogram("h").Observe(3)
+	if s.Counter("a").Value() != 2 {
+		t.Fatalf("counter a = %d", s.Counter("a").Value())
+	}
+	names := s.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("counter names = %v", names)
+	}
+	if len(s.HistogramNames()) != 1 {
+		t.Fatalf("histogram names = %v", s.HistogramNames())
+	}
+	out := s.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "mean=3.00") {
+		t.Fatalf("set output:\n%s", out)
+	}
+}

@@ -1,0 +1,54 @@
+package toc
+
+import "testing"
+
+func TestPrepareInstallMatchesUpdate(t *testing.T) {
+	direct := newTestTree(512)
+	staged := newTestTree(512)
+	for i := byte(0); i < 20; i++ {
+		idx := uint64(i) * 25 % 512
+		img := leafImg(i)
+		macD, _ := direct.UpdateLeaf(idx, &img)
+		ups, macS, rootVer := staged.PrepareUpdate(idx, &img)
+		staged.InstallUpdate(ups, rootVer)
+		if macD != macS {
+			t.Fatalf("leaf MACs diverged at write %d", i)
+		}
+		if direct.RootVersion() != staged.RootVersion() {
+			t.Fatalf("root versions diverged at write %d", i)
+		}
+		if err := staged.VerifyLeaf(idx, &img, macS); err != nil {
+			t.Fatalf("staged leaf does not verify: %v", err)
+		}
+	}
+}
+
+func TestPrepareDoesNotMutate(t *testing.T) {
+	tr := newTestTree(512)
+	img := leafImg(1)
+	mac, _ := tr.UpdateLeaf(7, &img)
+	ver := tr.RootVersion()
+	img2 := leafImg(2)
+	ups, _, newVer := tr.PrepareUpdate(7, &img2)
+	if tr.RootVersion() != ver {
+		t.Fatal("Prepare moved the root version")
+	}
+	if err := tr.VerifyLeaf(7, &img, mac); err != nil {
+		t.Fatalf("Prepare disturbed live state: %v", err)
+	}
+	if newVer != ver+1 || len(ups) != tr.Levels() {
+		t.Fatalf("prepared update malformed: ver=%d nodes=%d", newVer, len(ups))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tr := newTestTree(512)
+	if tr.Leaves() != 512 {
+		t.Fatal("Leaves wrong")
+	}
+	img := leafImg(1)
+	tr.UpdateLeaf(0, &img)
+	if tr.Updates() != 1 || tr.MACOps() == 0 {
+		t.Fatal("counters wrong")
+	}
+}

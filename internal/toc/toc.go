@@ -1,0 +1,369 @@
+// Package toc implements an SGX-style 8-ary Tree of Counters (ToC)
+// protecting the encryption-counter region, as used for Dolos' lazy-update
+// experiments (Section 5.4). Each interior node holds 8 version counters
+// — one per child — and an 8-byte MAC computed over the node's versions
+// and the node's own version stored in its parent. Version increments
+// propagate to the root on every update, but the MAC recomputation of all
+// levels can run in parallel given parallel MAC engines (the paper assumes
+// parallel AES-GCM units), which is why the serial-latency cost charged by
+// the timing model is lower than an eager Merkle tree.
+//
+// For crash consistency a lazily-updated ToC cannot rely on an eager
+// persistent root alone (inter-level dependencies); Phoenix therefore
+// protects the metadata cache with a small eagerly-updated shadow Merkle
+// tree. Here the shadow protection is modeled by the same shadow-tracking
+// interface the Ma-SU uses for the BMT: dirty node images are captured and
+// replayed at recovery, then verified against the persistent root version.
+package toc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dolos/internal/crypt"
+	"dolos/internal/nvm"
+)
+
+// Arity is the tree fan-out.
+const Arity = 8
+
+// NodeSize is the serialized node size: 8 versions of 7 bytes + 8-byte MAC.
+const NodeSize = 64
+
+// versionMask limits versions to 56 bits so they fit the packed layout.
+const versionMask = 1<<56 - 1
+
+// Node is one ToC node: per-child version counters plus the node MAC.
+type Node struct {
+	Versions [Arity]uint64 // 56-bit values
+	MAC      crypt.MAC
+}
+
+// Encode packs the node into its 64-byte NVM image.
+func (n *Node) Encode() [NodeSize]byte {
+	var out [NodeSize]byte
+	for i, v := range n.Versions {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v&versionMask)
+		copy(out[i*7:i*7+7], tmp[:7])
+	}
+	copy(out[56:], n.MAC[:])
+	return out
+}
+
+// DecodeNode unpacks a 64-byte image.
+func DecodeNode(img [NodeSize]byte) Node {
+	var n Node
+	for i := range n.Versions {
+		var tmp [8]byte
+		copy(tmp[:7], img[i*7:i*7+7])
+		n.Versions[i] = binary.LittleEndian.Uint64(tmp[:])
+	}
+	copy(n.MAC[:], img[56:])
+	return n
+}
+
+type nodeKey struct {
+	level int
+	index uint64
+}
+
+// Tree is the Tree of Counters over `leaves` counter blocks. The root
+// version register is persistent in-processor state; everything else
+// lives in the volatile overlay until persisted.
+type Tree struct {
+	eng      *crypt.Engine
+	dev      *nvm.Device
+	nodeBase uint64
+	leaves   uint64
+	counts   []uint64
+	offsets  []uint64
+
+	volatile map[nodeKey]*Node
+	dirty    map[nodeKey]bool
+	rootVer  uint64 // persistent root version register
+
+	macOps  uint64
+	updates uint64
+}
+
+// New creates a ToC over `leaves` leaf blocks with interior nodes stored
+// at nodeBase in dev.
+func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tree {
+	if leaves == 0 {
+		panic("toc: zero leaves")
+	}
+	t := &Tree{
+		eng:      eng,
+		dev:      dev,
+		nodeBase: nodeBase,
+		leaves:   leaves,
+		volatile: make(map[nodeKey]*Node),
+		dirty:    make(map[nodeKey]bool),
+	}
+	t.counts = []uint64{leaves}
+	n := leaves
+	for n > 1 {
+		n = (n + Arity - 1) / Arity
+		t.counts = append(t.counts, n)
+	}
+	t.offsets = make([]uint64, len(t.counts))
+	var off uint64
+	for l := 1; l < len(t.counts); l++ {
+		t.offsets[l] = off
+		off += t.counts[l] * NodeSize
+	}
+	return t
+}
+
+// Levels returns the number of interior levels.
+func (t *Tree) Levels() int { return len(t.counts) - 1 }
+
+// Leaves returns the number of leaf slots.
+func (t *Tree) Leaves() uint64 { return t.leaves }
+
+// RootVersion returns the persistent root version register.
+func (t *Tree) RootVersion() uint64 { return t.rootVer }
+
+// MACOps returns cumulative MAC computations (each parallelizable).
+func (t *Tree) MACOps() uint64 { return t.macOps }
+
+// Updates returns the number of leaf updates.
+func (t *Tree) Updates() uint64 { return t.updates }
+
+// RegionBytes returns NVM bytes needed for interior nodes.
+func (t *Tree) RegionBytes() uint64 {
+	var total uint64
+	for l := 1; l < len(t.counts); l++ {
+		total += t.counts[l] * NodeSize
+	}
+	return total
+}
+
+// NodeNVMAddr returns the NVM home of node (level, index).
+func (t *Tree) NodeNVMAddr(level int, index uint64) uint64 {
+	if level < 1 || level >= len(t.counts) {
+		panic(fmt.Sprintf("toc: bad level %d", level))
+	}
+	return t.nodeBase + t.offsets[level] + index*NodeSize
+}
+
+func (t *Tree) node(level int, index uint64) *Node {
+	k := nodeKey{level, index}
+	n, ok := t.volatile[k]
+	if !ok {
+		img := t.dev.ReadLine(t.NodeNVMAddr(level, index))
+		decoded := DecodeNode(img)
+		n = &decoded
+		t.volatile[k] = n
+	}
+	return n
+}
+
+// parentVersion returns the version of node (level, index) as recorded in
+// its parent — or the root register for the top node.
+func (t *Tree) parentVersion(level int, index uint64) uint64 {
+	if level == len(t.counts)-1 {
+		return t.rootVer
+	}
+	return t.node(level+1, index/Arity).Versions[index%Arity]
+}
+
+func position(level int, index uint64) uint64 { return uint64(level)<<56 | index }
+
+// nodeMAC computes a node's MAC over its versions and its parent version.
+func (t *Tree) nodeMAC(level int, index uint64, n *Node, parentVer uint64) crypt.MAC {
+	t.macOps++
+	var buf [Arity*8 + 8]byte
+	for i, v := range n.Versions {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	binary.LittleEndian.PutUint64(buf[Arity*8:], parentVer)
+	return t.eng.NodeMAC(buf[:], position(level, index))
+}
+
+// leafMAC binds a leaf image to its version in the level-1 node.
+func (t *Tree) leafMAC(index uint64, image *[64]byte, version uint64) crypt.MAC {
+	t.macOps++
+	var buf [72]byte
+	copy(buf[:64], image[:])
+	binary.LittleEndian.PutUint64(buf[64:], version)
+	return t.eng.NodeMAC(buf[:], position(0, index))
+}
+
+// UpdateResult describes one ToC update for the timing model.
+type UpdateResult struct {
+	// MACs is the total MAC computations (all parallelizable).
+	MACs int
+	// SerialMACs is the critical-path MAC count assuming parallel
+	// engines: 1 (all levels update concurrently).
+	SerialMACs int
+}
+
+// UpdateLeaf records a new image for leaf `index`: every version along
+// the path increments (including the root register) and every affected
+// node MAC is recomputed. With parallel MAC engines the serial cost is a
+// single MAC latency. The leaf MAC is returned for storage alongside the
+// leaf (the caller persists it with the counter block).
+func (t *Tree) UpdateLeaf(index uint64, image *[64]byte) (crypt.MAC, UpdateResult) {
+	if index >= t.leaves {
+		panic(fmt.Sprintf("toc: leaf %d out of range", index))
+	}
+	t.updates++
+	before := t.macOps
+
+	// Increment versions bottom-up first (cheap counter bumps).
+	child := index
+	for level := 1; level < len(t.counts); level++ {
+		n := t.node(level, child/Arity)
+		n.Versions[child%Arity] = (n.Versions[child%Arity] + 1) & versionMask
+		t.dirty[nodeKey{level, child / Arity}] = true
+		child /= Arity
+	}
+	t.rootVer++
+
+	// Recompute MACs (parallelizable across levels).
+	leafM := t.leafMAC(index, image, t.node(1, index/Arity).Versions[index%Arity])
+	child = index
+	for level := 1; level < len(t.counts); level++ {
+		idx := child / Arity
+		n := t.node(level, idx)
+		n.MAC = t.nodeMAC(level, idx, n, t.parentVersion(level, idx))
+		child = idx
+	}
+	return leafM, UpdateResult{MACs: int(t.macOps - before), SerialMACs: 1}
+}
+
+// NodeUpdate is one node image produced by PrepareUpdate.
+type NodeUpdate struct {
+	Level int
+	Index uint64
+	Node  Node
+}
+
+// PrepareUpdate computes — without installing — the node states and root
+// version that UpdateLeaf(index, image) would produce, for the Ma-SU
+// redo-log step. InstallUpdate applies them.
+func (t *Tree) PrepareUpdate(index uint64, image *[64]byte) ([]NodeUpdate, crypt.MAC, uint64) {
+	if index >= t.leaves {
+		panic(fmt.Sprintf("toc: leaf %d out of range", index))
+	}
+	// Build copies with incremented versions along the path.
+	ups := make([]NodeUpdate, 0, len(t.counts)-1)
+	child := index
+	for level := 1; level < len(t.counts); level++ {
+		n := *t.node(level, child/Arity)
+		n.Versions[child%Arity] = (n.Versions[child%Arity] + 1) & versionMask
+		ups = append(ups, NodeUpdate{Level: level, Index: child / Arity, Node: n})
+		child /= Arity
+	}
+	newRoot := t.rootVer + 1
+
+	parentVer := func(level int, index uint64) uint64 {
+		if level == len(t.counts)-1 {
+			return newRoot
+		}
+		// The parent is the next entry in ups (same path).
+		return ups[level].Node.Versions[index%Arity]
+	}
+	leafM := t.leafMAC(index, image, ups[0].Node.Versions[index%Arity])
+	for i := range ups {
+		up := &ups[i]
+		up.Node.MAC = t.nodeMAC(up.Level, up.Index, &up.Node, parentVer(up.Level, up.Index))
+	}
+	return ups, leafM, newRoot
+}
+
+// InstallUpdate applies a prepared update and advances the root register.
+func (t *Tree) InstallUpdate(ups []NodeUpdate, rootVer uint64) {
+	t.updates++
+	for _, up := range ups {
+		n := up.Node
+		k := nodeKey{up.Level, up.Index}
+		t.volatile[k] = &n
+		t.dirty[k] = true
+	}
+	t.rootVer = rootVer
+}
+
+// VerifyLeaf checks a leaf image and its stored MAC against the version
+// chain up to the root register. Dirty (on-chip) nodes short-circuit the
+// walk exactly as in the BMT.
+func (t *Tree) VerifyLeaf(index uint64, image *[64]byte, stored crypt.MAC) error {
+	return t.verify(index, image, stored, true)
+}
+
+// VerifyLeafFull is the recovery-time variant with no trusted-cache
+// short-circuit.
+func (t *Tree) VerifyLeafFull(index uint64, image *[64]byte, stored crypt.MAC) error {
+	return t.verify(index, image, stored, false)
+}
+
+func (t *Tree) verify(index uint64, image *[64]byte, stored crypt.MAC, trustCached bool) error {
+	ver := t.node(1, index/Arity).Versions[index%Arity]
+	if got := t.leafMAC(index, image, ver); got != stored {
+		return fmt.Errorf("toc: leaf %d MAC mismatch (version %d)", index, ver)
+	}
+	if trustCached && t.dirty[nodeKey{1, index / Arity}] {
+		return nil
+	}
+	child := index
+	for level := 1; level < len(t.counts); level++ {
+		idx := child / Arity
+		n := t.node(level, idx)
+		want := t.nodeMAC(level, idx, n, t.parentVersion(level, idx))
+		if n.MAC != want {
+			return fmt.Errorf("toc: node MAC mismatch at level %d index %d", level, idx)
+		}
+		if trustCached && level+1 < len(t.counts) && t.dirty[nodeKey{level + 1, idx / Arity}] {
+			return nil
+		}
+		child = idx
+	}
+	return nil
+}
+
+// PersistNode writes node (level, index) to NVM.
+func (t *Tree) PersistNode(level int, index uint64) {
+	k := nodeKey{level, index}
+	n, ok := t.volatile[k]
+	if !ok {
+		return
+	}
+	t.dev.WriteLine(t.NodeNVMAddr(level, index), n.Encode())
+	delete(t.dirty, k)
+}
+
+// PersistAll writes every live node to NVM (clean shutdown).
+func (t *Tree) PersistAll() {
+	for k := range t.volatile {
+		t.PersistNode(k.level, k.index)
+	}
+}
+
+// DirtyNodes lists nodes newer than their NVM copies (shadow tracker).
+func (t *Tree) DirtyNodes() [][2]uint64 {
+	var out [][2]uint64
+	for k := range t.dirty {
+		out = append(out, [2]uint64{uint64(k.level), k.index})
+	}
+	return out
+}
+
+// NodeImage returns the live image of node (level, index).
+func (t *Tree) NodeImage(level int, index uint64) [NodeSize]byte {
+	return t.node(level, index).Encode()
+}
+
+// RestoreNode installs a node image (shadow replay during recovery).
+func (t *Tree) RestoreNode(level int, index uint64, img [NodeSize]byte) {
+	n := DecodeNode(img)
+	t.volatile[nodeKey{level, index}] = &n
+	t.dirty[nodeKey{level, index}] = true
+}
+
+// DropVolatile models power failure.
+func (t *Tree) DropVolatile() {
+	t.volatile = make(map[nodeKey]*Node)
+	t.dirty = make(map[nodeKey]bool)
+}

@@ -1,0 +1,169 @@
+package toc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dolos/internal/crypt"
+	"dolos/internal/nvm"
+)
+
+func newTestTree(leaves uint64) *Tree {
+	var aesKey, macKey [16]byte
+	copy(macKey[:], "toc-test-mac-key")
+	eng := crypt.NewEngine(aesKey, macKey)
+	dev := nvm.NewDevice(nil, 1<<30, 0)
+	return New(eng, dev, 1<<24, leaves)
+}
+
+func leafImg(seed byte) [64]byte {
+	var img [64]byte
+	for i := range img {
+		img[i] = seed ^ byte(i*3)
+	}
+	return img
+}
+
+func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(vers [Arity]uint64, mac [8]byte) bool {
+		var n Node
+		for i, v := range vers {
+			n.Versions[i] = v & (1<<56 - 1)
+		}
+		n.MAC = crypt.MAC(mac)
+		return DecodeNode(n.Encode()) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateAdvancesAllVersions(t *testing.T) {
+	tr := newTestTree(512) // levels: 64, 8, 1
+	img := leafImg(1)
+	root0 := tr.RootVersion()
+	_, res := tr.UpdateLeaf(100, &img)
+	if tr.RootVersion() != root0+1 {
+		t.Fatalf("root version %d, want %d", tr.RootVersion(), root0+1)
+	}
+	if res.SerialMACs != 1 {
+		t.Fatalf("serial MACs = %d, want 1 (parallel engines)", res.SerialMACs)
+	}
+	if res.MACs != tr.Levels()+1 {
+		t.Fatalf("total MACs = %d, want %d", res.MACs, tr.Levels()+1)
+	}
+}
+
+func TestVerifyAfterUpdate(t *testing.T) {
+	tr := newTestTree(512)
+	img := leafImg(2)
+	mac, _ := tr.UpdateLeaf(7, &img)
+	if err := tr.VerifyLeaf(7, &img, mac); err != nil {
+		t.Fatalf("verify failed: %v", err)
+	}
+	bad := leafImg(3)
+	if err := tr.VerifyLeaf(7, &bad, mac); err == nil {
+		t.Fatal("tampered image accepted")
+	}
+}
+
+func TestReplayOldMACDetected(t *testing.T) {
+	tr := newTestTree(512)
+	img1 := leafImg(1)
+	mac1, _ := tr.UpdateLeaf(7, &img1)
+	img2 := leafImg(2)
+	tr.UpdateLeaf(7, &img2)
+	// Replaying the old image + old MAC must fail: the version moved.
+	if err := tr.VerifyLeaf(7, &img1, mac1); err == nil {
+		t.Fatal("replay of old image+MAC accepted")
+	}
+}
+
+func TestVersionChainToRoot(t *testing.T) {
+	tr := newTestTree(512)
+	img := leafImg(4)
+	mac, _ := tr.UpdateLeaf(0, &img)
+	tr.PersistAll()
+	// Clear the dirty set so verification walks the full chain.
+	tr.DropVolatile()
+	if err := tr.VerifyLeafFull(0, &img, mac); err != nil {
+		t.Fatalf("full verify after persist failed: %v", err)
+	}
+}
+
+func TestCrashWithoutShadowFails(t *testing.T) {
+	tr := newTestTree(512)
+	img1 := leafImg(1)
+	tr.UpdateLeaf(3, &img1)
+	tr.PersistAll()
+	img2 := leafImg(2)
+	mac2, _ := tr.UpdateLeaf(3, &img2) // not persisted
+	tr.DropVolatile()
+	if err := tr.VerifyLeafFull(3, &img2, mac2); err == nil {
+		t.Fatal("stale NVM ToC accepted against advanced root version")
+	}
+}
+
+func TestShadowRestoreRecovers(t *testing.T) {
+	tr := newTestTree(512)
+	img1 := leafImg(1)
+	tr.UpdateLeaf(3, &img1)
+	tr.PersistAll()
+	img2 := leafImg(2)
+	mac2, _ := tr.UpdateLeaf(3, &img2)
+
+	type saved struct {
+		level int
+		index uint64
+		img   [NodeSize]byte
+	}
+	var shadow []saved
+	for _, d := range tr.DirtyNodes() {
+		shadow = append(shadow, saved{int(d[0]), d[1], tr.NodeImage(int(d[0]), d[1])})
+	}
+	tr.DropVolatile()
+	for _, s := range shadow {
+		tr.RestoreNode(s.level, s.index, s.img)
+	}
+	if err := tr.VerifyLeafFull(3, &img2, mac2); err != nil {
+		t.Fatalf("shadow-recovered ToC rejected current image: %v", err)
+	}
+}
+
+func TestIndependentLeaves(t *testing.T) {
+	tr := newTestTree(512)
+	a, b := leafImg(1), leafImg(2)
+	macA, _ := tr.UpdateLeaf(10, &a)
+	macB, _ := tr.UpdateLeaf(400, &b)
+	if err := tr.VerifyLeaf(10, &a, macA); err != nil {
+		t.Fatalf("leaf 10: %v", err)
+	}
+	if err := tr.VerifyLeaf(400, &b, macB); err != nil {
+		t.Fatalf("leaf 400: %v", err)
+	}
+	// Swapping images across leaves must fail (relocation).
+	if err := tr.VerifyLeaf(10, &b, macB); err == nil {
+		t.Fatal("relocated leaf accepted")
+	}
+}
+
+func TestRegionAndAddrs(t *testing.T) {
+	tr := newTestTree(512)
+	if tr.RegionBytes() != (64+8+1)*NodeSize {
+		t.Fatalf("RegionBytes = %d", tr.RegionBytes())
+	}
+	if tr.NodeNVMAddr(1, 0) == tr.NodeNVMAddr(2, 0) {
+		t.Fatal("level regions overlap")
+	}
+}
+
+func TestManyUpdatesProperty(t *testing.T) {
+	tr := newTestTree(256)
+	f := func(idx uint8, img [64]byte) bool {
+		mac, _ := tr.UpdateLeaf(uint64(idx), &img)
+		return tr.VerifyLeaf(uint64(idx), &img, mac) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

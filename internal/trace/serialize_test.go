@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	r := NewRecorder("sample", 512)
+	var d [64]byte
+	d[3] = 0x33
+	r.SetInitImage([]InitLine{{Addr: 4096, Data: d}})
+	r.TxBegin()
+	r.Compute(100)
+	r.Write(4096, d)
+	r.Flush(4096, d)
+	r.Fence()
+	r.Read(4096)
+	r.TxEnd()
+	return r.Finish()
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Name != b.Name || a.TxSize != b.TxSize || a.Transactions != b.Transactions {
+		return false
+	}
+	if len(a.Ops) != len(b.Ops) || len(a.InitImage) != len(b.InitImage) {
+		return false
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			return false
+		}
+	}
+	for i := range a.InitImage {
+		if a.InitImage[i] != b.InitImage[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "sample.trace")
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("file round trip lost data")
+	}
+	// Atomic write: no temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadFile("/nonexistent/file"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

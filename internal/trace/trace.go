@@ -1,0 +1,183 @@
+// Package trace defines the memory-operation streams that connect the
+// workload generators to the timing simulator. A trace is the substrate
+// substitution for gem5's instruction stream: it carries exactly what the
+// memory system sees — stores, loads, cache-line flushes, fences and the
+// compute gaps between them — recorded once per (workload, parameters)
+// and replayed identically under every controller scheme so comparisons
+// are paired.
+package trace
+
+import (
+	"fmt"
+
+	"dolos/internal/sim"
+)
+
+// Kind enumerates trace operations.
+type Kind uint8
+
+const (
+	// Compute advances time without memory activity.
+	Compute Kind = iota
+	// Read is a load from a persistent-heap line.
+	Read
+	// Write is a store to a persistent-heap line (carries the full line
+	// value after the store, so replay is scheme-independent).
+	Write
+	// Flush is a clwb of one line (carries the line value being
+	// persisted).
+	Flush
+	// Fence is an sfence: execution stalls until every previously
+	// issued flush has been accepted into the persistence domain.
+	Fence
+	// TxBegin marks the start of a durable transaction.
+	TxBegin
+	// TxEnd marks commit completion.
+	TxEnd
+)
+
+// String returns the op-kind mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Flush:
+		return "flush"
+	case Fence:
+		return "fence"
+	case TxBegin:
+		return "txbegin"
+	case TxEnd:
+		return "txend"
+	}
+	return fmt.Sprintf("Kind(%d)", k)
+}
+
+// Op is one trace operation.
+type Op struct {
+	Kind   Kind
+	Addr   uint64
+	Cycles sim.Cycle // Compute only
+	Data   [64]byte  // Write/Flush: line contents
+}
+
+// InitLine is one pre-populated memory line: the fast-forward image.
+type InitLine struct {
+	Addr uint64
+	Data [64]byte
+}
+
+// Trace is a recorded operation stream.
+type Trace struct {
+	// Name identifies the workload (e.g. "Hashmap").
+	Name string
+	// TxSize is the transaction payload in bytes.
+	TxSize int
+	// Transactions is the number of durable transactions recorded.
+	Transactions int
+	// InitImage is the memory image at the start of the measured phase —
+	// the state the warm-up (fast-forward) built. The simulator loads it
+	// functionally before replaying Ops, exactly as gem5 restores a
+	// checkpoint after fast-forwarding.
+	InitImage []InitLine
+	// Ops is the operation stream.
+	Ops []Op
+}
+
+// Counts summarizes a trace's composition.
+type Counts struct {
+	Reads, Writes, Flushes, Fences int
+	ComputeCycles                  sim.Cycle
+}
+
+// Count tallies the trace composition.
+func (t *Trace) Count() Counts {
+	var c Counts
+	for i := range t.Ops {
+		switch t.Ops[i].Kind {
+		case Read:
+			c.Reads++
+		case Write:
+			c.Writes++
+		case Flush:
+			c.Flushes++
+		case Fence:
+			c.Fences++
+		case Compute:
+			c.ComputeCycles += t.Ops[i].Cycles
+		}
+	}
+	return c
+}
+
+// Recorder builds a trace incrementally; the pmem layer drives it.
+type Recorder struct {
+	t Trace
+	// pendingCompute batches adjacent compute ops into one.
+	pendingCompute sim.Cycle
+}
+
+// NewRecorder starts a trace for the named workload.
+func NewRecorder(name string, txSize int) *Recorder {
+	return &Recorder{t: Trace{Name: name, TxSize: txSize}}
+}
+
+func (r *Recorder) flushCompute() {
+	if r.pendingCompute > 0 {
+		r.t.Ops = append(r.t.Ops, Op{Kind: Compute, Cycles: r.pendingCompute})
+		r.pendingCompute = 0
+	}
+}
+
+// Compute accumulates compute cycles (coalesced into single ops).
+func (r *Recorder) Compute(c sim.Cycle) { r.pendingCompute += c }
+
+// Read records a load of addr's line.
+func (r *Recorder) Read(addr uint64) {
+	r.flushCompute()
+	r.t.Ops = append(r.t.Ops, Op{Kind: Read, Addr: addr &^ 63})
+}
+
+// Write records a store; data is the line value after the store.
+func (r *Recorder) Write(addr uint64, data [64]byte) {
+	r.flushCompute()
+	r.t.Ops = append(r.t.Ops, Op{Kind: Write, Addr: addr &^ 63, Data: data})
+}
+
+// Flush records a clwb; data is the line value being persisted.
+func (r *Recorder) Flush(addr uint64, data [64]byte) {
+	r.flushCompute()
+	r.t.Ops = append(r.t.Ops, Op{Kind: Flush, Addr: addr &^ 63, Data: data})
+}
+
+// Fence records an sfence.
+func (r *Recorder) Fence() {
+	r.flushCompute()
+	r.t.Ops = append(r.t.Ops, Op{Kind: Fence})
+}
+
+// SetInitImage attaches the fast-forward memory image.
+func (r *Recorder) SetInitImage(img []InitLine) { r.t.InitImage = img }
+
+// TxBegin records a transaction start.
+func (r *Recorder) TxBegin() {
+	r.flushCompute()
+	r.t.Ops = append(r.t.Ops, Op{Kind: TxBegin})
+}
+
+// TxEnd records a transaction commit.
+func (r *Recorder) TxEnd() {
+	r.flushCompute()
+	r.t.Ops = append(r.t.Ops, Op{Kind: TxEnd})
+	r.t.Transactions++
+}
+
+// Finish returns the completed trace.
+func (r *Recorder) Finish() *Trace {
+	r.flushCompute()
+	return &r.t
+}

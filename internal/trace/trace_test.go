@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder("w", 256)
+	var d [64]byte
+	d[0] = 1
+	r.TxBegin()
+	r.Compute(100)
+	r.Compute(50) // coalesced with the previous compute
+	r.Write(0x1000, d)
+	r.Flush(0x1000, d)
+	r.Fence()
+	r.Read(0x1000)
+	r.TxEnd()
+	tr := r.Finish()
+
+	if tr.Name != "w" || tr.TxSize != 256 || tr.Transactions != 1 {
+		t.Fatalf("metadata wrong: %+v", tr)
+	}
+	c := tr.Count()
+	if c.Writes != 1 || c.Flushes != 1 || c.Fences != 1 || c.Reads != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.ComputeCycles != 150 {
+		t.Fatalf("compute = %d, want coalesced 150", c.ComputeCycles)
+	}
+	// Exactly one compute op despite two Compute calls.
+	computes := 0
+	for _, op := range tr.Ops {
+		if op.Kind == Compute {
+			computes++
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("compute ops = %d, want 1", computes)
+	}
+}
+
+func TestAddressesLineAligned(t *testing.T) {
+	r := NewRecorder("w", 0)
+	var d [64]byte
+	r.Write(0x1234, d)
+	r.Flush(0x1234, d)
+	r.Read(0x1234)
+	tr := r.Finish()
+	for _, op := range tr.Ops {
+		if op.Addr%64 != 0 {
+			t.Fatalf("op %v addr %#x unaligned", op.Kind, op.Addr)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{Compute, Read, Write, Flush, Fence, TxBegin, TxEnd, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", k)
+		}
+	}
+}
+
+func TestTrailingComputeFlushed(t *testing.T) {
+	r := NewRecorder("w", 0)
+	r.Compute(42)
+	tr := r.Finish()
+	if len(tr.Ops) != 1 || tr.Ops[0].Cycles != 42 {
+		t.Fatalf("trailing compute lost: %+v", tr.Ops)
+	}
+}
+
+func TestCountAccountsEverything(t *testing.T) {
+	// Property: Count's tallies sum to the number of non-marker ops.
+	f := func(kinds []uint8) bool {
+		r := NewRecorder("p", 0)
+		var d [64]byte
+		for _, k := range kinds {
+			switch k % 5 {
+			case 0:
+				r.Compute(10)
+			case 1:
+				r.Read(64)
+			case 2:
+				r.Write(64, d)
+			case 3:
+				r.Flush(64, d)
+			case 4:
+				r.Fence()
+			}
+		}
+		tr := r.Finish()
+		c := tr.Count()
+		nonCompute := c.Reads + c.Writes + c.Flushes + c.Fences
+		got := 0
+		for _, op := range tr.Ops {
+			if op.Kind != Compute {
+				got++
+			}
+		}
+		return got == nonCompute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

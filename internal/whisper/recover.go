@@ -1,0 +1,139 @@
+package whisper
+
+import (
+	"fmt"
+
+	"dolos/internal/pmem"
+)
+
+// ReadLineFunc reads one verified 64-byte line from recovered memory
+// (typically masu.Unit.ReadLine adapted to drop the cost).
+type ReadLineFunc func(addr uint64) ([64]byte, error)
+
+// recoveredHeap adapts verified NVM reads to the heap interface the
+// walkers need, caching lines so structural walks don't re-verify.
+type recoveredHeap struct {
+	read  ReadLineFunc
+	cache map[uint64][64]byte
+}
+
+func (h *recoveredHeap) line(addr uint64) ([64]byte, error) {
+	base := addr &^ 63
+	if l, ok := h.cache[base]; ok {
+		return l, nil
+	}
+	l, err := h.read(base)
+	if err != nil {
+		return l, err
+	}
+	h.cache[base] = l
+	return l, nil
+}
+
+func (h *recoveredHeap) u64(addr uint64) (uint64, error) {
+	l, err := h.line(addr)
+	if err != nil {
+		return 0, err
+	}
+	off := addr & 63
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(l[off+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// HashmapReport summarizes a post-recovery structural walk of the
+// persistent hashmap.
+type HashmapReport struct {
+	// Entries is the number of reachable key/value nodes.
+	Entries int
+	// Buckets is the number of non-empty buckets.
+	Buckets int
+	// MaxChain is the longest bucket chain encountered.
+	MaxChain int
+}
+
+// WalkRecoveredHashmap traverses a persistent hashmap image from
+// verified NVM reads after crash recovery: every bucket pointer and
+// chain link must resolve to well-formed nodes within the heap. This is
+// the application-level recovery check — the structure itself, not just
+// individual lines, survived the crash.
+//
+// bucketsBase is the NVM address of the bucket array (the hashmap
+// allocates it first, right after the undo log); heapBase/heapSize bound
+// valid pointers.
+func WalkRecoveredHashmap(read ReadLineFunc, bucketsBase, heapBase, heapSize uint64) (HashmapReport, error) {
+	h := &recoveredHeap{read: read, cache: make(map[uint64][64]byte)}
+	var rep HashmapReport
+	valid := func(p uint64) bool {
+		return p >= heapBase && p < heapBase+heapSize && p%8 == 0
+	}
+	for b := uint64(0); b < hashmapBuckets; b++ {
+		node, err := h.u64(bucketsBase + b*8)
+		if err != nil {
+			return rep, fmt.Errorf("bucket %d: %w", b, err)
+		}
+		chain := 0
+		for node != 0 {
+			if !valid(node) {
+				return rep, fmt.Errorf("bucket %d: dangling node pointer %#x", b, node)
+			}
+			key, err := h.u64(node)
+			if err != nil {
+				return rep, fmt.Errorf("node %#x: %w", node, err)
+			}
+			vaddr, err := h.u64(node + 16)
+			if err != nil {
+				return rep, err
+			}
+			vlen, err := h.u64(node + 24)
+			if err != nil {
+				return rep, err
+			}
+			if vaddr != 0 && (!valid(vaddr) || vlen == 0 || vlen > 1<<20) {
+				return rep, fmt.Errorf("node %#x (key %d): bad value [%#x,+%d)", node, key, vaddr, vlen)
+			}
+			// The hash must route this key to this bucket — a relocated
+			// or spliced node would land in the wrong chain.
+			if hashKey(key)%hashmapBuckets != b {
+				return rep, fmt.Errorf("node %#x: key %d in wrong bucket %d", node, key, b)
+			}
+			chain++
+			rep.Entries++
+			if chain > 1<<16 {
+				return rep, fmt.Errorf("bucket %d: chain cycle suspected", b)
+			}
+			node, err = h.u64(node + 8)
+			if err != nil {
+				return rep, err
+			}
+		}
+		if chain > 0 {
+			rep.Buckets++
+			if chain > rep.MaxChain {
+				rep.MaxChain = chain
+			}
+		}
+	}
+	return rep, nil
+}
+
+// ResolveRecoveredLog parses and rolls back the workload's undo log from
+// verified NVM reads, returning the restore set (empty when the crash
+// did not interrupt a transaction). Callers apply the restores through
+// their secure-memory write path.
+func ResolveRecoveredLog(read ReadLineFunc, logBase uint64, capacity int) ([]pmem.UndoEntry, error) {
+	var readErr error
+	status, entries := pmem.ParseLog(logBase, capacity, func(addr uint64) [64]byte {
+		l, err := read(addr)
+		if err != nil && readErr == nil {
+			readErr = err
+		}
+		return l
+	})
+	if readErr != nil {
+		return nil, readErr
+	}
+	return pmem.Rollback(status, entries), nil
+}

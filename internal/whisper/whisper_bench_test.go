@@ -1,0 +1,20 @@
+package whisper
+
+import "testing"
+
+func benchGenerate(b *testing.B, w Workload) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := w.Generate(Params{Transactions: 100, Warmup: 50, TxSize: 1024, Seed: int64(i) + 1})
+		if tr.Transactions < 100 {
+			b.Fatal("short trace")
+		}
+	}
+}
+
+func BenchmarkGenerateHashmap(b *testing.B) { benchGenerate(b, Hashmap{}) }
+func BenchmarkGenerateCtree(b *testing.B)   { benchGenerate(b, Ctree{}) }
+func BenchmarkGenerateBtree(b *testing.B)   { benchGenerate(b, Btree{}) }
+func BenchmarkGenerateRBtree(b *testing.B)  { benchGenerate(b, RBtree{}) }
+func BenchmarkGenerateYCSB(b *testing.B)    { benchGenerate(b, YCSB{}) }
+func BenchmarkGenerateRedis(b *testing.B)   { benchGenerate(b, Redis{}) }

@@ -1,0 +1,86 @@
+package wpq
+
+import "testing"
+
+func TestMustWaitOnlyWithoutCoalescing(t *testing.T) {
+	q := New(4)
+	s, _, _ := q.Allocate(0x40)
+	q.Commit(s, Entry{Addr: 0x40, Valid: true})
+	q.MarkFetched(s)
+	// Coalescing enabled: in-flight entries absorb new writes.
+	if q.MustWait(0x40) {
+		t.Fatal("MustWait with coalescing enabled")
+	}
+	if !q.CanCoalesce(0x40) {
+		t.Fatal("cannot coalesce into fetched entry")
+	}
+	// Coalescing disabled: same-line ordering requires stalling.
+	q.SetCoalescing(false)
+	if !q.MustWait(0x40) {
+		t.Fatal("no MustWait with coalescing disabled")
+	}
+	if q.MustWait(0x80) {
+		t.Fatal("MustWait for an absent line")
+	}
+	q.Clear(s)
+	if q.MustWait(0x40) {
+		t.Fatal("MustWait after clear")
+	}
+}
+
+func TestCommitResetsFetched(t *testing.T) {
+	q := New(4)
+	s, _, _ := q.Allocate(0x40)
+	q.Commit(s, Entry{Addr: 0x40, Valid: true})
+	q.MarkFetched(s)
+	seq1 := q.Entry(s).Seq
+	s2, coal, ok := q.Allocate(0x40)
+	if !ok || !coal || s2 != s {
+		t.Fatalf("coalesce into fetched entry failed: %d %v %v", s2, coal, ok)
+	}
+	q.Commit(s2, Entry{Addr: 0x40, Valid: true})
+	e := q.Entry(s2)
+	if e.Fetched {
+		t.Fatal("commit kept the Fetched flag")
+	}
+	if e.Seq == seq1 {
+		t.Fatal("commit did not advance Seq")
+	}
+	// The refreshed entry is fetchable again.
+	if f, ok := q.FetchOldest(); !ok || f != s {
+		t.Fatal("refreshed entry not fetchable")
+	}
+}
+
+func TestFetchOldestBySeq(t *testing.T) {
+	q := New(4)
+	a, _, _ := q.Allocate(0x40)
+	q.Commit(a, Entry{Addr: 0x40, Valid: true})
+	b, _, _ := q.Allocate(0x80)
+	q.Commit(b, Entry{Addr: 0x80, Valid: true})
+	// Refresh the first entry: it becomes the NEWEST despite the lower
+	// slot index, so FetchOldest must now pick the other one.
+	s, _, _ := q.Allocate(0x40)
+	q.Commit(s, Entry{Addr: 0x40, Valid: true})
+	if f, ok := q.FetchOldest(); !ok || f != b {
+		t.Fatalf("FetchOldest picked slot %d, want %d (age order)", f, b)
+	}
+}
+
+func TestLiveSlotsBySeq(t *testing.T) {
+	q := New(4)
+	for _, addr := range []uint64{0x40, 0x80, 0xC0} {
+		s, _, _ := q.Allocate(addr)
+		q.Commit(s, Entry{Addr: addr, Valid: true})
+	}
+	// Refresh the first: its seq becomes the largest.
+	s, _, _ := q.Allocate(0x40)
+	q.Commit(s, Entry{Addr: 0x40, Valid: true})
+	order := q.LiveSlotsBySeq()
+	if len(order) != 3 {
+		t.Fatalf("live slots = %v", order)
+	}
+	if q.Entry(order[len(order)-1]).Addr != 0x40 {
+		t.Fatalf("refreshed entry not last in age order: %v", order)
+	}
+}

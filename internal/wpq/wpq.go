@@ -1,0 +1,272 @@
+// Package wpq implements the Write Pending Queue: the small battery-backed
+// (ADR) buffer inside the memory controller that forms the on-chip part of
+// the persistence domain. Entries are stored encrypted by the Mi-SU; a
+// parallel volatile tag array keeps plaintext addresses to support write
+// coalescing and read hits (Section 4.5 of the paper).
+package wpq
+
+import (
+	"fmt"
+	"sort"
+
+	"dolos/internal/crypt"
+)
+
+// EntryDataSize is the payload of one WPQ entry: a 64-byte line plus its
+// 8-byte address — the 72-byte entries the paper assumes.
+const EntryDataSize = 72
+
+// Entry is one WPQ slot.
+type Entry struct {
+	// Addr is the line address (also kept in the volatile tag array;
+	// its presence here models the encrypted address field).
+	Addr uint64
+	// Cipher is the Mi-SU-encrypted line.
+	Cipher [64]byte
+	// MAC is the per-entry MAC (Partial- and Post-WPQ designs; unused
+	// by Full-WPQ, which maintains a two-level tree instead).
+	MAC crypt.MAC
+	// Counter is the Mi-SU encryption counter this entry's pad derives
+	// from (persistent counter register + slot number).
+	Counter uint64
+	// Valid marks an allocated slot.
+	Valid bool
+	// Cleared marks an entry fully processed by the Ma-SU; it may be
+	// reused and need not be re-protected if drained (Section 4.3).
+	Cleared bool
+	// MACPending marks a committed Post-WPQ entry whose deferred MAC
+	// computation has not finished yet.
+	MACPending bool
+	// Fetched marks an entry the Ma-SU has started processing; it can
+	// no longer be coalesced into (the in-flight pipeline holds a copy)
+	// but still occupies its slot until cleared.
+	Fetched bool
+	// Seq is the entry's age stamp, assigned at commit. Crash-drain
+	// replay follows Seq order so that two live entries for the same
+	// line (old one fetched, new one not) restore newest-last.
+	Seq uint64
+}
+
+// Queue is a circular WPQ with a volatile tag array.
+type Queue struct {
+	slots     []Entry
+	nextAlloc int // next slot to try for insertion (paper's Next_time)
+	nextFetch int // oldest un-cleared entry (paper's next_fetch_index)
+	live      int // valid && !cleared
+
+	tags       map[uint64]int // volatile tag array: line address -> slot
+	noCoalesce bool
+	seq        uint64
+
+	inserts   uint64
+	coalesces uint64
+	readHits  uint64
+}
+
+// New creates a WPQ with the given number of entries.
+func New(entries int) *Queue {
+	if entries <= 0 {
+		panic("wpq: non-positive size")
+	}
+	return &Queue{
+		slots: make([]Entry, entries),
+		tags:  make(map[uint64]int, entries),
+	}
+}
+
+// Size returns the number of slots.
+func (q *Queue) Size() int { return len(q.slots) }
+
+// Live returns the number of valid, un-cleared entries.
+func (q *Queue) Live() int { return q.live }
+
+// Full reports whether no slot can accept a new entry.
+func (q *Queue) Full() bool { return q.live == len(q.slots) }
+
+// Inserts returns the number of successful allocations (including
+// coalesced updates).
+func (q *Queue) Inserts() uint64 { return q.inserts }
+
+// Coalesces returns how many inserts hit an existing entry.
+func (q *Queue) Coalesces() uint64 { return q.coalesces }
+
+// ReadHits returns how many reads were served from the WPQ.
+func (q *Queue) ReadHits() uint64 { return q.readHits }
+
+// CanCoalesce reports whether a write to addr would coalesce into an
+// existing live entry rather than needing a free slot. Coalescing into a
+// Fetched (Ma-SU in-flight) entry is allowed: committing new content
+// resets the Fetched flag, so the pipeline's completion leaves the entry
+// live and it is re-fetched with the new data (the Seq stamp tells the
+// completion its snapshot is stale).
+func (q *Queue) CanCoalesce(addr uint64) bool {
+	if q.noCoalesce {
+		return false
+	}
+	s, ok := q.tags[addr]
+	return ok && q.slots[s].Valid && !q.slots[s].Cleared
+}
+
+// MustWait reports whether a write to addr must stall to preserve
+// same-line write ordering: only when coalescing is disabled and the
+// line already occupies a live entry (two live entries for one line
+// would make crash-replay order ambiguous).
+func (q *Queue) MustWait(addr uint64) bool {
+	if !q.noCoalesce {
+		return false
+	}
+	s, ok := q.tags[addr]
+	if !ok {
+		return false
+	}
+	e := &q.slots[s]
+	return e.Valid && !e.Cleared
+}
+
+// Lookup consults the volatile tag array for a live entry holding addr.
+func (q *Queue) Lookup(addr uint64) (slot int, ok bool) {
+	slot, ok = q.tags[addr]
+	return slot, ok
+}
+
+// ReadHit records a read served from the WPQ (after the caller decrypts
+// the entry with one XOR).
+func (q *Queue) ReadHit() { q.readHits++ }
+
+// Entry returns a copy of slot i.
+func (q *Queue) Entry(i int) Entry { return q.slots[i] }
+
+// Allocate finds the slot for a new write to addr. If a live entry for
+// addr exists it is returned with coalesced == true; otherwise a free
+// slot is claimed. ok is false when the queue is full (the caller counts
+// a retry event and re-attempts later).
+// SetCoalescing enables or disables write coalescing through the tag
+// array (enabled by default; the ablation experiments turn it off).
+func (q *Queue) SetCoalescing(enabled bool) { q.noCoalesce = !enabled }
+
+func (q *Queue) Allocate(addr uint64) (slot int, coalesced, ok bool) {
+	if q.CanCoalesce(addr) {
+		s := q.tags[addr]
+		q.coalesces++
+		q.inserts++
+		return s, true, true
+	}
+	if q.Full() {
+		return 0, false, false
+	}
+	for i := 0; i < len(q.slots); i++ {
+		s := (q.nextAlloc + i) % len(q.slots)
+		if !q.slots[s].Valid || q.slots[s].Cleared {
+			if q.slots[s].Valid {
+				// Reusing a cleared slot: retire its tag only if the
+				// address has not been re-allocated to another slot.
+				if old, live := q.tags[q.slots[s].Addr]; live && old == s {
+					delete(q.tags, q.slots[s].Addr)
+				}
+			}
+			q.nextAlloc = (s + 1) % len(q.slots)
+			q.live++
+			q.inserts++
+			q.slots[s] = Entry{} // caller fills via Commit
+			q.tags[addr] = s
+			return s, false, true
+		}
+	}
+	panic("wpq: full check and scan disagree")
+}
+
+// Commit stores the protected entry into a slot claimed by Allocate.
+func (q *Queue) Commit(slot int, e Entry) {
+	if !e.Valid {
+		panic("wpq: committing invalid entry")
+	}
+	prev := q.slots[slot]
+	if prev.Valid && !prev.Cleared && prev.Addr != e.Addr {
+		panic(fmt.Sprintf("wpq: slot %d overwrite of live entry %#x with %#x", slot, prev.Addr, e.Addr))
+	}
+	q.seq++
+	e.Seq = q.seq
+	q.slots[slot] = e
+	q.tags[e.Addr] = slot
+}
+
+// FetchOldest returns the slot index of the oldest (smallest Seq) live
+// entry that is not awaiting a deferred MAC, for the Ma-SU to process.
+// ok is false when no entry is eligible. Age order matters when the same
+// line occupies two entries (coalescing disabled): the newer value must
+// reach NVM last.
+func (q *Queue) FetchOldest() (slot int, ok bool) {
+	best := -1
+	for i := range q.slots {
+		e := &q.slots[i]
+		if e.Valid && !e.Cleared && !e.MACPending && !e.Fetched {
+			if best < 0 || e.Seq < q.slots[best].Seq {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// MarkFetched flags slot as in-flight in the Ma-SU pipeline.
+func (q *Queue) MarkFetched(slot int) { q.slots[slot].Fetched = true }
+
+// Clear marks slot processed by the Ma-SU (step 4 of Figure 11). The slot
+// becomes reusable; the tag stays until reuse so reads can still hit the
+// WPQ copy harmlessly.
+func (q *Queue) Clear(slot int) {
+	e := &q.slots[slot]
+	if !e.Valid || e.Cleared {
+		panic(fmt.Sprintf("wpq: clearing slot %d in state %+v", slot, *e))
+	}
+	e.Cleared = true
+	q.live--
+	if s, ok := q.tags[e.Addr]; ok && s == slot {
+		delete(q.tags, e.Addr)
+	}
+	q.nextFetch = (slot + 1) % len(q.slots)
+}
+
+// SetMACPending marks/unmarks a slot's deferred-MAC state (Post-WPQ).
+func (q *Queue) SetMACPending(slot int, pending bool) {
+	q.slots[slot].MACPending = pending
+}
+
+// LiveEntries returns copies of all valid, un-cleared entries in age
+// (Seq) order — the set that must reach NVM on a power failure, oldest
+// first so replay restores the newest value of any repeated line last.
+func (q *Queue) LiveEntries() []Entry {
+	out := make([]Entry, 0, q.live)
+	for i := range q.slots {
+		if q.slots[i].Valid && !q.slots[i].Cleared {
+			out = append(out, q.slots[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// LiveSlotsBySeq returns the slot indices of all live entries in age
+// order (oldest first) — the crash-drain replay order.
+func (q *Queue) LiveSlotsBySeq() []int {
+	out := make([]int, 0, q.live)
+	for i := range q.slots {
+		if q.slots[i].Valid && !q.slots[i].Cleared {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return q.slots[out[a]].Seq < q.slots[out[b]].Seq })
+	return out
+}
+
+// Reset empties the queue (after a drain + recovery cycle).
+func (q *Queue) Reset() {
+	for i := range q.slots {
+		q.slots[i] = Entry{}
+	}
+	q.tags = make(map[uint64]int, len(q.slots))
+	q.nextAlloc, q.nextFetch, q.live = 0, 0, 0
+}

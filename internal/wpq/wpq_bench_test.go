@@ -1,0 +1,44 @@
+package wpq
+
+import "testing"
+
+func BenchmarkAllocateCommitClear(b *testing.B) {
+	q := New(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%64+1) * 64
+		slot, _, ok := q.Allocate(addr)
+		if !ok {
+			b.Fatal("full")
+		}
+		q.Commit(slot, Entry{Addr: addr, Valid: true})
+		f, _ := q.FetchOldest()
+		q.Clear(f)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	q := New(16)
+	for i := uint64(1); i <= 16; i++ {
+		s, _, _ := q.Allocate(i * 64)
+		q.Commit(s, Entry{Addr: i * 64, Valid: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Lookup(uint64(i%16+1) * 64)
+	}
+}
+
+func BenchmarkCoalesce(b *testing.B) {
+	q := New(16)
+	s, _, _ := q.Allocate(64)
+	q.Commit(s, Entry{Addr: 64, Valid: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot, coal, ok := q.Allocate(64)
+		if !ok || !coal {
+			b.Fatal("no coalesce")
+		}
+		q.Commit(slot, Entry{Addr: 64, Valid: true})
+	}
+}

@@ -1,0 +1,231 @@
+package wpq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func commit(q *Queue, slot int, addr uint64) {
+	q.Commit(slot, Entry{Addr: addr, Valid: true, Counter: uint64(slot)})
+}
+
+func TestAllocateCommitFetchClear(t *testing.T) {
+	q := New(4)
+	slot, coal, ok := q.Allocate(0x1000)
+	if !ok || coal {
+		t.Fatalf("allocate: slot=%d coal=%v ok=%v", slot, coal, ok)
+	}
+	commit(q, slot, 0x1000)
+	if q.Live() != 1 {
+		t.Fatalf("live = %d", q.Live())
+	}
+	f, ok := q.FetchOldest()
+	if !ok || f != slot {
+		t.Fatalf("fetch = %d ok=%v", f, ok)
+	}
+	q.Clear(f)
+	if q.Live() != 0 {
+		t.Fatalf("live after clear = %d", q.Live())
+	}
+	if _, ok := q.FetchOldest(); ok {
+		t.Fatal("fetch found entry after clear")
+	}
+}
+
+func TestFullAndRetry(t *testing.T) {
+	q := New(2)
+	for i := uint64(0); i < 2; i++ {
+		s, _, ok := q.Allocate(i * 64)
+		if !ok {
+			t.Fatalf("allocate %d failed", i)
+		}
+		commit(q, s, i*64)
+	}
+	if !q.Full() {
+		t.Fatal("queue not full")
+	}
+	if _, _, ok := q.Allocate(0x9000); ok {
+		t.Fatal("allocate succeeded when full")
+	}
+	// Clearing frees a slot.
+	f, _ := q.FetchOldest()
+	q.Clear(f)
+	if _, _, ok := q.Allocate(0x9000); !ok {
+		t.Fatal("allocate failed after clear")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	q := New(4)
+	s1, _, _ := q.Allocate(0x40)
+	commit(q, s1, 0x40)
+	s2, coal, ok := q.Allocate(0x40)
+	if !ok || !coal || s2 != s1 {
+		t.Fatalf("coalesce: slot=%d coal=%v", s2, coal)
+	}
+	if q.Live() != 1 {
+		t.Fatalf("live = %d after coalesce", q.Live())
+	}
+	if q.Coalesces() != 1 || q.Inserts() != 2 {
+		t.Fatalf("stats: coalesces=%d inserts=%d", q.Coalesces(), q.Inserts())
+	}
+}
+
+func TestNoCoalesceAfterClear(t *testing.T) {
+	q := New(4)
+	s, _, _ := q.Allocate(0x40)
+	commit(q, s, 0x40)
+	q.Clear(s)
+	s2, coal, ok := q.Allocate(0x40)
+	if !ok || coal {
+		t.Fatalf("allocate after clear: slot=%d coal=%v", s2, coal)
+	}
+}
+
+func TestLookupAndReadHit(t *testing.T) {
+	q := New(4)
+	s, _, _ := q.Allocate(0x80)
+	commit(q, s, 0x80)
+	if got, ok := q.Lookup(0x80); !ok || got != s {
+		t.Fatalf("lookup = %d, %v", got, ok)
+	}
+	q.ReadHit()
+	if q.ReadHits() != 1 {
+		t.Fatal("read hit not counted")
+	}
+	if _, ok := q.Lookup(0xFFFF); ok {
+		t.Fatal("lookup hit for absent address")
+	}
+}
+
+func TestFetchOrderFIFO(t *testing.T) {
+	q := New(4)
+	addrs := []uint64{0x100, 0x200, 0x300}
+	for _, a := range addrs {
+		s, _, _ := q.Allocate(a)
+		commit(q, s, a)
+	}
+	for _, want := range addrs {
+		s, ok := q.FetchOldest()
+		if !ok || q.Entry(s).Addr != want {
+			t.Fatalf("fetch got %#x, want %#x", q.Entry(s).Addr, want)
+		}
+		q.Clear(s)
+	}
+}
+
+func TestMACPendingBlocksFetch(t *testing.T) {
+	q := New(4)
+	s, _, _ := q.Allocate(0x100)
+	commit(q, s, 0x100)
+	q.SetMACPending(s, true)
+	if _, ok := q.FetchOldest(); ok {
+		t.Fatal("fetched an entry with deferred MAC pending")
+	}
+	q.SetMACPending(s, false)
+	if _, ok := q.FetchOldest(); !ok {
+		t.Fatal("entry not fetchable after MAC completes")
+	}
+}
+
+func TestLiveEntriesDrainOrder(t *testing.T) {
+	q := New(4)
+	for _, a := range []uint64{0x1, 0x2, 0x3} {
+		s, _, _ := q.Allocate(a * 64)
+		commit(q, s, a*64)
+	}
+	f, _ := q.FetchOldest()
+	q.Clear(f)
+	live := q.LiveEntries()
+	if len(live) != 2 || live[0].Addr != 0x2*64 || live[1].Addr != 0x3*64 {
+		t.Fatalf("live entries = %+v", live)
+	}
+}
+
+func TestSlotReuseAfterWrap(t *testing.T) {
+	q := New(2)
+	for round := uint64(0); round < 5; round++ {
+		s, _, ok := q.Allocate(round * 64)
+		if !ok {
+			t.Fatalf("round %d: allocate failed", round)
+		}
+		commit(q, s, round*64)
+		f, _ := q.FetchOldest()
+		q.Clear(f)
+	}
+	if q.Live() != 0 {
+		t.Fatalf("live = %d after balanced rounds", q.Live())
+	}
+}
+
+func TestCommitOverwriteLivePanics(t *testing.T) {
+	q := New(2)
+	s, _, _ := q.Allocate(0x40)
+	commit(q, s, 0x40)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on overwriting live entry with another address")
+		}
+	}()
+	q.Commit(s, Entry{Addr: 0x80, Valid: true})
+}
+
+func TestClearTwicePanics(t *testing.T) {
+	q := New(2)
+	s, _, _ := q.Allocate(0x40)
+	commit(q, s, 0x40)
+	q.Clear(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double clear")
+		}
+	}()
+	q.Clear(s)
+}
+
+func TestReset(t *testing.T) {
+	q := New(4)
+	s, _, _ := q.Allocate(0x40)
+	commit(q, s, 0x40)
+	q.Reset()
+	if q.Live() != 0 || q.Full() {
+		t.Fatal("reset did not empty queue")
+	}
+	if _, ok := q.Lookup(0x40); ok {
+		t.Fatal("tag survived reset")
+	}
+}
+
+func TestQueueInvariantProperty(t *testing.T) {
+	// Property: under random allocate/clear sequences, live never exceeds
+	// size, never goes negative, and tag array matches live entries.
+	f := func(ops []uint16) bool {
+		q := New(4)
+		for _, op := range ops {
+			addr := uint64(op%16) * 64
+			if op%3 == 0 {
+				if s, ok := q.FetchOldest(); ok {
+					q.Clear(s)
+				}
+				continue
+			}
+			if s, _, ok := q.Allocate(addr); ok {
+				q.Commit(s, Entry{Addr: addr, Valid: true})
+			}
+		}
+		if q.Live() < 0 || q.Live() > q.Size() {
+			return false
+		}
+		// Each live entry must be findable via its tag.
+		for _, e := range q.LiveEntries() {
+			s, ok := q.Lookup(e.Addr)
+			if !ok || q.Entry(s).Addr != e.Addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
