@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench reproduce validate clean
+.PHONY: all build test test-short vet fmt bench bench-json ci profile reproduce validate clean
 
 all: build test
 
@@ -31,6 +31,21 @@ validate:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Exactly what .github/workflows/ci.yml runs.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Regenerate BENCH_baseline.json: a small fixed-seed scheme×workload
+# grid of RunRecords. Commit the result so perf drifts show up in review.
+bench-json:
+	$(GO) run ./cmd/dolos-profile -grid -txns 200 -o BENCH_baseline.json
+
+# One profiled run: trace.json (open in ui.perfetto.dev) + metrics.json.
+profile:
+	$(GO) run ./cmd/dolos-profile -scheme DolosPartial -workload Hashmap
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,155 @@
+// Command dolos-profile runs one scheme×workload simulation with the
+// telemetry probe enabled and exports the run's timeline as Chrome
+// trace-event JSON (loadable in ui.perfetto.dev or chrome://tracing)
+// plus a flat metrics JSON dump. It is the observability entry point for
+// answering *why* a scheme wins: where a persist's critical path stalls,
+// how WPQ occupancy evolves around commit bursts, and what occupies the
+// Mi-SU/Ma-SU engines and the NVM banks.
+//
+// Usage:
+//
+//	dolos-profile -scheme DolosPartial -workload Hashmap
+//	dolos-profile -scheme baseline -workload Redis -trace base.json -metrics base-metrics.json
+//	dolos-profile -grid -o BENCH_baseline.json   # fixed-seed bench grid, no trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dolos/internal/cliutil"
+	"dolos/internal/controller"
+	"dolos/internal/cpu"
+	"dolos/internal/masu"
+	"dolos/internal/telemetry"
+	"dolos/internal/whisper"
+)
+
+func main() {
+	workload := flag.String("workload", "Hashmap", "workload: Hashmap, Ctree, Btree, RBtree, NStore:YCSB, Redis")
+	scheme := flag.String("scheme", "DolosPartial", "controller scheme (any spelling: dolos-partial, DolosPartial, Dolos-Partial-WPQ)")
+	tree := flag.String("tree", "eager", "integrity backend: eager (BMT) or lazy (ToC)")
+	txns := flag.Int("txns", 200, "measured transactions")
+	txSize := flag.Int("txsize", 1024, "transaction payload bytes (128-2048)")
+	wpqSize := flag.Int("wpq", 16, "hardware WPQ entries")
+	seed := flag.Int64("seed", 1, "workload seed")
+	traceOut := flag.String("trace", "trace.json", "Chrome trace-event JSON output path")
+	metricsOut := flag.String("metrics", "metrics.json", "metrics JSON output path")
+	eventLimit := flag.Int("event-limit", 2_000_000, "max retained trace events (0 = unlimited)")
+	grid := flag.Bool("grid", false, "run the fixed-seed scheme×workload bench grid instead of one profiled run")
+	gridOut := flag.String("o", "BENCH_baseline.json", "bench grid JSON output path")
+	flag.Parse()
+
+	if *grid {
+		if err := runGrid(*gridOut, *txns, *txSize); err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sch, err := cliutil.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+		os.Exit(2)
+	}
+	kind, err := cliutil.ParseTree(*tree)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+		os.Exit(2)
+	}
+	w, err := whisper.ByName(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+		os.Exit(1)
+	}
+	tr := w.Generate(whisper.Params{Transactions: *txns, TxSize: *txSize, Seed: *seed})
+
+	cfg := controller.Config{Scheme: sch, Tree: kind, HardwareWPQ: *wpqSize}
+	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
+	sys := cpu.NewSystem(cfg)
+	probe := telemetry.NewProbe(sys.Eng.Now)
+	probe.SetEventLimit(*eventLimit)
+	sys.SetProbe(probe)
+
+	res := sys.Run(tr)
+
+	if err := writeTrace(*traceOut, probe); err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+		os.Exit(1)
+	}
+	rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Ctrl.Stats(), probe.Registry())
+	if err := writeMetrics(*metricsOut, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("profiled %s under %s: %d cycles, %d transactions\n",
+		res.Workload, res.Scheme, res.Cycles, res.Transactions)
+	fmt.Printf("trace    %s (%d events on %d tracks", *traceOut, probe.Len(), len(probe.TrackNames()))
+	if d := probe.Dropped(); d > 0 {
+		fmt.Printf(", %d dropped by -event-limit", d)
+	}
+	fmt.Printf(")\nmetrics  %s\n", *metricsOut)
+	fmt.Println("open the trace at https://ui.perfetto.dev or chrome://tracing")
+}
+
+func writeTrace(path string, p *telemetry.Probe) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runGrid executes the fixed-seed scheme×workload grid whose records
+// seed BENCH_baseline.json — the per-PR perf trajectory. No probe is
+// attached: the grid measures the plain simulator, and its cycle counts
+// must stay bit-identical whenever a PR claims zero timing impact.
+func runGrid(path string, txns, txSize int) error {
+	schemes := []controller.Scheme{
+		controller.PreWPQSecure,
+		controller.DolosFull,
+		controller.DolosPartial,
+		controller.DolosPost,
+	}
+	workloads := []string{"Hashmap", "Btree"}
+	const gridSeed = 1
+
+	var records []telemetry.RunRecord
+	for _, wl := range workloads {
+		w, err := whisper.ByName(wl)
+		if err != nil {
+			return err
+		}
+		tr := w.Generate(whisper.Params{Transactions: txns, TxSize: txSize, Seed: gridSeed})
+		for _, sch := range schemes {
+			cfg := controller.Config{Scheme: sch, Tree: masu.BMTEager, HardwareWPQ: 16}
+			cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
+			sys := cpu.NewSystem(cfg)
+			res := sys.Run(tr)
+			records = append(records,
+				cliutil.BuildRunRecord(res, masu.BMTEager, txSize, gridSeed, sys.Ctrl.Stats(), nil))
+			fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR\n",
+				wl, res.Scheme, res.Cycles, res.RetryPerKWR)
+		}
+	}
+	return writeMetrics(path, records)
+}

@@ -6,6 +6,8 @@
 //	dolos-sim -workload Hashmap -scheme dolos-partial -txns 1000
 //	dolos-sim -workload Redis -scheme baseline -tree lazy -txsize 512
 //	dolos-sim -workload Btree -scheme dolos-full -wpq 32 -stats
+//	dolos-sim -workload Hashmap -json                      # machine-readable result
+//	dolos-sim -workload Hashmap -trace run.json            # Perfetto/Chrome trace
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"dolos/internal/cliutil"
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
+	"dolos/internal/telemetry"
 	"dolos/internal/whisper"
 )
 
@@ -30,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable WPQ write coalescing")
 	showStats := flag.Bool("stats", false, "dump controller counters")
+	jsonOut := flag.Bool("json", false, "emit the run result as JSON on stdout instead of text")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
 	flag.Parse()
 
 	sch, err := cliutil.ParseScheme(*scheme)
@@ -58,7 +63,32 @@ func main() {
 	}
 	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("sim")
 	sys := cpu.NewSystem(cfg)
+	if *traceOut != "" {
+		// The probe is attached only on request: without -trace the run
+		// takes the uninstrumented (nil-probe) fast path.
+		sys.SetProbe(telemetry.NewProbe(sys.Eng.Now))
+	}
 	res := sys.Run(tr)
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, sys.Probe()); err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		var reg *telemetry.Registry
+		if p := sys.Probe(); p != nil {
+			reg = p.Registry()
+		}
+		rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Ctrl.Stats(), reg)
+		if err := telemetry.WriteJSON(os.Stdout, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("workload          %s\n", res.Workload)
 	fmt.Printf("scheme            %s (%s, %d-entry hardware WPQ, %dB tx)\n",
@@ -86,6 +116,18 @@ func main() {
 			hitRate(sys.Ctrl.MaSU().CounterCache().Hits(), sys.Ctrl.MaSU().CounterCache().Misses()),
 			hitRate(sys.Ctrl.MaSU().MTCache().Hits(), sys.Ctrl.MaSU().MTCache().Misses()))
 	}
+}
+
+func writeTrace(path string, p *telemetry.Probe) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func hitRate(hits, misses uint64) float64 {

@@ -9,7 +9,10 @@ import (
 	"strings"
 
 	"dolos/internal/controller"
+	"dolos/internal/cpu"
 	"dolos/internal/masu"
+	"dolos/internal/stats"
+	"dolos/internal/telemetry"
 )
 
 // schemeNames maps CLI names to controller schemes.
@@ -32,9 +35,48 @@ func SchemeNames() []string {
 	return out
 }
 
-// ParseScheme resolves a CLI scheme name.
+// normalizeScheme canonicalizes a scheme spelling: lowercase with
+// separators removed, so "dolos-partial", "DolosPartial" and
+// "Dolos-Partial-WPQ" all resolve identically.
+func normalizeScheme(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if r != '-' && r != '_' && r != ' ' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// schemeAliases maps normalized spellings to schemes: the CLI names, the
+// Go identifiers (controller.DolosPartial) and the paper's figure labels
+// (Dolos-Partial-WPQ) are all accepted.
+var schemeAliases = func() map[string]controller.Scheme {
+	m := make(map[string]controller.Scheme)
+	for name, s := range schemeNames {
+		m[normalizeScheme(name)] = s
+	}
+	for _, s := range []controller.Scheme{
+		controller.NonSecureADR, controller.PreWPQSecure, controller.DolosFull,
+		controller.DolosPartial, controller.DolosPost, controller.EADRSecure,
+	} {
+		m[normalizeScheme(s.String())] = s // figure label, e.g. dolospartialwpq
+	}
+	// Go identifiers not already covered by the figure labels.
+	m["nonsecureadr"] = controller.NonSecureADR
+	m["prewpqsecure"] = controller.PreWPQSecure
+	m["dolosfull"] = controller.DolosFull
+	m["dolospartial"] = controller.DolosPartial
+	m["dolospost"] = controller.DolosPost
+	m["eadrsecure"] = controller.EADRSecure
+	return m
+}()
+
+// ParseScheme resolves a CLI scheme name. Besides the flag names it
+// accepts the Go identifiers and the paper's figure labels in any
+// hyphenation or case.
 func ParseScheme(name string) (controller.Scheme, error) {
-	s, ok := schemeNames[name]
+	s, ok := schemeAliases[normalizeScheme(name)]
 	if !ok {
 		return 0, fmt.Errorf("unknown scheme %q (want one of %s)",
 			name, strings.Join(SchemeNames(), ", "))
@@ -60,4 +102,34 @@ func DemoKeys(label string) (aes, mac [16]byte) {
 	copy(aes[:], label+"-aes-key-0123456")
 	copy(mac[:], label+"-mac-key-0123456")
 	return aes, mac
+}
+
+// BuildRunRecord assembles the machine-readable record of one finished
+// run — the shared shape dolos-sim -json, dolos-profile and the bench
+// baseline all emit. reg may be nil (no probe attached).
+func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
+	set *stats.Set, reg *telemetry.Registry) telemetry.RunRecord {
+	return telemetry.RunRecord{
+		Scheme:           res.Scheme,
+		Workload:         res.Workload,
+		Tree:             tree.String(),
+		Transactions:     res.Transactions,
+		TxSize:           txSize,
+		Seed:             seed,
+		Ops:              res.Ops,
+		Cycles:           uint64(res.Cycles),
+		CyclesPerTx:      res.CyclesPerTx,
+		CPI:              res.CPI,
+		FenceStallCycles: uint64(res.FenceStalls),
+		WriteRequests:    res.WriteRequests,
+		RetryEvents:      res.RetryEvents,
+		RetryPerKWR:      res.RetryPerKWR,
+		WPQReadHits:      res.WPQReadHits,
+		MemReads:         res.MemReads,
+		MeanInterarrival: res.MeanInterarrival,
+		WPQMeanOccupancy: res.WPQMeanOccupancy,
+		MedianTxCycles:   res.MedianTxCycles,
+		P99TxCycles:      res.P99TxCycles,
+		Metrics:          telemetry.Snapshot(set, reg),
+	}
 }

@@ -26,6 +26,33 @@ func TestParseScheme(t *testing.T) {
 	}
 }
 
+func TestParseSchemeAliases(t *testing.T) {
+	// Go identifiers, figure labels and arbitrary hyphenation/case all
+	// resolve to the same scheme.
+	for name, want := range map[string]controller.Scheme{
+		"DolosPartial":      controller.DolosPartial,
+		"Dolos-Partial-WPQ": controller.DolosPartial,
+		"dolos_partial":     controller.DolosPartial,
+		"DOLOS PARTIAL WPQ": controller.DolosPartial,
+		"DolosFull":         controller.DolosFull,
+		"Dolos-Full-WPQ":    controller.DolosFull,
+		"DolosPost":         controller.DolosPost,
+		"Dolos-Post-WPQ":    controller.DolosPost,
+		"NonSecureADR":      controller.NonSecureADR,
+		"NonSecure-ADR":     controller.NonSecureADR,
+		"PreWPQSecure":      controller.PreWPQSecure,
+		"Pre-WPQ-Secure":    controller.PreWPQSecure,
+		"EADRSecure":        controller.EADRSecure,
+		"eADR-Secure":       controller.EADRSecure,
+		"eadr_secure":       controller.EADRSecure,
+	} {
+		got, err := ParseScheme(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseScheme(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}
+
 func TestParseTree(t *testing.T) {
 	if k, err := ParseTree("eager"); err != nil || k != masu.BMTEager {
 		t.Fatal("eager parse failed")

@@ -31,6 +31,7 @@ import (
 	"dolos/internal/nvm"
 	"dolos/internal/sim"
 	"dolos/internal/stats"
+	"dolos/internal/telemetry"
 	"dolos/internal/wpq"
 )
 
@@ -175,6 +176,13 @@ type Controller struct {
 	maPumpArmed bool
 	haveArrival bool
 	lastArrival float64
+
+	// Telemetry (nil/zero when disabled; see SetProbe). Metric handles
+	// are cached at wiring time so probe sites cost one nil check.
+	probe              *telemetry.Probe
+	tWPQ, tMiSU, tMaSU telemetry.TrackID
+	hAccept            *telemetry.CycleHist
+	hDrain             *telemetry.CycleHist
 }
 
 // New creates a controller bound to a simulation engine and NVM device.

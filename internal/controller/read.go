@@ -28,6 +28,9 @@ func (c *Controller) ReadLine(addr uint64, done func()) {
 	if slot, ok := c.queue().Lookup(addr); ok {
 		c.queue().ReadHit()
 		c.st.Counter("wpq.read_hits").Inc()
+		if c.probe != nil {
+			c.probe.Instant(c.tWPQ, "read-hit")
+		}
 		if c.mi != nil {
 			// Exercise the functional decrypt so WPQ read data is real.
 			if a, _ := c.mi.DecryptSlot(slot); a != addr {

@@ -17,6 +17,19 @@ func (c *Controller) PersistWrite(addr uint64, data [64]byte, accepted func()) {
 	addr &^= 63
 	c.st.Counter("wpq.write_requests").Inc()
 	c.noteArrival()
+	if c.probe != nil {
+		// Observe the request->acceptance latency: the pre-WPQ critical
+		// path a pending sfence is exposed to. The wrapper changes no
+		// scheduling — it runs inline where accepted would.
+		t0 := c.eng.Now()
+		inner := accepted
+		accepted = func() {
+			c.hAccept.Observe(float64(c.eng.Now() - t0))
+			if inner != nil {
+				inner()
+			}
+		}
+	}
 	c.tryInsert(waiter{addr: addr, data: data, accepted: accepted}, false)
 }
 
@@ -89,6 +102,9 @@ func (c *Controller) insertEADR(w waiter) {
 func (c *Controller) park(w waiter, front, countRetry bool) {
 	if countRetry {
 		c.st.Counter("wpq.retry_events").Inc()
+		if c.probe != nil {
+			c.probe.Instant(c.tWPQ, "retry")
+		}
 	}
 	if front {
 		c.waiters = append([]waiter{w}, c.waiters...)
@@ -214,6 +230,11 @@ func (c *Controller) pumpMaSU() {
 					return
 				}
 				c.st.Counter("masu.drained").Inc()
+				if c.probe != nil {
+					// Per-entry drain latency: WPQ residency from
+					// insertion to the NVM array write completing.
+					c.hDrain.Observe(float64(c.eng.Now() - c.insertTime[slot]))
+				}
 				e := c.mi.Queue().Entry(slot)
 				if e.Valid && !e.Cleared && e.Seq == fetchSeq {
 					// Unchanged since fetch: retire the entry. A newer
@@ -293,12 +314,16 @@ func (c *Controller) allocBaseline(w waiter, wake bool) {
 	c.bq.Commit(slot, wpq.Entry{Addr: w.addr, Valid: true})
 	// Drain: the entry only awaits its NVM write (already secured).
 	stale := c.stale()
+	insertAt := c.eng.Now()
 	c.dev.AccessWrite(w.addr, func() {
 		if stale() {
 			return
 		}
 		c.bq.Clear(slot)
 		c.st.Counter("masu.drained").Inc()
+		if c.probe != nil {
+			c.hDrain.Observe(float64(c.eng.Now() - insertAt))
+		}
 		c.wakeBaseline()
 	})
 }

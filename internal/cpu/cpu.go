@@ -15,6 +15,7 @@ import (
 	"dolos/internal/nvm"
 	"dolos/internal/sim"
 	"dolos/internal/stats"
+	"dolos/internal/telemetry"
 	"dolos/internal/trace"
 )
 
@@ -79,6 +80,10 @@ type System struct {
 	txReservoir  *stats.Reservoir
 	opsExecuted  int
 	transactions int
+
+	// Telemetry (nil/zero when disabled; see SetProbe).
+	probe *telemetry.Probe
+	tCPU  telemetry.TrackID
 }
 
 // backend adapts the controller to the cache.Backend interface, sourcing
@@ -114,6 +119,28 @@ func deviceSize(cfg controller.Config) uint64 {
 	}
 	return 24 << 30 // layout.Default()
 }
+
+// SetProbe attaches (or with nil detaches) a telemetry probe to the
+// whole machine: the CPU front-end (fence stalls, transaction spans),
+// the event-dispatch counter on the engine, and — via the controller —
+// the WPQ, security units and NVM banks. Call before Start/Run. Hooks
+// are purely observational: timing is bit-identical with and without a
+// probe.
+func (s *System) SetProbe(p *telemetry.Probe) {
+	s.probe = p
+	if p == nil {
+		s.Ctrl.SetProbe(nil)
+		s.Eng.SetHook(nil)
+		return
+	}
+	s.tCPU = p.Track("cpu") // register first so the CPU is the top track
+	s.Ctrl.SetProbe(p)
+	events := p.Registry().Counter("sim.events_dispatched")
+	s.Eng.SetHook(func(_ sim.Cycle) { events.Inc() })
+}
+
+// Probe returns the attached telemetry probe (nil when disabled).
+func (s *System) Probe() *telemetry.Probe { return s.probe }
 
 // Run executes the trace to completion and returns the result. The
 // engine is drained afterwards so the controller quiesces.
@@ -185,6 +212,9 @@ func (s *System) Start(tr *trace.Trace) {
 						resume := s.fenceResume
 						s.fenceResume = nil
 						s.fenceStalls += s.Eng.Now() - s.fenceStart
+						if s.probe != nil {
+							s.probe.Span(s.tCPU, "fence-stall", s.fenceStart, s.Eng.Now())
+						}
 						resume()
 					}
 				})
@@ -205,6 +235,9 @@ func (s *System) Start(tr *trace.Trace) {
 			lat := float64(s.Eng.Now() - s.txStart)
 			s.txLatencies.Observe(lat)
 			s.txReservoir.Observe(lat)
+			if s.probe != nil {
+				s.probe.Span(s.tCPU, "tx", s.txStart, s.Eng.Now())
+			}
 			next()
 		default:
 			panic(fmt.Sprintf("cpu: unknown op kind %v", op.Kind))

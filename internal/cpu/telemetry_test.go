@@ -1,0 +1,101 @@
+package cpu
+
+import (
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/telemetry"
+)
+
+// TestProbeDoesNotPerturbTiming is the telemetry subsystem's core
+// contract: an instrumented run must produce bit-identical cycle counts
+// to an uninstrumented one, because probes only observe.
+func TestProbeDoesNotPerturbTiming(t *testing.T) {
+	for _, scheme := range []controller.Scheme{
+		controller.NonSecureADR,
+		controller.PreWPQSecure,
+		controller.DolosFull,
+		controller.DolosPartial,
+		controller.DolosPost,
+		controller.EADRSecure,
+	} {
+		plain := NewSystem(testConfig(scheme))
+		base := plain.Run(syntheticTrace())
+
+		instr := NewSystem(testConfig(scheme))
+		p := telemetry.NewProbe(instr.Eng.Now)
+		instr.SetProbe(p)
+		got := instr.Run(syntheticTrace())
+
+		if got.Cycles != base.Cycles {
+			t.Fatalf("%v: instrumented cycles %d != plain %d", scheme, got.Cycles, base.Cycles)
+		}
+		if got.FenceStalls != base.FenceStalls || got.RetryEvents != base.RetryEvents {
+			t.Fatalf("%v: instrumented run diverged: %+v vs %+v", scheme, got, base)
+		}
+		if p.Len() == 0 {
+			t.Fatalf("%v: probe recorded no events", scheme)
+		}
+		if n := len(p.TrackNames()); n < 4 {
+			t.Fatalf("%v: only %d tracks registered: %v", scheme, n, p.TrackNames())
+		}
+	}
+}
+
+// TestProbeRecordsExpectedTracks checks the component wiring: a Dolos
+// run must populate CPU, WPQ, Mi-SU, Ma-SU and NVM-bank tracks, record
+// fence-stall and security spans, and accumulate registry metrics.
+func TestProbeRecordsExpectedTracks(t *testing.T) {
+	s := NewSystem(testConfig(controller.DolosPartial))
+	p := telemetry.NewProbe(s.Eng.Now)
+	s.SetProbe(p)
+	s.Run(syntheticTrace())
+
+	tracks := make(map[string]bool)
+	for _, n := range p.TrackNames() {
+		tracks[n] = true
+	}
+	for _, want := range []string{"cpu", "wpq", "mi-su", "ma-su", "nvm-bank-0"} {
+		if !tracks[want] {
+			t.Fatalf("track %q missing: %v", want, p.TrackNames())
+		}
+	}
+	spans := make(map[string]bool)
+	for _, n := range p.SpanNames() {
+		spans[n] = true
+	}
+	for _, want := range []string{"fence-stall", "tx", "mac", "secure-write", "write"} {
+		if !spans[want] {
+			t.Fatalf("span %q missing: %v", want, p.SpanNames())
+		}
+	}
+
+	reg := p.Registry()
+	if reg.Counter("sim.events_dispatched").Value() == 0 {
+		t.Fatal("no events dispatched counted")
+	}
+	if reg.Counter("misu.protects").Value() == 0 {
+		t.Fatal("no Mi-SU protects counted")
+	}
+	if reg.CycleHist("ctrl.accept_latency_cycles").Stats().Count == 0 {
+		t.Fatal("no accept latencies observed")
+	}
+	if reg.CycleHist("ctrl.drain_latency_cycles").Stats().Count == 0 {
+		t.Fatal("no drain latencies observed")
+	}
+}
+
+// TestDetachProbe verifies SetProbe(nil) fully unhooks instrumentation.
+func TestDetachProbe(t *testing.T) {
+	s := NewSystem(testConfig(controller.DolosPartial))
+	p := telemetry.NewProbe(s.Eng.Now)
+	s.SetProbe(p)
+	s.SetProbe(nil)
+	s.Run(syntheticTrace())
+	if p.Len() != 0 {
+		t.Fatalf("detached probe still recorded %d events", p.Len())
+	}
+	if s.Probe() != nil {
+		t.Fatal("probe still attached")
+	}
+}

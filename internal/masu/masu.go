@@ -159,6 +159,10 @@ type Unit struct {
 	redo redoLog
 
 	writes, reads uint64
+
+	// onWrite, when non-nil, observes each completed write with its cost
+	// composition (telemetry). Purely observational.
+	onWrite func(addr uint64, cost Cost)
 }
 
 // Params tunes a Ma-SU beyond Table 1's defaults (cache-size ablations).
@@ -212,6 +216,10 @@ func NewWithParams(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout
 
 // Kind returns the integrity backend in use.
 func (u *Unit) Kind() TreeKind { return u.kind }
+
+// SetWriteHook installs (or with nil removes) the per-write cost
+// observer, invoked at the end of every ProcessWrite.
+func (u *Unit) SetWriteHook(fn func(addr uint64, cost Cost)) { u.onWrite = fn }
 
 // Counters exposes the counter store (recovery drivers, tests).
 func (u *Unit) Counters() *ctr.Store { return u.counters }
@@ -418,6 +426,9 @@ func (u *Unit) ProcessWrite(addr uint64, plain [64]byte, wpqSlot int) Cost {
 	op, cost := u.PrepareWrite(addr, plain, wpqSlot)
 	cost2 := u.ApplyWrite(op)
 	cost.Add(cost2)
+	if u.onWrite != nil {
+		u.onWrite(addr&^uint64(63), cost)
+	}
 	return cost
 }
 

@@ -134,6 +134,10 @@ type Unit struct {
 	deferredPending bool
 	macOps          uint64
 	drains          uint64
+
+	// onProtect, when non-nil, observes each successful insertion
+	// (telemetry). Purely observational.
+	onProtect func(slot int, addr uint64)
 }
 
 // New creates a Mi-SU of the given design over a fresh WPQ with `entries`
@@ -192,6 +196,10 @@ func (u *Unit) Drains() uint64 { return u.drains }
 
 // DeferredPending reports whether a Post-WPQ deferred MAC is outstanding.
 func (u *Unit) DeferredPending() bool { return u.deferredPending }
+
+// SetProtectHook installs (or with nil removes) the insertion observer,
+// invoked after each successful Protect with the slot and line address.
+func (u *Unit) SetProtectHook(fn func(slot int, addr uint64)) { u.onProtect = fn }
 
 // regeneratePads derives the per-slot pads from the persistent counter
 // register. Slot pads are only exposed externally once (at a drain), after
@@ -262,6 +270,9 @@ func (u *Unit) Protect(addr uint64, plain [64]byte) int {
 		e.MACPending = true
 		u.queue.Commit(slot, e)
 		u.deferredPending = true
+	}
+	if u.onProtect != nil {
+		u.onProtect(slot, addr)
 	}
 	return slot
 }

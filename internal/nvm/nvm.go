@@ -38,6 +38,10 @@ type Device struct {
 	banks []*sim.Server
 
 	reads, writes uint64
+
+	// onAccess, when non-nil, observes every timed access with its bank
+	// service window (telemetry). Purely observational.
+	onAccess func(write bool, addr uint64, start, end sim.Cycle)
 }
 
 // NewDevice creates a device of the given capacity in bytes with the given
@@ -72,6 +76,20 @@ func (d *Device) Writes() uint64 { return d.writes }
 
 // AllocatedPages returns how many 4 KB pages are materialized.
 func (d *Device) AllocatedPages() int { return len(d.pages) }
+
+// BankCount returns the number of banks (0 on a purely functional device).
+func (d *Device) BankCount() int { return len(d.banks) }
+
+// BankIndex returns the bank serving addr (line interleaving).
+func (d *Device) BankIndex(addr uint64) int {
+	return int((addr / LineSize) % uint64(len(d.banks)))
+}
+
+// SetAccessHook installs (or with nil removes) the timed-access observer:
+// it fires at each access's completion with the bank service window.
+func (d *Device) SetAccessHook(fn func(write bool, addr uint64, start, end sim.Cycle)) {
+	d.onAccess = fn
+}
 
 func (d *Device) page(addr uint64, create bool) *[PageSize]byte {
 	if addr >= d.size {
@@ -144,7 +162,10 @@ func (d *Device) bank(addr uint64) *sim.Server {
 // data is available. Requires a timed device (non-nil engine).
 func (d *Device) AccessRead(addr uint64, done func()) {
 	d.reads++
-	d.bank(addr).Submit(ReadLatency, func(_, _ sim.Cycle) {
+	d.bank(addr).Submit(ReadLatency, func(start, end sim.Cycle) {
+		if d.onAccess != nil {
+			d.onAccess(false, addr, start, end)
+		}
 		if done != nil {
 			done()
 		}
@@ -155,7 +176,10 @@ func (d *Device) AccessRead(addr uint64, done func()) {
 // the write completes in the array.
 func (d *Device) AccessWrite(addr uint64, done func()) {
 	d.writes++
-	d.bank(addr).Submit(WriteLatency, func(_, _ sim.Cycle) {
+	d.bank(addr).Submit(WriteLatency, func(start, end sim.Cycle) {
+		if d.onAccess != nil {
+			d.onAccess(true, addr, start, end)
+		}
 		if done != nil {
 			done()
 		}

@@ -57,6 +57,10 @@ type Engine struct {
 	seq    uint64
 	queue  eventQueue
 	events uint64
+	// hook, when non-nil, observes every dispatched event (telemetry).
+	// It must be purely observational: scheduling events or mutating
+	// model state from the hook would perturb the timing model.
+	hook func(at Cycle)
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
@@ -74,6 +78,10 @@ func (e *Engine) Processed() uint64 { return e.events }
 
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return e.queue.Len() }
+
+// SetHook installs (or with nil removes) the event-dispatch observer.
+// The hook runs before each event's callback with the event's cycle.
+func (e *Engine) SetHook(fn func(at Cycle)) { e.hook = fn }
 
 // At schedules fn to run at the absolute cycle at. Scheduling in the past
 // panics: it would violate causality and always indicates a model bug.
@@ -97,6 +105,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*scheduled)
 	e.now = ev.at
 	e.events++
+	if e.hook != nil {
+		e.hook(ev.at)
+	}
 	ev.fn()
 	return true
 }

@@ -12,6 +12,7 @@ type PipeServer struct {
 
 	nextStart Cycle
 	jobs      uint64
+	onJob     func(name string, start, end Cycle)
 }
 
 // NewPipeServer returns a pipelined server with the given initiation
@@ -31,6 +32,11 @@ func (p *PipeServer) Jobs() uint64 { return p.jobs }
 
 // II returns the initiation interval.
 func (p *PipeServer) II() Cycle { return p.ii }
+
+// SetJobHook installs (or with nil removes) an observer invoked at each
+// job's completion with its start and end cycles — the telemetry busy
+// span. Observational only; it must not schedule events.
+func (p *PipeServer) SetJobHook(fn func(name string, start, end Cycle)) { p.onJob = fn }
 
 // NextStart returns the earliest cycle at which a job submitted now
 // would start.
@@ -52,6 +58,9 @@ func (p *PipeServer) Submit(latency Cycle, done func(start, end Cycle)) {
 	p.jobs++
 	end := start + latency
 	p.eng.At(end, func() {
+		if p.onJob != nil {
+			p.onJob(p.name, start, end)
+		}
 		if done != nil {
 			done(start, end)
 		}
@@ -73,6 +82,8 @@ type Server struct {
 	jobs      uint64
 	busyTotal Cycle
 	maxQueue  int
+
+	onJob func(name string, start, end Cycle)
 }
 
 type serverJob struct {
@@ -103,6 +114,10 @@ func (s *Server) BusyCycles() Cycle { return s.busyTotal }
 
 // MaxQueue returns the high-water mark of the wait queue.
 func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// SetJobHook installs (or with nil removes) an observer invoked at each
+// job's service completion with its start and end cycles (telemetry).
+func (s *Server) SetJobHook(fn func(name string, start, end Cycle)) { s.onJob = fn }
 
 // Submit enqueues a job requiring service cycles of occupancy. done, if
 // non-nil, runs at service completion with the start and end cycles.
@@ -143,6 +158,9 @@ func (s *Server) pump() {
 	s.jobs++
 	s.busyTotal += job.service
 	s.eng.At(end, func() {
+		if s.onJob != nil {
+			s.onJob(s.name, start, end)
+		}
 		if job.done != nil {
 			job.done(start, end)
 		}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Single-sample distributions are the boundary the estimators must get
+// right: a variance over n-1 degrees of freedom or a quantile
+// interpolation that assumes two points would divide by zero here.
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram("one")
+	h.Observe(42)
+	if h.Count() != 1 || h.Sum() != 42 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if h.Mean() != 42 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("mean=%v min=%v max=%v, want all 42", h.Mean(), h.Min(), h.Max())
+	}
+	if sd := h.StdDev(); sd != 0 || math.IsNaN(sd) {
+		t.Fatalf("single-sample stddev = %v, want 0", sd)
+	}
+}
+
+func TestHistogramNegativeAndZeroSamples(t *testing.T) {
+	h := NewHistogram("signed")
+	h.Observe(-5)
+	h.Observe(0)
+	h.Observe(5)
+	if h.Mean() != 0 || h.Min() != -5 || h.Max() != 5 {
+		t.Fatalf("mean=%v min=%v max=%v", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestReservoirSingleSample(t *testing.T) {
+	r := NewReservoir("one", 10)
+	r.Observe(7)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := r.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	if r.Median() != 7 || r.P99() != 7 {
+		t.Fatalf("median=%v p99=%v", r.Median(), r.P99())
+	}
+}
+
+func TestReservoirTwoSamplesInterpolation(t *testing.T) {
+	r := NewReservoir("two", 10)
+	r.Observe(10)
+	r.Observe(20)
+	if got := r.Quantile(0); got != 10 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := r.Quantile(1); got != 20 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := r.Median(); got < 10 || got > 20 {
+		t.Fatalf("median = %v, want within [10,20]", got)
+	}
+}
+
+func TestReservoirQuantileClamped(t *testing.T) {
+	r := NewReservoir("clamp", 10)
+	r.Observe(1)
+	r.Observe(2)
+	// Out-of-range q must clamp, not index out of bounds.
+	if got := r.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want 1", got)
+	}
+	if got := r.Quantile(1.5); got != 2 {
+		t.Fatalf("Quantile(1.5) = %v, want 2", got)
+	}
+}

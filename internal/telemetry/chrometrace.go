@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"dolos/internal/sim"
+)
+
+// cyclesPerMicrosecond converts the 4 GHz cycle clock to the microsecond
+// timestamps the Chrome trace-event format uses.
+const cyclesPerMicrosecond = 1000 * sim.CyclesPerNanosecond
+
+// chromeEvent is one entry of the Chrome trace-event schema
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format, which Perfetto and
+// chrome://tracing both accept.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+func cyclesToMicros(c sim.Cycle) float64 {
+	return float64(c) / cyclesPerMicrosecond
+}
+
+// WriteChromeTrace exports the probe's recorded events as Chrome
+// trace-event JSON, loadable in ui.perfetto.dev or chrome://tracing.
+// Each registered track becomes one named thread of a single "dolos"
+// process: spans render as slices, instants as markers, and counter
+// samples as counter tracks named "<track>:<name>". A nil probe exports
+// an empty (but valid) trace.
+func WriteChromeTrace(w io.Writer, p *Probe) error {
+	tracks := p.TrackNames()
+	events := p.Events()
+
+	out := chromeTrace{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     make([]chromeEvent, 0, len(events)+2*len(tracks)+1),
+	}
+	const pid = 1
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": "dolos"},
+	})
+	for i, name := range tracks {
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: i + 1,
+				Args: map[string]any{"name": name},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Phase: "M", PID: pid, TID: i + 1,
+				Args: map[string]any{"sort_index": i},
+			})
+	}
+
+	for i := range events {
+		ev := &events[i]
+		tid := int(ev.Track) + 1
+		switch ev.Kind {
+		case SpanEvent:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: ev.Name, Phase: "X", PID: pid, TID: tid, Cat: "sim",
+				Ts:  cyclesToMicros(ev.Start),
+				Dur: cyclesToMicros(ev.End - ev.Start),
+			})
+		case InstantEvent:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: ev.Name, Phase: "i", PID: pid, TID: tid, Cat: "sim",
+				Ts: cyclesToMicros(ev.Start), Scope: "t",
+			})
+		case CounterEvent:
+			track := "?"
+			if int(ev.Track) < len(tracks) {
+				track = tracks[ev.Track]
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s:%s", track, ev.Name), Phase: "C", PID: pid, TID: tid,
+				Ts:   cyclesToMicros(ev.Start),
+				Args: map[string]any{"value": ev.Value},
+			})
+		}
+	}
+	return WriteJSON(w, out)
+}

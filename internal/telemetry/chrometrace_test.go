@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dolos/internal/sim"
+)
+
+// TestChromeTraceSchema validates the exported JSON against the
+// trace-event schema Perfetto accepts: an object with a traceEvents
+// array whose entries carry ph/pid/tid/ts, X events a dur, and one
+// thread_name metadata event per track.
+func TestChromeTraceSchema(t *testing.T) {
+	var now sim.Cycle
+	p := NewProbe(func() sim.Cycle { return now })
+	cpu := p.Track("cpu")
+	wpq := p.Track("wpq")
+	ma := p.Track("ma-su")
+	nvm := p.Track("nvm-bank-0")
+
+	p.Span(cpu, "fence-stall", 4000, 8000)
+	p.Span(ma, "secure-write", 0, 1600)
+	p.Span(nvm, "write", 1600, 3600)
+	now = 4000
+	p.Instant(wpq, "retry")
+	p.Counter(wpq, "occupancy", 5)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+
+	var out struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   *int           `json:"pid"`
+			TID   *int           `json:"tid"`
+			Ts    *float64       `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+
+	threads := make(map[string]bool)
+	var spans, instants, counters int
+	for _, ev := range out.TraceEvents {
+		if ev.Phase == "" || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event missing ph/pid/tid: %+v", ev)
+		}
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				threads[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			if ev.Ts == nil {
+				t.Fatalf("X event missing ts: %+v", ev)
+			}
+			spans++
+		case "i":
+			if ev.Scope != "t" {
+				t.Fatalf("instant missing scope: %+v", ev)
+			}
+			instants++
+		case "C":
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("counter missing value arg: %+v", ev)
+			}
+			counters++
+		}
+	}
+	for _, want := range []string{"cpu", "wpq", "ma-su", "nvm-bank-0"} {
+		if !threads[want] {
+			t.Fatalf("track %q missing from metadata (have %v)", want, threads)
+		}
+	}
+	if len(threads) < 4 {
+		t.Fatalf("only %d tracks exported, want >= 4", len(threads))
+	}
+	if spans != 3 || instants != 1 || counters != 1 {
+		t.Fatalf("spans/instants/counters = %d/%d/%d", spans, instants, counters)
+	}
+
+	// Cycle -> microsecond conversion: 4000 cycles at 4 GHz is 1 us.
+	for _, ev := range out.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "fence-stall" {
+			if *ev.Ts != 1.0 || ev.Dur != 1.0 {
+				t.Fatalf("fence-stall ts/dur = %v/%v, want 1/1", *ev.Ts, ev.Dur)
+			}
+		}
+	}
+}
+
+func TestChromeTraceNilProbe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil-probe trace invalid: %v", err)
+	}
+	if _, ok := out["traceEvents"]; !ok {
+		t.Fatal("nil-probe trace missing traceEvents")
+	}
+}

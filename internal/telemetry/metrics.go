@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"dolos/internal/stats"
+)
+
+// HistogramStats is the JSON shape of one histogram's summary.
+type HistogramStats struct {
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func histStats(h *stats.Histogram) HistogramStats {
+	return HistogramStats{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Mean:   h.Mean(),
+		StdDev: h.StdDev(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+	}
+}
+
+// MetricsSnapshot is the machine-readable dump of a run's metrics: the
+// shared encoding used by dolos-sim -json, dolos-profile and the bench
+// trajectory file, so numbers can be diffed across PRs.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64         `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// NewMetricsSnapshot returns an empty snapshot with maps allocated.
+func NewMetricsSnapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramStats),
+	}
+}
+
+// AddStats folds a stats.Set (the simulator's per-run registry) into the
+// snapshot, preserving every counter and histogram name and value.
+func (m MetricsSnapshot) AddStats(set *stats.Set) {
+	if set == nil {
+		return
+	}
+	for _, n := range set.CounterNames() {
+		m.Counters[n] = set.Counter(n).Value()
+	}
+	for _, n := range set.HistogramNames() {
+		m.Histograms[n] = histStats(set.Histogram(n))
+	}
+}
+
+// AddRegistry folds a telemetry Registry into the snapshot.
+func (m MetricsSnapshot) AddRegistry(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, n := range r.CounterNames() {
+		m.Counters[n] = r.Counter(n).Value()
+	}
+	for _, n := range r.GaugeNames() {
+		m.Gauges[n] = r.Gauge(n).Value()
+	}
+	for _, n := range r.HistNames() {
+		m.Histograms[n] = r.CycleHist(n).Stats()
+	}
+}
+
+// Snapshot captures a stats.Set and a Registry (either may be nil) in
+// one MetricsSnapshot.
+func Snapshot(set *stats.Set, reg *Registry) MetricsSnapshot {
+	m := NewMetricsSnapshot()
+	m.AddStats(set)
+	m.AddRegistry(reg)
+	return m
+}
+
+// RunRecord identifies one scheme×workload simulation and carries its
+// headline results plus the full metrics snapshot. The field set mirrors
+// cpu.Result; it is declared here (with plain fields) so the encoder is
+// shared between dolos-sim -json, dolos-profile and the bench baseline
+// without this package importing the simulator.
+type RunRecord struct {
+	Scheme           string  `json:"scheme"`
+	Workload         string  `json:"workload"`
+	Tree             string  `json:"tree,omitempty"`
+	Transactions     int     `json:"transactions"`
+	TxSize           int     `json:"tx_size,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+	Ops              int     `json:"ops,omitempty"`
+	Cycles           uint64  `json:"cycles"`
+	CyclesPerTx      float64 `json:"cycles_per_tx"`
+	CPI              float64 `json:"cpi"`
+	FenceStallCycles uint64  `json:"fence_stall_cycles"`
+	WriteRequests    uint64  `json:"write_requests"`
+	RetryEvents      uint64  `json:"retry_events"`
+	RetryPerKWR      float64 `json:"retry_per_kwr"`
+	WPQReadHits      uint64  `json:"wpq_read_hits"`
+	MemReads         uint64  `json:"mem_reads"`
+	MeanInterarrival float64 `json:"mean_interarrival_cycles"`
+	WPQMeanOccupancy float64 `json:"wpq_mean_occupancy"`
+	MedianTxCycles   float64 `json:"median_tx_cycles"`
+	P99TxCycles      float64 `json:"p99_tx_cycles"`
+
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// WriteJSON encodes v as indented JSON with a trailing newline — the one
+// encoder every machine-readable output of the tools goes through, so
+// diffs across PRs stay stable.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

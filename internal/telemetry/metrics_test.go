@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dolos/internal/stats"
+)
+
+// TestMetricsJSONRoundTrip verifies the JSON encoding preserves every
+// counter and histogram name and value from a stats.Set, through encode
+// and decode.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	set := stats.NewSet()
+	set.Counter("wpq.write_requests").Add(9180)
+	set.Counter("wpq.retry_events").Add(1729)
+	h := set.Histogram("wpq.interarrival_cycles")
+	h.Observe(100)
+	h.Observe(200)
+	h.Observe(900)
+
+	reg := NewRegistry()
+	reg.Counter("misu.protects").Add(42)
+	reg.Gauge("wpq.occupancy").Set(5)
+	reg.CycleHist("ctrl.drain_latency_cycles").Observe(2400)
+
+	snap := Snapshot(set, reg)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+
+	wantCounters := map[string]uint64{
+		"wpq.write_requests": 9180,
+		"wpq.retry_events":   1729,
+		"misu.protects":      42,
+	}
+	for name, want := range wantCounters {
+		if got, ok := back.Counters[name]; !ok || got != want {
+			t.Fatalf("counter %q = %d (present %v), want %d", name, got, ok, want)
+		}
+	}
+	if len(back.Counters) != len(wantCounters) {
+		t.Fatalf("counters = %v", back.Counters)
+	}
+	if got := back.Gauges["wpq.occupancy"]; got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	ia, ok := back.Histograms["wpq.interarrival_cycles"]
+	if !ok {
+		t.Fatalf("histogram name lost: %v", back.Histograms)
+	}
+	if ia.Count != 3 || ia.Sum != 1200 || ia.Mean != 400 || ia.Min != 100 || ia.Max != 900 {
+		t.Fatalf("histogram stats = %+v", ia)
+	}
+	if dl := back.Histograms["ctrl.drain_latency_cycles"]; dl.Count != 1 || dl.Mean != 2400 {
+		t.Fatalf("registry histogram = %+v", dl)
+	}
+}
+
+func TestSnapshotNilSources(t *testing.T) {
+	snap := Snapshot(nil, nil)
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil-source snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRunRecordEncodes(t *testing.T) {
+	rec := RunRecord{
+		Scheme:   "Dolos-Partial-WPQ",
+		Workload: "Hashmap",
+		Cycles:   4490226,
+		Metrics:  NewMetricsSnapshot(),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var back RunRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheme != rec.Scheme || back.Workload != rec.Workload || back.Cycles != rec.Cycles {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}

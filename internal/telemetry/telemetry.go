@@ -1,0 +1,252 @@
+// Package telemetry is the observability layer of the simulator: a
+// pipeline-tracing probe, a metrics registry layered over internal/stats,
+// and exporters for Chrome/Perfetto trace-event JSON and flat metrics
+// JSON.
+//
+// The subsystem's contract is zero overhead when disabled and zero
+// perturbation always:
+//
+//   - Disabled means a nil *Probe. Every Probe and Registry method is
+//     nil-receiver safe and returns immediately, so instrumented code
+//     holds a possibly-nil probe and pays one predictable branch per
+//     probe site — no allocations, no interface conversions, no map
+//     lookups on the hot path. Components that need per-event metrics
+//     cache *Counter/*Gauge/*CycleHist pointers at wiring time, so the
+//     disabled path never touches the registry at all.
+//   - Probes are purely observational. They never schedule simulation
+//     events, never change a latency, and never mutate model state, so
+//     the cycle-level timing of an instrumented run is bit-identical to
+//     an uninstrumented one. This is checked by tests that run the same
+//     trace with and without a probe and compare final cycle counts.
+//
+// Spans, instants and counter samples are recorded against named tracks
+// (one per hardware component: the CPU front-end, the WPQ, the Mi-SU
+// engine, the Ma-SU pipeline, the NVM banks) and exported with
+// WriteChromeTrace for ui.perfetto.dev or chrome://tracing.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"dolos/internal/sim"
+)
+
+// TrackID identifies a registered track. The zero value is the first
+// registered track; Track on a nil probe returns 0, which is harmless
+// because every event-recording method on a nil probe is a no-op.
+type TrackID int32
+
+// EventKind discriminates the recorded event types.
+type EventKind uint8
+
+const (
+	// SpanEvent is a duration on a track (Start..End).
+	SpanEvent EventKind = iota
+	// InstantEvent is a point-in-time marker.
+	InstantEvent
+	// CounterEvent is a sample of a time-varying value (e.g. WPQ
+	// occupancy); exported as a Chrome counter track.
+	CounterEvent
+)
+
+// Event is one recorded trace event.
+type Event struct {
+	Track TrackID
+	Kind  EventKind
+	Name  string
+	// Start and End bound a SpanEvent; for instants and counter samples
+	// Start is the timestamp and End equals Start.
+	Start, End sim.Cycle
+	// Value carries the sample for CounterEvent.
+	Value float64
+}
+
+// Probe records trace events against component tracks. A nil Probe is
+// the disabled state: all methods are safe and free to call. Construct
+// with NewProbe; the probe is safe for concurrent use (the registry
+// contract extends to the event buffer).
+type Probe struct {
+	now func() sim.Cycle
+
+	mu      sync.Mutex
+	tracks  []string
+	trackID map[string]TrackID
+	events  []Event
+	limit   int
+	dropped uint64
+
+	reg *Registry
+}
+
+// NewProbe returns an enabled probe stamping times from now (typically
+// (*sim.Engine).Now). A nil now panics at first use of Instant/Counter.
+func NewProbe(now func() sim.Cycle) *Probe {
+	return &Probe{
+		now:     now,
+		trackID: make(map[string]TrackID),
+		reg:     NewRegistry(),
+	}
+}
+
+// Enabled reports whether the probe records anything.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// SetEventLimit caps the number of retained events (0 = unlimited).
+// Events past the cap are counted in Dropped instead of retained, so a
+// long run cannot exhaust memory.
+func (p *Probe) SetEventLimit(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.limit = n
+	p.mu.Unlock()
+}
+
+// Dropped returns how many events were discarded by the event limit.
+func (p *Probe) Dropped() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Registry returns the probe's metrics registry (nil when disabled; the
+// returned nil Registry is itself safe to use).
+func (p *Probe) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// Track registers (or finds) a named track and returns its ID. Tracks
+// export in registration order.
+func (p *Probe) Track(name string) TrackID {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.trackID[name]; ok {
+		return id
+	}
+	id := TrackID(len(p.tracks))
+	p.tracks = append(p.tracks, name)
+	p.trackID[name] = id
+	return id
+}
+
+// TrackNames returns the registered track names in registration order.
+func (p *Probe) TrackNames() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.tracks))
+	copy(out, p.tracks)
+	return out
+}
+
+func (p *Probe) record(e Event) {
+	p.mu.Lock()
+	if p.limit > 0 && len(p.events) >= p.limit {
+		p.dropped++
+	} else {
+		p.events = append(p.events, e)
+	}
+	p.mu.Unlock()
+}
+
+// Span records a duration [start, end] on a track.
+func (p *Probe) Span(track TrackID, name string, start, end sim.Cycle) {
+	if p == nil {
+		return
+	}
+	if end < start {
+		start, end = end, start
+	}
+	p.record(Event{Track: track, Kind: SpanEvent, Name: name, Start: start, End: end})
+}
+
+// Instant records a point marker stamped with the probe clock.
+func (p *Probe) Instant(track TrackID, name string) {
+	if p == nil {
+		return
+	}
+	p.InstantAt(track, name, p.now())
+}
+
+// InstantAt records a point marker at an explicit cycle.
+func (p *Probe) InstantAt(track TrackID, name string, at sim.Cycle) {
+	if p == nil {
+		return
+	}
+	p.record(Event{Track: track, Kind: InstantEvent, Name: name, Start: at, End: at})
+}
+
+// Counter records a sample of a time-varying value, stamped with the
+// probe clock. Samples with one (track, name) pair form one counter
+// track in the exported trace.
+func (p *Probe) Counter(track TrackID, name string, value float64) {
+	if p == nil {
+		return
+	}
+	p.CounterAt(track, name, p.now(), value)
+}
+
+// CounterAt records a counter sample at an explicit cycle.
+func (p *Probe) CounterAt(track TrackID, name string, at sim.Cycle, value float64) {
+	if p == nil {
+		return
+	}
+	p.record(Event{Track: track, Kind: CounterEvent, Name: name, Start: at, End: at, Value: value})
+}
+
+// Events returns a snapshot of the recorded events in recording order.
+func (p *Probe) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Len returns the number of retained events.
+func (p *Probe) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// SpanNames returns the distinct span names recorded, sorted — a
+// convenience for tests and trace summaries.
+func (p *Probe) SpanNames() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := make(map[string]bool)
+	for i := range p.events {
+		if p.events[i].Kind == SpanEvent {
+			seen[p.events[i].Name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

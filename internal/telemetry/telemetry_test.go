@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"testing"
+
+	"dolos/internal/sim"
+)
+
+func TestNilProbeIsSafeAndFree(t *testing.T) {
+	var p *Probe
+	if p.Enabled() {
+		t.Fatal("nil probe reports enabled")
+	}
+	// Every method must be a no-op on the nil receiver.
+	tr := p.Track("cpu")
+	p.Span(tr, "s", 0, 10)
+	p.Instant(tr, "i")
+	p.InstantAt(tr, "i", 5)
+	p.Counter(tr, "c", 1)
+	p.CounterAt(tr, "c", 5, 1)
+	p.SetEventLimit(10)
+	if p.Len() != 0 || p.Dropped() != 0 || p.Events() != nil || p.TrackNames() != nil || p.SpanNames() != nil {
+		t.Fatal("nil probe retained state")
+	}
+	if r := p.Registry(); r != nil {
+		t.Fatalf("nil probe registry = %v", r)
+	}
+	// Nil registry and nil metrics are equally inert.
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("g").Set(3)
+	reg.CycleHist("h").Observe(7)
+	if reg.Counter("x").Value() != 0 || reg.Gauge("g").Value() != 0 || reg.CycleHist("h").Stats().Count != 0 {
+		t.Fatal("nil registry retained state")
+	}
+	if reg.CounterNames() != nil || reg.GaugeNames() != nil || reg.HistNames() != nil {
+		t.Fatal("nil registry returned names")
+	}
+
+	// The zero-overhead-when-disabled contract: no allocations on the
+	// disabled hot path.
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Span(tr, "s", 0, 10)
+		p.Counter(tr, "occ", 3)
+		reg.Counter("x").Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil probe allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestProbeRecordsEvents(t *testing.T) {
+	var now sim.Cycle
+	p := NewProbe(func() sim.Cycle { return now })
+	cpu := p.Track("cpu")
+	wpq := p.Track("wpq")
+	if p.Track("cpu") != cpu {
+		t.Fatal("re-registering a track changed its ID")
+	}
+
+	p.Span(cpu, "fence-stall", 10, 50)
+	now = 60
+	p.Instant(wpq, "retry")
+	p.Counter(wpq, "occupancy", 4)
+
+	evs := p.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].Kind != SpanEvent || evs[0].Start != 10 || evs[0].End != 50 || evs[0].Track != cpu {
+		t.Fatalf("span event = %+v", evs[0])
+	}
+	if evs[1].Kind != InstantEvent || evs[1].Start != 60 {
+		t.Fatalf("instant event = %+v", evs[1])
+	}
+	if evs[2].Kind != CounterEvent || evs[2].Value != 4 || evs[2].Track != wpq {
+		t.Fatalf("counter event = %+v", evs[2])
+	}
+	if names := p.TrackNames(); len(names) != 2 || names[0] != "cpu" || names[1] != "wpq" {
+		t.Fatalf("tracks = %v", names)
+	}
+	if sn := p.SpanNames(); len(sn) != 1 || sn[0] != "fence-stall" {
+		t.Fatalf("span names = %v", sn)
+	}
+}
+
+func TestSpanSwapsInvertedBounds(t *testing.T) {
+	p := NewProbe(func() sim.Cycle { return 0 })
+	tr := p.Track("t")
+	p.Span(tr, "s", 50, 10)
+	ev := p.Events()[0]
+	if ev.Start != 10 || ev.End != 50 {
+		t.Fatalf("inverted span not normalized: %+v", ev)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	p := NewProbe(func() sim.Cycle { return 0 })
+	tr := p.Track("t")
+	p.SetEventLimit(3)
+	for i := 0; i < 10; i++ {
+		p.InstantAt(tr, "i", sim.Cycle(i))
+	}
+	if p.Len() != 3 {
+		t.Fatalf("retained = %d, want 3", p.Len())
+	}
+	if p.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", p.Dropped())
+	}
+}

@@ -56,11 +56,30 @@ func TestAddressesLineAligned(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	kinds := []Kind{Compute, Read, Write, Flush, Fence, TxBegin, TxEnd, Kind(99)}
-	for _, k := range kinds {
-		if k.String() == "" {
-			t.Fatalf("empty string for kind %d", k)
+	// Exact mnemonics: these names appear in serialized traces and
+	// telemetry output, so a rename is a format break, not a cosmetic one.
+	want := map[Kind]string{
+		Compute: "compute",
+		Read:    "read",
+		Write:   "write",
+		Flush:   "flush",
+		Fence:   "fence",
+		TxBegin: "txbegin",
+		TxEnd:   "txend",
+	}
+	seen := make(map[string]Kind)
+	for k, w := range want {
+		got := k.String()
+		if got != w {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, w)
 		}
+		if prev, dup := seen[got]; dup {
+			t.Fatalf("kinds %d and %d share mnemonic %q", prev, k, got)
+		}
+		seen[got] = k
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Fatalf("unknown kind = %q, want %q", got, "Kind(99)")
 	}
 }
 

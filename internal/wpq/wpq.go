@@ -47,6 +47,41 @@ type Entry struct {
 	Seq uint64
 }
 
+// ObsEvent enumerates the queue-state transitions reported to an
+// Observer. The observer receives the post-event live count, so
+// occupancy can be sampled exactly at its change points.
+type ObsEvent uint8
+
+const (
+	// EvInsert is a new slot claimed for a write.
+	EvInsert ObsEvent = iota
+	// EvCoalesce is a write merged into a live entry.
+	EvCoalesce
+	// EvFetch is the Ma-SU starting to process a slot.
+	EvFetch
+	// EvClear is a slot retired after its drain completed.
+	EvClear
+)
+
+// String returns the event mnemonic.
+func (e ObsEvent) String() string {
+	switch e {
+	case EvInsert:
+		return "insert"
+	case EvCoalesce:
+		return "coalesce"
+	case EvFetch:
+		return "fetch"
+	case EvClear:
+		return "clear"
+	}
+	return fmt.Sprintf("ObsEvent(%d)", uint8(e))
+}
+
+// Observer receives queue events (telemetry). The queue has no clock;
+// the observer's owner stamps time. Must be purely observational.
+type Observer func(ev ObsEvent, addr uint64, live int)
+
 // Queue is a circular WPQ with a volatile tag array.
 type Queue struct {
 	slots     []Entry
@@ -61,6 +96,8 @@ type Queue struct {
 	inserts   uint64
 	coalesces uint64
 	readHits  uint64
+
+	obs Observer
 }
 
 // New creates a WPQ with the given number of entries.
@@ -92,6 +129,9 @@ func (q *Queue) Coalesces() uint64 { return q.coalesces }
 
 // ReadHits returns how many reads were served from the WPQ.
 func (q *Queue) ReadHits() uint64 { return q.readHits }
+
+// SetObserver installs (or with nil removes) the queue-event observer.
+func (q *Queue) SetObserver(obs Observer) { q.obs = obs }
 
 // CanCoalesce reports whether a write to addr would coalesce into an
 // existing live entry rather than needing a free slot. Coalescing into a
@@ -149,6 +189,9 @@ func (q *Queue) Allocate(addr uint64) (slot int, coalesced, ok bool) {
 		s := q.tags[addr]
 		q.coalesces++
 		q.inserts++
+		if q.obs != nil {
+			q.obs(EvCoalesce, addr, q.live)
+		}
 		return s, true, true
 	}
 	if q.Full() {
@@ -169,6 +212,9 @@ func (q *Queue) Allocate(addr uint64) (slot int, coalesced, ok bool) {
 			q.inserts++
 			q.slots[s] = Entry{} // caller fills via Commit
 			q.tags[addr] = s
+			if q.obs != nil {
+				q.obs(EvInsert, addr, q.live)
+			}
 			return s, false, true
 		}
 	}
@@ -212,7 +258,12 @@ func (q *Queue) FetchOldest() (slot int, ok bool) {
 }
 
 // MarkFetched flags slot as in-flight in the Ma-SU pipeline.
-func (q *Queue) MarkFetched(slot int) { q.slots[slot].Fetched = true }
+func (q *Queue) MarkFetched(slot int) {
+	q.slots[slot].Fetched = true
+	if q.obs != nil {
+		q.obs(EvFetch, q.slots[slot].Addr, q.live)
+	}
+}
 
 // Clear marks slot processed by the Ma-SU (step 4 of Figure 11). The slot
 // becomes reusable; the tag stays until reuse so reads can still hit the
@@ -228,6 +279,9 @@ func (q *Queue) Clear(slot int) {
 		delete(q.tags, e.Addr)
 	}
 	q.nextFetch = (slot + 1) % len(q.slots)
+	if q.obs != nil {
+		q.obs(EvClear, e.Addr, q.live)
+	}
 }
 
 // SetMACPending marks/unmarks a slot's deferred-MAC state (Post-WPQ).
