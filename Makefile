@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-json ci profile reproduce validate clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json ci profile reproduce validate clean
 
 all: build test
 
@@ -22,8 +22,18 @@ fmt:
 	gofmt -l -w .
 
 # Regenerate every table and figure (EXPERIMENTS.md reference scale).
+# Sweeps parallelize across cores by default; output is byte-identical
+# at any -parallel setting (DESIGN.md §9).
 reproduce:
 	$(GO) run ./cmd/dolos-bench -exp all -txns 1000
+
+# The same grid pinned serial and wide — `diff` of the two outputs is
+# the quickest manual determinism check.
+bench-par:
+	$(GO) run ./cmd/dolos-bench -exp all -txns 200 -parallel 1 -format csv | grep -v "completed in" > /tmp/dolos-serial.csv
+	$(GO) run ./cmd/dolos-bench -exp all -txns 200 -format csv | grep -v "completed in" > /tmp/dolos-parallel.csv
+	diff /tmp/dolos-serial.csv /tmp/dolos-parallel.csv
+	@echo "serial and parallel grids are byte-identical"
 
 # Check every qualitative claim of the paper's evaluation.
 validate:
@@ -32,11 +42,22 @@ validate:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Exactly what .github/workflows/ci.yml runs.
+# One iteration of the headline benchmarks — catches bit-rot in the
+# bench harness without paying for a full statistical run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Fig12|Table2' -benchtime=1x ./...
+
+# Exactly what .github/workflows/ci.yml runs. The timeout on the grid
+# run is the wall-time tripwire: the full parallel evaluation at small
+# scale must finish well inside it, so an accidental serialization or a
+# sim-hot-path regression fails CI instead of silently tripling runtime.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench 'Fig12|Table2' -benchtime=1x ./...
+	$(GO) build -o /tmp/dolos-bench-ci ./cmd/dolos-bench
+	timeout 300 /tmp/dolos-bench-ci -exp all -txns 50 > /dev/null
 
 # Regenerate BENCH_baseline.json: a small fixed-seed scheme×workload
 # grid of RunRecords. Commit the result so perf drifts show up in review.

@@ -32,9 +32,10 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all six)")
 	format := flag.String("format", "table", "output format: table or csv")
 	seed := flag.Int64("seed", 1, "workload generator seed")
+	parallel := flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
 	flag.Parse()
 
-	opts := core.Options{Transactions: *txns, Seed: *seed}
+	opts := core.Options{Transactions: *txns, Seed: *seed, Parallelism: *parallel}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}

@@ -17,12 +17,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dolos/internal/cliutil"
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
 	"dolos/internal/masu"
 	"dolos/internal/telemetry"
+	"dolos/internal/trace"
 	"dolos/internal/whisper"
 )
 
@@ -39,10 +44,11 @@ func main() {
 	eventLimit := flag.Int("event-limit", 2_000_000, "max retained trace events (0 = unlimited)")
 	grid := flag.Bool("grid", false, "run the fixed-seed scheme×workload bench grid instead of one profiled run")
 	gridOut := flag.String("o", "BENCH_baseline.json", "bench grid JSON output path")
+	parallel := flag.Int("parallel", 0, "concurrent grid simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	flag.Parse()
 
 	if *grid {
-		if err := runGrid(*gridOut, *txns, *txSize); err != nil {
+		if err := runGrid(*gridOut, *txns, *txSize, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 			os.Exit(1)
 		}
@@ -73,13 +79,15 @@ func main() {
 	probe.SetEventLimit(*eventLimit)
 	sys.SetProbe(probe)
 
+	start := time.Now()
 	res := sys.Run(tr)
+	wall := time.Since(start)
 
 	if err := writeTrace(*traceOut, probe); err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 		os.Exit(1)
 	}
-	rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Ctrl.Stats(), probe.Registry())
+	rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Eng.Processed(), wall, sys.Ctrl.Stats(), probe.Registry())
 	if err := writeMetrics(*metricsOut, rec); err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 		os.Exit(1)
@@ -123,7 +131,11 @@ func writeMetrics(path string, v any) error {
 // seed BENCH_baseline.json — the per-PR perf trajectory. No probe is
 // attached: the grid measures the plain simulator, and its cycle counts
 // must stay bit-identical whenever a PR claims zero timing impact.
-func runGrid(path string, txns, txSize int) error {
+// Cells run concurrently (one independent system each; the trace per
+// workload is generated once up front and replayed read-only), but
+// records and report lines are assembled in enumeration order, so the
+// output is identical at every -parallel setting.
+func runGrid(path string, txns, txSize, parallel int) error {
 	schemes := []controller.Scheme{
 		controller.PreWPQSecure,
 		controller.DolosFull,
@@ -133,7 +145,12 @@ func runGrid(path string, txns, txSize int) error {
 	workloads := []string{"Hashmap", "Btree"}
 	const gridSeed = 1
 
-	var records []telemetry.RunRecord
+	type gridCell struct {
+		workload string
+		tr       *trace.Trace
+		scheme   controller.Scheme
+	}
+	var cells []gridCell
 	for _, wl := range workloads {
 		w, err := whisper.ByName(wl)
 		if err != nil {
@@ -141,15 +158,45 @@ func runGrid(path string, txns, txSize int) error {
 		}
 		tr := w.Generate(whisper.Params{Transactions: txns, TxSize: txSize, Seed: gridSeed})
 		for _, sch := range schemes {
-			cfg := controller.Config{Scheme: sch, Tree: masu.BMTEager, HardwareWPQ: 16}
-			cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
-			sys := cpu.NewSystem(cfg)
-			res := sys.Run(tr)
-			records = append(records,
-				cliutil.BuildRunRecord(res, masu.BMTEager, txSize, gridSeed, sys.Ctrl.Stats(), nil))
-			fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR\n",
-				wl, res.Scheme, res.Cycles, res.RetryPerKWR)
+			cells = append(cells, gridCell{wl, tr, sch})
 		}
+	}
+
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	records := make([]telemetry.RunRecord, len(cells))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				c := cells[i]
+				cfg := controller.Config{Scheme: c.scheme, Tree: masu.BMTEager, HardwareWPQ: 16}
+				cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
+				sys := cpu.NewSystem(cfg)
+				start := time.Now()
+				res := sys.Run(c.tr)
+				records[i] = cliutil.BuildRunRecord(res, masu.BMTEager, txSize, gridSeed,
+					sys.Eng.Processed(), time.Since(start), sys.Ctrl.Stats(), nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, c := range cells {
+		fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR\n",
+			c.workload, records[i].Scheme, records[i].Cycles, records[i].RetryPerKWR)
 	}
 	return writeMetrics(path, records)
 }

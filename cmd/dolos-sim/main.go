@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dolos/internal/cliutil"
 	"dolos/internal/controller"
@@ -68,7 +69,9 @@ func main() {
 		// takes the uninstrumented (nil-probe) fast path.
 		sys.SetProbe(telemetry.NewProbe(sys.Eng.Now))
 	}
+	start := time.Now()
 	res := sys.Run(tr)
+	wall := time.Since(start)
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, sys.Probe()); err != nil {
@@ -82,7 +85,7 @@ func main() {
 		if p := sys.Probe(); p != nil {
 			reg = p.Registry()
 		}
-		rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Ctrl.Stats(), reg)
+		rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Eng.Processed(), wall, sys.Ctrl.Stats(), reg)
 		if err := telemetry.WriteJSON(os.Stdout, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
 			os.Exit(1)

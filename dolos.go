@@ -61,7 +61,7 @@ const (
 )
 
 // Options configures an experiment batch (transaction count, workload
-// subset, seed).
+// subset, seed, sweep parallelism).
 type Options = core.Options
 
 // Spec pins one simulated configuration (scheme, tree, transaction size,
@@ -69,6 +69,9 @@ type Options = core.Options
 type Spec = core.Spec
 
 // Runner executes simulations with trace caching for paired comparisons.
+// Safe for concurrent use; sweep experiments run their cells on a worker
+// pool sized by Options.Parallelism with byte-identical output at any
+// setting.
 type Runner = core.Runner
 
 // Result summarizes one simulation (cycles, CPI, retry events, ...).

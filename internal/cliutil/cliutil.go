@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
@@ -106,9 +107,16 @@ func DemoKeys(label string) (aes, mac [16]byte) {
 
 // BuildRunRecord assembles the machine-readable record of one finished
 // run — the shared shape dolos-sim -json, dolos-profile and the bench
-// baseline all emit. reg may be nil (no probe attached).
+// baseline all emit. reg may be nil (no probe attached). events is the
+// engine's dispatched-event count and wall the host-side run duration;
+// together they yield the simulator-throughput fields.
 func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
+	events uint64, wall time.Duration,
 	set *stats.Set, reg *telemetry.Registry) telemetry.RunRecord {
+	eps := 0.0
+	if wall > 0 {
+		eps = float64(events) / wall.Seconds()
+	}
 	return telemetry.RunRecord{
 		Scheme:           res.Scheme,
 		Workload:         res.Workload,
@@ -130,6 +138,9 @@ func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
 		WPQMeanOccupancy: res.WPQMeanOccupancy,
 		MedianTxCycles:   res.MedianTxCycles,
 		P99TxCycles:      res.P99TxCycles,
+		WallSeconds:      wall.Seconds(),
+		EventsProcessed:  events,
+		EventsPerSecond:  eps,
 		Metrics:          telemetry.Snapshot(set, reg),
 	}
 }

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
@@ -25,6 +26,11 @@ type Options struct {
 	Workloads []string
 	// Seed for the workload generators.
 	Seed int64
+	// Parallelism is the number of simulations run concurrently by the
+	// sweep executor (0 = GOMAXPROCS, 1 = serial). Each cell of a sweep
+	// is an independent single-clock-domain system, so output is
+	// byte-identical at every setting; see DESIGN.md §9.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,46 +74,76 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// traceEntry is one single-flight slot of the trace cache: the first
+// requester generates under the entry's once, every concurrent requester
+// blocks on the same once and then shares the identical *trace.Trace.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
 // Runner executes simulations, caching generated traces so every scheme
-// replays the identical operation stream (paired comparisons).
+// replays the identical operation stream (paired comparisons). A Runner
+// is safe for concurrent use: the trace cache is guarded by a mutex with
+// single-flight generation, and each Run builds a private system around
+// its own simulation engine. Replay only reads the shared trace.
 type Runner struct {
-	opts   Options
-	traces map[string]*trace.Trace
+	opts Options
+
+	mu     sync.Mutex
+	traces map[string]*traceEntry
 }
 
 // NewRunner creates a runner with the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.withDefaults(), traces: make(map[string]*trace.Trace)}
+	return &Runner{opts: opts.withDefaults(), traces: make(map[string]*traceEntry)}
 }
 
 // Options returns the effective options.
 func (r *Runner) Options() Options { return r.opts }
 
 // Trace returns the (cached) trace for a workload at a transaction size.
+// Concurrent callers for the same (workload, txSize) block until the one
+// generation completes and then share the same immutable trace.
 func (r *Runner) Trace(workload string, txSize int) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s/%d", workload, txSize)
-	if tr, ok := r.traces[key]; ok {
-		return tr, nil
+	r.mu.Lock()
+	e, ok := r.traces[key]
+	if !ok {
+		e = &traceEntry{}
+		r.traces[key] = e
 	}
-	w, err := whisper.ByName(workload)
-	if err != nil {
-		return nil, err
-	}
-	tr := w.Generate(whisper.Params{
-		Transactions: r.opts.Transactions,
-		TxSize:       txSize,
-		Seed:         r.opts.Seed,
+	r.mu.Unlock()
+	e.once.Do(func() {
+		w, err := whisper.ByName(workload)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.tr = w.Generate(whisper.Params{
+			Transactions: r.opts.Transactions,
+			TxSize:       txSize,
+			Seed:         r.opts.Seed,
+		})
 	})
-	r.traces[key] = tr
-	return tr, nil
+	return e.tr, e.err
 }
 
 // Run simulates one workload under one configuration.
 func (r *Runner) Run(workload string, spec Spec) (cpu.Result, error) {
+	res, _, err := r.runSystem(workload, spec)
+	return res, err
+}
+
+// runSystem simulates one workload under one configuration and also
+// returns the quiesced system, for experiments that inspect controller
+// state (write amplification, crash/recovery ablations).
+func (r *Runner) runSystem(workload string, spec Spec) (cpu.Result, *cpu.System, error) {
 	spec = spec.withDefaults()
 	tr, err := r.Trace(workload, spec.TxSize)
 	if err != nil {
-		return cpu.Result{}, err
+		return cpu.Result{}, nil, err
 	}
 	cfg := controller.Config{
 		Scheme:            spec.Scheme,
@@ -121,7 +157,7 @@ func (r *Runner) Run(workload string, spec Spec) (cpu.Result, error) {
 	copy(cfg.AESKey[:], "dolos-aes-key-16")
 	copy(cfg.MACKey[:], "dolos-mac-key-16")
 	sys := cpu.NewSystem(cfg)
-	return sys.Run(tr), nil
+	return sys.Run(tr), sys, nil
 }
 
 // Speedup returns baseline cycles divided by candidate cycles — the

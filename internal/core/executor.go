@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dolos/internal/cpu"
+)
+
+// cell is one point of an experiment sweep: a workload replayed under
+// one configuration. Experiments enumerate their full grid as a flat
+// []cell, fan the cells out over the executor, and assemble table rows
+// from the returned slice — which is always in enumeration order, so
+// every emitted table is byte-identical to a serial run regardless of
+// the order in which cells happen to finish.
+type cell struct {
+	Workload string
+	Spec     Spec
+}
+
+// parallelism resolves the worker count: Options.Parallelism, or
+// GOMAXPROCS when unset.
+func (r *Runner) parallelism() int {
+	if r.opts.Parallelism > 0 {
+		return r.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1) on a pool of workers and returns every error
+// joined (never just the first: one failed cell must not abort the rest
+// of a long sweep). Result ordering is the caller's concern — fn writes
+// into index i of a pre-sized slice, so assembly order never depends on
+// completion order. With parallelism 1 (or n == 1) it degenerates to the
+// plain serial loop.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	workers := r.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var errs []error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// runCells executes every cell (concurrently up to the configured
+// parallelism) and returns the results in enumeration order. Traces are
+// generated once per (workload, txSize) via the Runner's single-flight
+// cache and replayed read-only, so all schemes of a sweep share one
+// operation stream exactly as in a serial run.
+func (r *Runner) runCells(cells []cell) ([]cpu.Result, error) {
+	out := make([]cpu.Result, len(cells))
+	err := r.forEach(len(cells), func(i int) error {
+		res, err := r.Run(cells[i].Workload, cells[i].Spec)
+		if err != nil {
+			return fmt.Errorf("cell %d (%s, scheme %v): %w",
+				i, cells[i].Workload, cells[i].Spec.Scheme, err)
+		}
+		out[i] = res
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/stats"
+)
+
+// TestTraceCacheConcurrent hammers the single-flight trace cache from
+// eight goroutines requesting the same key (run under -race in CI): all
+// must receive the exact same *trace.Trace pointer, i.e. the workload
+// was generated once and shared, never duplicated or torn.
+func TestTraceCacheConcurrent(t *testing.T) {
+	r := NewRunner(Options{Transactions: 50, Workloads: []string{"Hashmap"}})
+	const goroutines = 8
+	ptrs := make([]any, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			tr, err := r.Trace("Hashmap", 1024)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ptrs[g] = tr
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if ptrs[g] != ptrs[0] {
+			t.Fatalf("goroutine %d received a different trace instance", g)
+		}
+	}
+	// A second round after the cache is warm must return the same trace.
+	tr, err := r.Trace("Hashmap", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if any(tr) != ptrs[0] {
+		t.Fatal("warm cache returned a different trace instance")
+	}
+}
+
+// TestTraceCacheConcurrentError checks the single-flight error path: an
+// unknown workload fails for every concurrent requester, and the error
+// is cached like a successful generation.
+func TestTraceCacheConcurrentError(t *testing.T) {
+	r := NewRunner(Options{Transactions: 50})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Trace("NoSuchWorkload", 1024); err == nil {
+				t.Error("unknown workload accepted")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestForEachAggregatesErrors pins the satellite contract: one failed
+// cell must not abort the sweep — every index still runs, and every
+// error surfaces in the joined result.
+func TestForEachAggregatesErrors(t *testing.T) {
+	r := NewRunner(Options{Parallelism: 4})
+	const n = 10
+	ran := make([]bool, n)
+	err := r.forEach(n, func(i int) error {
+		ran[i] = true
+		if i == 2 || i == 7 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("cell %d skipped after earlier failure", i)
+		}
+	}
+	for _, want := range []string{"cell 2 failed", "cell 7 failed"} {
+		if err == nil || !contains(err, want) {
+			t.Fatalf("aggregated error %v missing %q", err, want)
+		}
+	}
+
+	// The serial path (Parallelism 1) must aggregate identically.
+	serial := NewRunner(Options{Parallelism: 1})
+	err = serial.forEach(n, func(i int) error {
+		if i == 2 || i == 7 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	for _, want := range []string{"cell 2 failed", "cell 7 failed"} {
+		if err == nil || !contains(err, want) {
+			t.Fatalf("serial aggregated error %v missing %q", err, want)
+		}
+	}
+}
+
+func contains(err error, sub string) bool {
+	for _, e := range multiUnwrap(err) {
+		if e.Error() == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func multiUnwrap(err error) []error {
+	if m, ok := err.(interface{ Unwrap() []error }); ok {
+		return m.Unwrap()
+	}
+	return []error{err}
+}
+
+// TestRunCellsFailedCellDoesNotAbortGrid runs a mixed grid where one
+// cell has an unknown workload: the good cells' results must still be
+// produced, with the bad cell identified in the error.
+func TestRunCellsFailedCellDoesNotAbortGrid(t *testing.T) {
+	r := NewRunner(Options{Transactions: 50, Parallelism: 2})
+	cells := []cell{
+		{"Hashmap", Spec{Scheme: controller.PreWPQSecure}},
+		{"NoSuchWorkload", Spec{Scheme: controller.PreWPQSecure}},
+		{"Hashmap", Spec{Scheme: controller.DolosPartial}},
+	}
+	res, err := r.runCells(cells)
+	if err == nil {
+		t.Fatal("bad cell did not surface an error")
+	}
+	if n := len(multiUnwrap(err)); n != 1 {
+		t.Fatalf("expected exactly one cell error, got %d: %v", n, err)
+	}
+	if !strings.Contains(err.Error(), "cell 1") || !strings.Contains(err.Error(), "NoSuchWorkload") {
+		t.Fatalf("error does not identify the failing cell: %v", err)
+	}
+	if res[0].Cycles == 0 || res[2].Cycles == 0 {
+		t.Fatal("good cells were aborted by the failing cell")
+	}
+	if res[1].Cycles != 0 {
+		t.Fatal("failed cell produced a result")
+	}
+}
+
+// experimentsUnderTest enumerates every sweep experiment as a
+// name → CSV closure, so the serial/parallel equivalence test below
+// covers the full grid the bench CLI exposes.
+func experimentsUnderTest(r *Runner) []struct {
+	name string
+	run  func() (string, error)
+} {
+	csv := func(t *stats.Table, err error) (string, error) {
+		if err != nil {
+			return "", err
+		}
+		return t.CSV(), nil
+	}
+	return []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"fig6", func() (string, error) { return csv(r.Fig6()) }},
+		{"fig12", func() (string, error) { return csv(r.Fig12()) }},
+		{"fig16", func() (string, error) { return csv(r.Fig16()) }},
+		{"table2", func() (string, error) { return csv(r.Table2()) }},
+		{"fig13", func() (string, error) { return csv(r.Fig13()) }},
+		{"fig14", func() (string, error) { return csv(r.Fig14()) }},
+		{"fig15", func() (string, error) {
+			spd, rtr, err := r.Fig15()
+			if err != nil {
+				return "", err
+			}
+			return spd.CSV() + rtr.CSV(), nil
+		}},
+		{"ablate-coalesce", func() (string, error) { return csv(r.AblateCoalescing()) }},
+		{"ablate-cc", func() (string, error) { return csv(r.AblateCounterCache()) }},
+		{"ablate-backend", func() (string, error) { return csv(r.AblateBackend()) }},
+		{"ablate-osiris", func() (string, error) { return csv(r.AblateOsiris("Hashmap")) }},
+		{"eadr", func() (string, error) { return csv(r.EADRComparison()) }},
+		{"writes", func() (string, error) { return csv(r.WriteAmplification()) }},
+		{"tail", func() (string, error) { return csv(r.TailLatency()) }},
+		{"variance", func() (string, error) { return csv(r.SeedSweep(2)) }},
+	}
+}
+
+// TestSerialParallelEquivalence is the executor's core determinism
+// guarantee: for every experiment, the emitted CSV is byte-identical
+// between a serial runner (Parallelism 1) and a wide parallel runner
+// (Parallelism 8), regardless of core count or scheduling. Run under
+// -race in CI, this doubles as the concurrency-safety check for the
+// whole experiment layer.
+func TestSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid equivalence sweep is not short")
+	}
+	opts := Options{Transactions: 60, Workloads: []string{"Hashmap", "Btree"}}
+	serialOpts, parallelOpts := opts, opts
+	serialOpts.Parallelism = 1
+	parallelOpts.Parallelism = 8
+	serial := NewRunner(serialOpts)
+	parallel := NewRunner(parallelOpts)
+
+	ser := experimentsUnderTest(serial)
+	par := experimentsUnderTest(parallel)
+	for i := range ser {
+		want, err := ser[i].run()
+		if err != nil {
+			t.Fatalf("%s serial: %v", ser[i].name, err)
+		}
+		got, err := par[i].run()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", par[i].name, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel CSV differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				ser[i].name, want, got)
+		}
+	}
+}
+
+// TestParallelismResolution pins the worker-count rules: explicit values
+// are honored, zero falls back to GOMAXPROCS (>= 1).
+func TestParallelismResolution(t *testing.T) {
+	if got := NewRunner(Options{Parallelism: 3}).parallelism(); got != 3 {
+		t.Fatalf("explicit parallelism: got %d, want 3", got)
+	}
+	if got := NewRunner(Options{}).parallelism(); got < 1 {
+		t.Fatalf("default parallelism %d < 1", got)
+	}
+}

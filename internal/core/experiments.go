@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dolos/internal/controller"
-	"dolos/internal/cpu"
 	"dolos/internal/crypt"
 	"dolos/internal/masu"
 	"dolos/internal/misu"
@@ -18,25 +17,36 @@ var dolosSchemes = []controller.Scheme{
 	controller.DolosFull, controller.DolosPartial, controller.DolosPost,
 }
 
+// Every experiment below follows the executor's three-phase shape
+// (DESIGN.md §9): enumerate the full grid as a flat cell list in the
+// same nested order the tables print, execute the cells through
+// runCells/forEach (parallel up to Options.Parallelism, one independent
+// simulated system per cell), then assemble rows from the
+// enumeration-ordered results. Output is byte-identical at every
+// parallelism setting.
+
 // Fig6 reproduces Figure 6: the motivation CPI comparison between
 // placing the security unit before the WPQ (the baseline) and the
 // hypothetical post-WPQ placement (the ideal). The paper reports an
 // average 2.1x slowdown for the former.
 func (r *Runner) Fig6() (*stats.Table, error) {
+	cells := make([]cell, 0, 2*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		cells = append(cells,
+			cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager}},
+			cell{w, Spec{Scheme: controller.NonSecureADR, Tree: masu.BMTEager}})
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Figure 6: CPI, security before vs after WPQ (normalized to post-WPQ)",
 		Columns: []string{"Pre-WPQ CPI", "Post-WPQ CPI", "Slowdown"},
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
-		pre, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
-		post, err := r.Run(w, Spec{Scheme: controller.NonSecureADR, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range r.opts.Workloads {
+		pre, post := res[2*i], res[2*i+1]
 		t.AddRow(w, pre.CPI, post.CPI, pre.CPI/post.CPI)
 	}
 	return t, nil
@@ -60,23 +70,28 @@ func (r *Runner) Fig16() (*stats.Table, error) {
 }
 
 func (r *Runner) speedupTable(title string, tree masu.TreeKind, txSize, hwWPQ int) (*stats.Table, error) {
+	perW := 1 + len(dolosSchemes)
+	cells := make([]cell, 0, perW*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		cells = append(cells, cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: tree, TxSize: txSize, HardwareWPQ: hwWPQ}})
+		for _, s := range dolosSchemes {
+			cells = append(cells, cell{w, Spec{Scheme: s, Tree: tree, TxSize: txSize, HardwareWPQ: hwWPQ}})
+		}
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   title,
 		Columns: []string{"Full-WPQ", "Partial-WPQ", "Post-WPQ"},
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
-		base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: tree, TxSize: txSize, HardwareWPQ: hwWPQ})
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, 0, 3)
-		for _, s := range dolosSchemes {
-			res, err := r.Run(w, Spec{Scheme: s, Tree: tree, TxSize: txSize, HardwareWPQ: hwWPQ})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, Speedup(base, res))
+	for i, w := range r.opts.Workloads {
+		base := res[perW*i]
+		row := make([]float64, 0, len(dolosSchemes))
+		for j := range dolosSchemes {
+			row = append(row, Speedup(base, res[perW*i+1+j]))
 		}
 		t.AddRow(w, row...)
 	}
@@ -86,19 +101,25 @@ func (r *Runner) speedupTable(title string, tree masu.TreeKind, txSize, hwWPQ in
 // Table2 reproduces Table 2: WPQ insertion re-try events per kilo write
 // requests for the three Mi-SU designs (eager BMT, 1024B transactions).
 func (r *Runner) Table2() (*stats.Table, error) {
+	cells := make([]cell, 0, len(dolosSchemes)*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		for _, s := range dolosSchemes {
+			cells = append(cells, cell{w, Spec{Scheme: s, Tree: masu.BMTEager}})
+		}
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Table 2: WPQ insertion re-try events per kilo write requests",
 		Columns: []string{"Full-WPQ", "Partial-WPQ", "Post-WPQ"},
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
-		row := make([]float64, 0, 3)
-		for _, s := range dolosSchemes {
-			res, err := r.Run(w, Spec{Scheme: s, Tree: masu.BMTEager})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.RetryPerKWR)
+	for i, w := range r.opts.Workloads {
+		row := make([]float64, 0, len(dolosSchemes))
+		for j := range dolosSchemes {
+			row = append(row, res[len(dolosSchemes)*i+j].RetryPerKWR)
 		}
 		t.AddRow(w, row...)
 	}
@@ -111,19 +132,25 @@ var TxSizes = []int{128, 256, 512, 1024, 2048}
 // Fig13 reproduces Figure 13: retry events per KWR for Partial-WPQ
 // across transaction sizes.
 func (r *Runner) Fig13() (*stats.Table, error) {
+	cells := make([]cell, 0, len(TxSizes)*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		for _, sz := range TxSizes {
+			cells = append(cells, cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, TxSize: sz}})
+		}
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Figure 13: Partial-WPQ retry events per KWR vs transaction size",
 		Columns: sizeColumns(),
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
+	for i, w := range r.opts.Workloads {
 		row := make([]float64, 0, len(TxSizes))
-		for _, sz := range TxSizes {
-			res, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, TxSize: sz})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.RetryPerKWR)
+		for j := range TxSizes {
+			row = append(row, res[len(TxSizes)*i+j].RetryPerKWR)
 		}
 		t.AddRow(w, row...)
 	}
@@ -133,23 +160,29 @@ func (r *Runner) Fig13() (*stats.Table, error) {
 // Fig14 reproduces Figure 14: Partial-WPQ speedup over the baseline
 // across transaction sizes.
 func (r *Runner) Fig14() (*stats.Table, error) {
+	cells := make([]cell, 0, 2*len(TxSizes)*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		for _, sz := range TxSizes {
+			cells = append(cells,
+				cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, TxSize: sz}},
+				cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, TxSize: sz}})
+		}
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Figure 14: Partial-WPQ speedup vs transaction size",
 		Columns: sizeColumns(),
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
+	for i, w := range r.opts.Workloads {
 		row := make([]float64, 0, len(TxSizes))
-		for _, sz := range TxSizes {
-			base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, TxSize: sz})
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, TxSize: sz})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, Speedup(base, res))
+		for j := range TxSizes {
+			base := res[2*(len(TxSizes)*i+j)]
+			fast := res[2*(len(TxSizes)*i+j)+1]
+			row = append(row, Speedup(base, fast))
 		}
 		t.AddRow(w, row...)
 	}
@@ -174,6 +207,18 @@ var WPQSizes = []int{16, 32, 64, 128}
 // retry-rate series (Section 5.3's 201/29/14/11 per KWR) is returned in
 // the second table.
 func (r *Runner) Fig15() (speedup, retries *stats.Table, err error) {
+	cells := make([]cell, 0, 2*len(WPQSizes)*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		for _, hw := range WPQSizes {
+			cells = append(cells,
+				cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, HardwareWPQ: hw}},
+				cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, HardwareWPQ: hw}})
+		}
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	speedup = &stats.Table{
 		Title:   "Figure 15: Partial-WPQ speedup vs WPQ size",
 		Columns: wpqColumns(),
@@ -184,20 +229,14 @@ func (r *Runner) Fig15() (speedup, retries *stats.Table, err error) {
 		Columns: wpqColumns(),
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
+	for i, w := range r.opts.Workloads {
 		spdRow := make([]float64, 0, len(WPQSizes))
 		rtrRow := make([]float64, 0, len(WPQSizes))
-		for _, hw := range WPQSizes {
-			base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, HardwareWPQ: hw})
-			if err != nil {
-				return nil, nil, err
-			}
-			res, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, HardwareWPQ: hw})
-			if err != nil {
-				return nil, nil, err
-			}
-			spdRow = append(spdRow, Speedup(base, res))
-			rtrRow = append(rtrRow, res.RetryPerKWR)
+		for j := range WPQSizes {
+			base := res[2*(len(WPQSizes)*i+j)]
+			fast := res[2*(len(WPQSizes)*i+j)+1]
+			spdRow = append(spdRow, Speedup(base, fast))
+			rtrRow = append(rtrRow, fast.RetryPerKWR)
 		}
 		speedup.AddRow(w, spdRow...)
 		retries.AddRow(w, rtrRow...)
@@ -286,24 +325,24 @@ func Sec55Recovery() []RecoveryEstimate {
 // coalescing tag array (an extra design-choice ablation beyond the
 // paper's figures).
 func (r *Runner) AblateCoalescing() (*stats.Table, error) {
+	cells := make([]cell, 0, 3*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		cells = append(cells,
+			cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager}},
+			cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager}},
+			cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, DisableCoalescing: true}})
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Ablation: Partial-WPQ with/without write coalescing (speedup over baseline)",
 		Columns: []string{"Coalescing on", "Coalescing off"},
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
-		base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
-		on, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
-		off, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, DisableCoalescing: true})
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range r.opts.Workloads {
+		base, on, off := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(w, Speedup(base, on), Speedup(base, off))
 	}
 	return t, nil
@@ -318,6 +357,18 @@ var CounterCacheSizes = []uint64{16 << 10, 32 << 10, 128 << 10, 512 << 10}
 // metadata fetches inside the Ma-SU, which Dolos hides but the baseline
 // serializes).
 func (r *Runner) AblateCounterCache() (*stats.Table, error) {
+	cells := make([]cell, 0, 2*len(CounterCacheSizes)*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		for _, sz := range CounterCacheSizes {
+			cells = append(cells,
+				cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, CounterCacheBytes: sz}},
+				cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, CounterCacheBytes: sz}})
+		}
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(CounterCacheSizes))
 	for _, sz := range CounterCacheSizes {
 		cols = append(cols, fmt.Sprintf("%dKB", sz>>10))
@@ -327,18 +378,12 @@ func (r *Runner) AblateCounterCache() (*stats.Table, error) {
 		Columns: cols,
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
+	for i, w := range r.opts.Workloads {
 		row := make([]float64, 0, len(CounterCacheSizes))
-		for _, sz := range CounterCacheSizes {
-			base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, CounterCacheBytes: sz})
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, CounterCacheBytes: sz})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, Speedup(base, res))
+		for j := range CounterCacheSizes {
+			base := res[2*(len(CounterCacheSizes)*i+j)]
+			fast := res[2*(len(CounterCacheSizes)*i+j)+1]
+			row = append(row, Speedup(base, fast))
 		}
 		t.AddRow(w, row...)
 	}
@@ -356,6 +401,18 @@ var BackendIntervals = []uint64{160, 320, 800, 1600}
 // front-end win should persist while the back-end keeps pace, and
 // degrade gracefully once the back-end itself becomes the bottleneck.
 func (r *Runner) AblateBackend() (*stats.Table, error) {
+	cells := make([]cell, 0, 2*len(BackendIntervals)*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		for _, ii := range BackendIntervals {
+			cells = append(cells,
+				cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, MaSUInterval: ii}},
+				cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, MaSUInterval: ii}})
+		}
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(BackendIntervals))
 	for _, ii := range BackendIntervals {
 		cols = append(cols, fmt.Sprintf("II=%d", ii))
@@ -365,18 +422,12 @@ func (r *Runner) AblateBackend() (*stats.Table, error) {
 		Columns: cols,
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
+	for i, w := range r.opts.Workloads {
 		row := make([]float64, 0, len(BackendIntervals))
-		for _, ii := range BackendIntervals {
-			base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager, MaSUInterval: ii})
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, MaSUInterval: ii})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, Speedup(base, res))
+		for j := range BackendIntervals {
+			base := res[2*(len(BackendIntervals)*i+j)]
+			fast := res[2*(len(BackendIntervals)*i+j)+1]
+			row = append(row, Speedup(base, fast))
 		}
 		t.AddRow(w, row...)
 	}
@@ -391,38 +442,49 @@ var OsirisPeriods = []uint64{1, 2, 4, 8, 16}
 // writes per data write) against the recovery probe cost (ECC probes
 // needed after a crash). Period 1 is write-through counters (no probing,
 // maximal write traffic); larger periods trade persists for probes.
+// Each period is an independent run-crash-recover cell on the shared
+// cached trace, so the sweep parallelizes like any other.
 func (r *Runner) AblateOsiris(workload string) (*stats.Table, error) {
+	type osirisPoint struct {
+		perWrite float64
+		probes   float64
+	}
+	points := make([]osirisPoint, len(OsirisPeriods))
+	err := r.forEach(len(OsirisPeriods), func(i int) error {
+		period := OsirisPeriods[i]
+		_, sys, err := r.runSystem(workload, Spec{
+			Scheme: controller.DolosPartial, Tree: masu.BMTEager, OsirisPeriod: period,
+		})
+		if err != nil {
+			return fmt.Errorf("osiris period %d: %w", period, err)
+		}
+		// Normalize by every Ma-SU write (checkpoint load included), so
+		// period 1 is exactly one persist per write.
+		persists := float64(sys.Ctrl.MaSU().Counters().Persists())
+		points[i].perWrite = persists / float64(sys.Ctrl.MaSU().Writes())
+
+		// Crash at quiesce and recover via Osiris to count probes.
+		if _, err := sys.Ctrl.Crash(); err != nil {
+			return fmt.Errorf("osiris period %d: %w", period, err)
+		}
+		rep, err := sys.Ctrl.Recover(controller.OsirisRecovery)
+		if err != nil {
+			return fmt.Errorf("osiris period %d: %w", period, err)
+		}
+		lines := float64(sys.Ctrl.MaSU().WrittenLines())
+		points[i].probes = float64(rep.MaSU.OsirisProbes) / lines
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Ablation: Osiris persist period (%s)", workload),
 		Columns: []string{"Period", "Counter persists/write", "Recovery probes/line"},
 		Format:  "%.3f",
 	}
-	tr, err := r.Trace(workload, 1024)
-	if err != nil {
-		return nil, err
-	}
-	for _, period := range OsirisPeriods {
-		cfg := controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, OsirisPeriod: period}
-		copy(cfg.AESKey[:], "dolos-aes-key-16")
-		copy(cfg.MACKey[:], "dolos-mac-key-16")
-		sys := cpu.NewSystem(cfg)
-		sys.Run(tr)
-		// Normalize by every Ma-SU write (checkpoint load included), so
-		// period 1 is exactly one persist per write.
-		persists := float64(sys.Ctrl.MaSU().Counters().Persists())
-		perWrite := persists / float64(sys.Ctrl.MaSU().Writes())
-
-		// Crash at quiesce and recover via Osiris to count probes.
-		if _, err := sys.Ctrl.Crash(); err != nil {
-			return nil, err
-		}
-		rep, err := sys.Ctrl.Recover(controller.OsirisRecovery)
-		if err != nil {
-			return nil, err
-		}
-		lines := float64(sys.Ctrl.MaSU().WrittenLines())
-		probes := float64(rep.MaSU.OsirisProbes) / lines
-		t.AddRow(fmt.Sprintf("%d", period), float64(period), perWrite, probes)
+	for i, period := range OsirisPeriods {
+		t.AddRow(fmt.Sprintf("%d", period), float64(period), points[i].perWrite, points[i].probes)
 	}
 	return t, nil
 }
@@ -433,24 +495,24 @@ func (r *Runner) AblateOsiris(workload string) (*stats.Table, error) {
 // Partial-WPQ over the Pre-WPQ baseline, and Dolos' fraction of the eADR
 // gain.
 func (r *Runner) EADRComparison() (*stats.Table, error) {
+	cells := make([]cell, 0, 3*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		cells = append(cells,
+			cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager}},
+			cell{w, Spec{Scheme: controller.EADRSecure, Tree: masu.BMTEager}},
+			cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager}})
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Extension: Dolos vs extended-ADR (speedup over Pre-WPQ-Secure)",
 		Columns: []string{"eADR", "Dolos-Partial", "Fraction of eADR gain"},
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
-		base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
-		eadr, err := r.Run(w, Spec{Scheme: controller.EADRSecure, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
-		dolos, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range r.opts.Workloads {
+		base, eadr, dolos := res[3*i], res[3*i+1], res[3*i+2]
 		se := Speedup(base, eadr)
 		sd := Speedup(base, dolos)
 		frac := 0.0
@@ -471,6 +533,29 @@ func (r *Runner) WriteAmplification() (*stats.Table, error) {
 	schemes := []controller.Scheme{
 		controller.PreWPQSecure, controller.DolosPartial, controller.EADRSecure,
 	}
+	type ampCell struct {
+		workload string
+		scheme   controller.Scheme
+	}
+	cells := make([]ampCell, 0, len(schemes)*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		for _, s := range schemes {
+			cells = append(cells, ampCell{w, s})
+		}
+	}
+	amp := make([]float64, len(cells))
+	err := r.forEach(len(cells), func(i int) error {
+		res, sys, err := r.runSystem(cells[i].workload, Spec{Scheme: cells[i].scheme, Tree: masu.BMTEager})
+		if err != nil {
+			return fmt.Errorf("%s under %v: %w", cells[i].workload, cells[i].scheme, err)
+		}
+		nvmWrites := float64(sys.Ctrl.Stats().Counter("masu.nvm_writes").Value())
+		amp[i] = nvmWrites / float64(res.WriteRequests)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(schemes))
 	for _, s := range schemes {
 		cols = append(cols, s.String())
@@ -480,22 +565,8 @@ func (r *Runner) WriteAmplification() (*stats.Table, error) {
 		Columns: cols,
 		Summary: "mean",
 	}
-	for _, w := range r.opts.Workloads {
-		tr, err := r.Trace(w, 1024)
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, 0, len(schemes))
-		for _, s := range schemes {
-			cfg := controller.Config{Scheme: s, Tree: masu.BMTEager}
-			copy(cfg.AESKey[:], "dolos-aes-key-16")
-			copy(cfg.MACKey[:], "dolos-mac-key-16")
-			sys := cpu.NewSystem(cfg)
-			res := sys.Run(tr)
-			nvmWrites := float64(sys.Ctrl.Stats().Counter("masu.nvm_writes").Value())
-			row = append(row, nvmWrites/float64(res.WriteRequests))
-		}
-		t.AddRow(w, row...)
+	for i, w := range r.opts.Workloads {
+		t.AddRow(w, amp[len(schemes)*i:len(schemes)*(i+1)]...)
 	}
 	return t, nil
 }
@@ -504,20 +575,23 @@ func (r *Runner) WriteAmplification() (*stats.Table, error) {
 // baseline and Dolos Partial-WPQ: persist stalls concentrate in the
 // tail, so the p99 improvement exceeds the mean speedup.
 func (r *Runner) TailLatency() (*stats.Table, error) {
+	cells := make([]cell, 0, 2*len(r.opts.Workloads))
+	for _, w := range r.opts.Workloads {
+		cells = append(cells,
+			cell{w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager}},
+			cell{w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager}})
+	}
+	res, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Extension: transaction latency (cycles), baseline vs Dolos Partial-WPQ",
 		Columns: []string{"base p50", "base p99", "dolos p50", "dolos p99", "p99 speedup"},
 		Format:  "%.1f",
 	}
-	for _, w := range r.opts.Workloads {
-		base, err := r.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
-		dolos, err := r.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager})
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range r.opts.Workloads {
+		base, dolos := res[2*i], res[2*i+1]
 		spd := 0.0
 		if dolos.P99TxCycles > 0 {
 			spd = base.P99TxCycles / dolos.P99TxCycles
@@ -536,29 +610,41 @@ func (r *Runner) SeedSweep(seeds int) (*stats.Table, error) {
 	if seeds <= 0 {
 		seeds = 3
 	}
+	speedups := make([]float64, len(r.opts.Workloads)*seeds)
+	err := r.forEach(len(speedups), func(i int) error {
+		w := r.opts.Workloads[i/seeds]
+		s := i % seeds
+		// Fresh runner per seed: traces must differ. The sub-runner is
+		// serial — the outer executor already owns the worker pool.
+		sub := NewRunner(Options{
+			Transactions: r.opts.Transactions,
+			Workloads:    []string{w},
+			Seed:         r.opts.Seed + int64(s)*7919,
+			Parallelism:  1,
+		})
+		base, err := sub.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager})
+		if err != nil {
+			return fmt.Errorf("%s seed %d: %w", w, s, err)
+		}
+		fast, err := sub.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager})
+		if err != nil {
+			return fmt.Errorf("%s seed %d: %w", w, s, err)
+		}
+		speedups[i] = Speedup(base, fast)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Variance: Partial-WPQ speedup across %d seeds (mean, stddev)", seeds),
 		Columns: []string{"Mean speedup", "Stddev", "Min", "Max"},
 		Format:  "%.3f",
 	}
-	for _, w := range r.opts.Workloads {
+	for i, w := range r.opts.Workloads {
 		h := stats.NewHistogram(w)
 		for s := 0; s < seeds; s++ {
-			// Fresh runner per seed: traces must differ.
-			sub := NewRunner(Options{
-				Transactions: r.opts.Transactions,
-				Workloads:    []string{w},
-				Seed:         r.opts.Seed + int64(s)*7919,
-			})
-			base, err := sub.Run(w, Spec{Scheme: controller.PreWPQSecure, Tree: masu.BMTEager})
-			if err != nil {
-				return nil, err
-			}
-			fast, err := sub.Run(w, Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager})
-			if err != nil {
-				return nil, err
-			}
-			h.Observe(Speedup(base, fast))
+			h.Observe(speedups[i*seeds+s])
 		}
 		t.AddRow(w, h.Mean(), h.StdDev(), h.Min(), h.Max())
 	}

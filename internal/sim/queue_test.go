@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// boxedQueue is the pre-de-boxing event queue — container/heap over
+// *scheduled with `any` boxing — kept here as the reference the typed
+// 4-ary heap must match event for event, and as the baseline for the
+// allocation benchmarks below.
+type boxedQueue []*scheduled
+
+func (q boxedQueue) Len() int { return len(q) }
+
+func (q boxedQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q boxedQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *boxedQueue) Push(x any) { *q = append(*q, x.(*scheduled)) }
+
+func (q *boxedQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// TestQueueMatchesBoxedReference drives the typed 4-ary heap and the
+// container/heap reference with the same randomized schedule mixed with
+// interleaved pops and asserts the pop sequences are identical. seq is
+// unique per event, so the comparator is a strict total order and any
+// correct heap must emit the same sequence; this test pins the de-boxed
+// implementation to that contract.
+func TestQueueMatchesBoxedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		var ref boxedQueue
+		heap.Init(&ref)
+		var seq uint64
+		push := func() {
+			seq++
+			ev := scheduled{at: Cycle(rng.Intn(64)), seq: seq}
+			q.push(ev)
+			evCopy := ev
+			heap.Push(&ref, &evCopy)
+		}
+		popBoth := func() {
+			got := q.pop()
+			want := heap.Pop(&ref).(*scheduled)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("trial %d: pop (at=%d seq=%d), reference (at=%d seq=%d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		for op := 0; op < 400; op++ {
+			if q.len() == 0 || rng.Intn(3) != 0 {
+				push()
+			} else {
+				popBoth()
+			}
+		}
+		for q.len() > 0 {
+			popBoth()
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference has %d leftover events", trial, ref.Len())
+		}
+	}
+}
+
+// TestQueuePopReleasesEvent guards the fn-reference release in pop: the
+// trailing slot must be zeroed so completed events are collectable.
+func TestQueuePopReleasesEvent(t *testing.T) {
+	var q eventQueue
+	q.push(scheduled{at: 1, seq: 1, fn: func() {}})
+	q.push(scheduled{at: 2, seq: 2, fn: func() {}})
+	q.pop()
+	if tail := q.a[:cap(q.a)][q.len()]; tail.fn != nil {
+		t.Fatal("popped slot still references its event closure")
+	}
+}
+
+// BenchmarkQueueTypedPushPop measures the de-boxed queue:
+// allocations per event must be (amortized) zero.
+func BenchmarkQueueTypedPushPop(b *testing.B) {
+	var q eventQueue
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(scheduled{at: Cycle(i % 1024), seq: uint64(i)})
+		if q.len() >= 1024 {
+			q.pop()
+		}
+	}
+}
+
+// BenchmarkQueueBoxedPushPop measures the container/heap reference: one
+// *scheduled allocation per event plus interface boxing. The acceptance
+// bar for the de-boxing is >=30% fewer allocations per scheduled event;
+// the typed queue is amortized zero-alloc, so the delta is ~100%.
+func BenchmarkQueueBoxedPushPop(b *testing.B) {
+	var q boxedQueue
+	heap.Init(&q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heap.Push(&q, &scheduled{at: Cycle(i % 1024), seq: uint64(i)})
+		if q.Len() >= 1024 {
+			heap.Pop(&q)
+		}
+	}
+}

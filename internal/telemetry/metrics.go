@@ -112,6 +112,14 @@ type RunRecord struct {
 	MedianTxCycles   float64 `json:"median_tx_cycles"`
 	P99TxCycles      float64 `json:"p99_tx_cycles"`
 
+	// Host-side throughput of the simulator itself (not part of the
+	// simulated model, so these never participate in bit-identity
+	// comparisons): wall-clock duration of the run and discrete events
+	// dispatched by the engine, from which events/second derives.
+	WallSeconds     float64 `json:"wall_seconds,omitempty"`
+	EventsProcessed uint64  `json:"events_processed,omitempty"`
+	EventsPerSecond float64 `json:"sim_events_per_sec,omitempty"`
+
 	Metrics MetricsSnapshot `json:"metrics"`
 }
 
