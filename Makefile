@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json ci profile reproduce validate clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json ci profile reproduce validate serve load-smoke clean
 
 all: build test
 
@@ -67,6 +67,24 @@ bench-json:
 # One profiled run: trace.json (open in ui.perfetto.dev) + metrics.json.
 profile:
 	$(GO) run ./cmd/dolos-profile -scheme DolosPartial -workload Hashmap
+
+# Run the simulation service in the foreground (Ctrl-C drains and
+# prints a final Prometheus snapshot). See README "Running as a service".
+serve:
+	$(GO) run ./cmd/dolos-serve -addr 127.0.0.1:8080
+
+# End-to-end service smoke: start dolos-serve, drive it with dolos-load
+# for 5 seconds, require zero errors and at least one cache hit, then
+# SIGTERM and verify the drain exits cleanly. Runs in CI.
+load-smoke:
+	$(GO) build -o /tmp/dolos-serve-ci ./cmd/dolos-serve
+	$(GO) build -o /tmp/dolos-load-ci ./cmd/dolos-load
+	/tmp/dolos-serve-ci -addr 127.0.0.1:8099 & \
+	pid=$$!; \
+	/tmp/dolos-load-ci -addr 127.0.0.1:8099 -duration 5s -concurrency 4 \
+		-txns 100 -min-hits 1 -max-errors 0; rc=$$?; \
+	kill -TERM $$pid; wait $$pid || rc=$$?; \
+	exit $$rc
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,253 @@
+// Command dolos-load is a closed-loop load generator for dolos-serve:
+// a pool of concurrent clients submits jobs, polls them to completion,
+// and reports throughput, latency percentiles and the cache hit rate —
+// a serving benchmark alongside the simulator benchmark.
+//
+// Usage:
+//
+//	dolos-load -addr http://127.0.0.1:8080 -duration 5s -concurrency 4
+//	dolos-load -schemes dolos-partial,baseline -workloads Hashmap,Btree -rps 50
+//	dolos-load -duration 5s -min-hits 1 -max-errors 0   # smoke-check mode (make load-smoke)
+//
+// With -rps 0 (default) each client issues its next request as soon as
+// the previous one completes; with -rps > 0 a shared pacer caps the
+// aggregate submission rate. -min-hits/-max-errors turn the run into a
+// pass/fail check: the exit status is 1 when the run saw fewer cache
+// hits or more errors than allowed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+type result struct {
+	latency time.Duration
+	cached  bool
+	err     error
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of dolos-serve")
+	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
+	concurrency := flag.Int("concurrency", 4, "concurrent closed-loop clients")
+	rps := flag.Float64("rps", 0, "target aggregate requests/second (0 = unpaced closed loop)")
+	workloads := flag.String("workloads", "Hashmap", "comma-separated workloads to rotate through")
+	schemes := flag.String("schemes", "dolos-partial,baseline", "comma-separated schemes to rotate through")
+	txns := flag.Int("txns", 100, "transactions per job")
+	txSize := flag.Int("txsize", 1024, "transaction payload bytes")
+	seed := flag.Int64("seed", 1, "workload seed")
+	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the server's /healthz before starting")
+	minHits := flag.Int("min-hits", -1, "fail unless at least this many responses were cache hits (-1 = no check)")
+	maxErrors := flag.Int("max-errors", -1, "fail if more than this many requests errored (-1 = no check)")
+	flag.Parse()
+
+	// Accept both "host:port" and a full base URL.
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+
+	if err := waitHealthy(*addr, *wait); err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	// One single-cell request body per workload×scheme combination;
+	// clients rotate through them, so every combination after its first
+	// submission should be served from the result cache.
+	var bodies [][]byte
+	for _, wl := range strings.Split(*workloads, ",") {
+		for _, sch := range strings.Split(*schemes, ",") {
+			body, err := json.Marshal(map[string]any{
+				"workloads":    []string{strings.TrimSpace(wl)},
+				"schemes":      []string{strings.TrimSpace(sch)},
+				"transactions": *txns,
+				"tx_size":      *txSize,
+				"seed":         *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dolos-load: %v\n", err)
+				os.Exit(1)
+			}
+			bodies = append(bodies, body)
+		}
+	}
+
+	var pace <-chan time.Time
+	if *rps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *rps))
+		defer t.Stop()
+		pace = t.C
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(*duration)
+	resultCh := make(chan result, 1024)
+	var wg sync.WaitGroup
+	var rotor int64
+	var rotorMu sync.Mutex
+	nextBody := func() []byte {
+		rotorMu.Lock()
+		defer rotorMu.Unlock()
+		b := bodies[rotor%int64(len(bodies))]
+		rotor++
+		return b
+	}
+
+	start := time.Now()
+	wg.Add(*concurrency)
+	for c := 0; c < *concurrency; c++ {
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-time.After(time.Until(deadline)):
+						return
+					}
+				}
+				resultCh <- runOne(client, *addr, nextBody(), deadline)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resultCh)
+	}()
+
+	var latencies []time.Duration
+	var errorsSeen, hits int
+	for r := range resultCh {
+		if r.err != nil {
+			errorsSeen++
+			if errorsSeen <= 5 {
+				fmt.Fprintf(os.Stderr, "dolos-load: request failed: %v\n", r.err)
+			}
+			continue
+		}
+		latencies = append(latencies, r.latency)
+		if r.cached {
+			hits++
+		}
+	}
+	elapsed := time.Since(start)
+
+	total := len(latencies) + errorsSeen
+	fmt.Printf("dolos-load: %d requests in %.1fs (%.1f req/s), %d errors\n",
+		total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), errorsSeen)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Printf("latency  p50 %s  p90 %s  p99 %s  max %s\n",
+			percentile(latencies, 50), percentile(latencies, 90),
+			percentile(latencies, 99), latencies[len(latencies)-1].Round(time.Microsecond))
+		fmt.Printf("cache    %d hits / %d ok (%.1f%%)\n",
+			hits, len(latencies), 100*float64(hits)/float64(len(latencies)))
+	}
+
+	failed := false
+	if *maxErrors >= 0 && errorsSeen > *maxErrors {
+		fmt.Fprintf(os.Stderr, "dolos-load: FAIL: %d errors > allowed %d\n", errorsSeen, *maxErrors)
+		failed = true
+	}
+	if *minHits >= 0 && hits < *minHits {
+		fmt.Fprintf(os.Stderr, "dolos-load: FAIL: %d cache hits < required %d\n", hits, *minHits)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runOne submits one job and polls it to completion, returning the
+// submit-to-done latency and whether the result was served from cache.
+func runOne(client *http.Client, addr string, body []byte, deadline time.Time) result {
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{err: err}
+	}
+	sub, err := decodeSubmit(resp)
+	if err != nil {
+		return result{err: err}
+	}
+	// Poll until the job settles. The poll budget extends past the load
+	// deadline so jobs submitted near the end still settle.
+	pollDeadline := deadline.Add(30 * time.Second)
+	for sub.Status != "done" && sub.Status != "failed" {
+		if time.Now().After(pollDeadline) {
+			return result{err: fmt.Errorf("job %s did not settle before the poll deadline", sub.ID)}
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := client.Get(addr + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return result{err: err}
+		}
+		if sub, err = decodeSubmit(resp); err != nil {
+			return result{err: err}
+		}
+	}
+	if sub.Status == "failed" {
+		return result{err: fmt.Errorf("job %s failed: %s", sub.ID, sub.Error)}
+	}
+	return result{latency: time.Since(start), cached: sub.Cached}
+}
+
+func decodeSubmit(resp *http.Response) (submitResponse, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return submitResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return submitResponse{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(b, &sub); err != nil {
+		return submitResponse{}, err
+	}
+	return sub, nil
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)-1)*p + 50
+	return sorted[idx/100].Round(time.Microsecond)
+}
+
+// waitHealthy polls GET /healthz until the server answers 200.
+func waitHealthy(addr string, timeout time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s", addr, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -11,6 +11,7 @@
 //	dolos-profile -scheme DolosPartial -workload Hashmap
 //	dolos-profile -scheme baseline -workload Redis -trace base.json -metrics base-metrics.json
 //	dolos-profile -grid -o BENCH_baseline.json   # fixed-seed bench grid, no trace
+//	dolos-profile -workload Hashmap -prom -      # Prometheus text exposition on stdout
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	traceOut := flag.String("trace", "trace.json", "Chrome trace-event JSON output path")
 	metricsOut := flag.String("metrics", "metrics.json", "metrics JSON output path")
+	promOut := flag.String("prom", "", "also write the run's metrics in Prometheus text exposition format to this path (\"-\" = stdout)")
 	eventLimit := flag.Int("event-limit", 2_000_000, "max retained trace events (0 = unlimited)")
 	grid := flag.Bool("grid", false, "run the fixed-seed scheme×workload bench grid instead of one profiled run")
 	gridOut := flag.String("o", "BENCH_baseline.json", "bench grid JSON output path")
@@ -92,6 +94,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 		os.Exit(1)
 	}
+	if *promOut != "" {
+		// The same exposition renderer the service's /metrics endpoint
+		// uses, over the identical snapshot the JSON dump carries — so a
+		// one-shot profile can feed the same dashboards as the daemon.
+		if err := writeProm(*promOut, rec.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("profiled %s under %s: %d cycles, %d transactions\n",
 		res.Workload, res.Scheme, res.Cycles, res.Transactions)
@@ -109,6 +120,21 @@ func writeTrace(path string, p *telemetry.Probe) error {
 		return err
 	}
 	if err := telemetry.WriteChromeTrace(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeProm(path string, snap telemetry.MetricsSnapshot) error {
+	if path == "-" {
+		return telemetry.WritePrometheus(os.Stdout, snap)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePrometheus(f, snap); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,89 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/core"
+	"dolos/internal/telemetry"
+)
+
+// TestRunRecordSchemaPinned pins the exact top-level field set of the
+// JSON emitted by BuildRunRecord + telemetry.WriteJSON — the shared
+// shape behind dolos-sim -json, dolos-profile, the bench baseline and
+// the service's /v1/jobs/{id}/result endpoint. Adding, renaming or
+// dropping a field must show up as a deliberate edit to this list.
+func TestRunRecordSchemaPinned(t *testing.T) {
+	r := core.NewRunner(core.Options{Transactions: 60, Seed: 1, Parallelism: 1})
+	spec := core.Spec{Scheme: controller.DolosPartial}
+	rr, err := r.RunCell(context.Background(), "Hashmap", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := BuildRunRecord(rr.Result, spec.Tree, 1024, 1, rr.Events, rr.Wall, rr.Stats, nil)
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSON(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not a JSON object: %v", err)
+	}
+
+	want := []string{
+		"scheme", "workload", "tree", "transactions", "tx_size", "seed",
+		"ops", "cycles", "cycles_per_tx", "cpi", "fence_stall_cycles",
+		"write_requests", "retry_events", "retry_per_kwr", "wpq_read_hits",
+		"mem_reads", "mean_interarrival_cycles", "wpq_mean_occupancy",
+		"median_tx_cycles", "p99_tx_cycles",
+		"wall_seconds", "events_processed", "sim_events_per_sec",
+		"metrics",
+	}
+	got := make([]string, 0, len(decoded))
+	for k := range decoded {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	sorted := append([]string(nil), want...)
+	sort.Strings(sorted)
+	if len(got) != len(sorted) {
+		t.Fatalf("field set changed:\ngot  %v\nwant %v", got, sorted)
+	}
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("field set changed:\ngot  %v\nwant %v", got, sorted)
+		}
+	}
+
+	// The nested metrics snapshot always carries counters and histograms
+	// (gauges is omitempty); downstream parsers rely on both being
+	// present even when empty.
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(decoded["metrics"], &metrics); err != nil {
+		t.Fatalf("metrics is not an object: %v", err)
+	}
+	for _, k := range []string{"counters", "histograms"} {
+		if _, ok := metrics[k]; !ok {
+			t.Errorf("metrics snapshot missing %q", k)
+		}
+	}
+
+	// Identity fields survive the trip; a scheme label regression here
+	// would silently corrupt every downstream consumer keyed on it.
+	var head struct {
+		Scheme       string `json:"scheme"`
+		Workload     string `json:"workload"`
+		Transactions int    `json:"transactions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Scheme != "Dolos-Partial-WPQ" || head.Workload != "Hashmap" || head.Transactions != rec.Transactions {
+		t.Errorf("identity fields = %+v", head)
+	}
+}

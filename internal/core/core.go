@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -83,6 +84,14 @@ type traceEntry struct {
 	err  error
 }
 
+// traceCache is the shared single-flight trace store behind a Runner.
+// It lives behind a pointer so context-scoped views made by WithContext
+// share one cache (and its mutex) with the parent runner.
+type traceCache struct {
+	mu sync.Mutex
+	m  map[string]*traceEntry
+}
+
 // Runner executes simulations, caching generated traces so every scheme
 // replays the identical operation stream (paired comparisons). A Runner
 // is safe for concurrent use: the trace cache is guarded by a mutex with
@@ -90,31 +99,56 @@ type traceEntry struct {
 // its own simulation engine. Replay only reads the shared trace.
 type Runner struct {
 	opts Options
+	// ctx bounds every sweep run through this view of the runner; nil
+	// means context.Background(). Set via WithContext.
+	ctx context.Context
 
-	mu     sync.Mutex
-	traces map[string]*traceEntry
+	traces *traceCache
 }
 
 // NewRunner creates a runner with the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.withDefaults(), traces: make(map[string]*traceEntry)}
+	return &Runner{
+		opts:   opts.withDefaults(),
+		traces: &traceCache{m: make(map[string]*traceEntry)},
+	}
 }
 
 // Options returns the effective options.
 func (r *Runner) Options() Options { return r.opts }
+
+// WithContext returns a view of the runner whose sweeps run under ctx:
+// the executor stops scheduling new cells once ctx is done and joins
+// ctx.Err() into the returned error. The view shares the receiver's
+// options and trace cache (so single-flight generation still dedups
+// across views); the receiver itself is unchanged. Cancellation is
+// observed at cell boundaries — a cell already in flight runs to
+// completion, keeping every produced result a complete, deterministic
+// simulation.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	return &Runner{opts: r.opts, ctx: ctx, traces: r.traces}
+}
+
+// context returns the runner's bounding context (Background when unset).
+func (r *Runner) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
 
 // Trace returns the (cached) trace for a workload at a transaction size.
 // Concurrent callers for the same (workload, txSize) block until the one
 // generation completes and then share the same immutable trace.
 func (r *Runner) Trace(workload string, txSize int) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s/%d", workload, txSize)
-	r.mu.Lock()
-	e, ok := r.traces[key]
+	r.traces.mu.Lock()
+	e, ok := r.traces.m[key]
 	if !ok {
 		e = &traceEntry{}
-		r.traces[key] = e
+		r.traces.m[key] = e
 	}
-	r.mu.Unlock()
+	r.traces.mu.Unlock()
 	e.once.Do(func() {
 		w, err := whisper.ByName(workload)
 		if err != nil {

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dolos/internal/cpu"
+	"dolos/internal/stats"
 )
 
 // cell is one point of an experiment sweep: a workload replayed under
@@ -36,7 +39,13 @@ func (r *Runner) parallelism() int {
 // into index i of a pre-sized slice, so assembly order never depends on
 // completion order. With parallelism 1 (or n == 1) it degenerates to the
 // plain serial loop.
+//
+// The runner's context (see WithContext) bounds the sweep: once it is
+// done no further index is scheduled — cells already in flight run to
+// completion — and ctx.Err() is joined with the cell errors, so a
+// cancelled or deadline-exceeded sweep is unmistakable in the result.
 func (r *Runner) forEach(n int, fn func(i int) error) error {
+	ctx := r.context()
 	workers := r.parallelism()
 	if workers > n {
 		workers = n
@@ -44,9 +53,15 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 	if workers <= 1 {
 		var errs []error
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			if err := fn(i); err != nil {
 				errs = append(errs, err)
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
 		}
 		return errors.Join(errs...)
 	}
@@ -57,7 +72,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -67,7 +82,73 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	all := errs
+	if err := ctx.Err(); err != nil {
+		all = append(all, err)
+	}
+	return errors.Join(all...)
+}
+
+// Cell is one point of a caller-assembled sweep: a workload replayed
+// under one configuration. It is the exported counterpart of the
+// internal cell type used by the paper's fixed experiment grids, and is
+// what the serving layer (internal/service) submits.
+type Cell struct {
+	Workload string
+	Spec     Spec
+}
+
+// RunResult bundles one cell's simulated result with the host-side run
+// accounting (engine events dispatched, wall-clock duration) and the
+// controller's counter set — everything cliutil.BuildRunRecord needs to
+// emit the canonical RunRecord, so CLI and service results share one
+// schema. Wall (and anything derived from it) describes the host, not
+// the model; Events and Stats are deterministic for a given cell.
+type RunResult struct {
+	Result cpu.Result
+	Events uint64
+	Wall   time.Duration
+	Stats  *stats.Set
+}
+
+// RunCell simulates one cell. ctx is checked only on entry: a single
+// simulation is indivisible, so a context that expires mid-run does not
+// truncate it (truncated runs would break determinism guarantees).
+func (r *Runner) RunCell(ctx context.Context, workload string, spec Spec) (RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, err
+	}
+	start := time.Now()
+	res, sys, err := r.runSystem(workload, spec)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		Result: res,
+		Events: sys.Eng.Processed(),
+		Wall:   time.Since(start),
+		Stats:  sys.Ctrl.Stats(),
+	}, nil
+}
+
+// RunGrid executes a caller-assembled grid under ctx, concurrently up
+// to Options.Parallelism, returning results in enumeration order. Once
+// ctx is done no further cell is scheduled (in-flight cells complete)
+// and ctx.Err() is joined with any cell errors; skipped cells are left
+// zero in the returned slice.
+func (r *Runner) RunGrid(ctx context.Context, cells []Cell) ([]RunResult, error) {
+	rc := r.WithContext(ctx)
+	out := make([]RunResult, len(cells))
+	err := rc.forEach(len(cells), func(i int) error {
+		rr, err := rc.RunCell(ctx, cells[i].Workload, cells[i].Spec)
+		if err != nil {
+			return fmt.Errorf("cell %d (%s, scheme %v): %w",
+				i, cells[i].Workload, cells[i].Spec.Scheme, err)
+		}
+		out[i] = rr
+		return nil
+	})
+	return out, err
 }
 
 // runCells executes every cell (concurrently up to the configured

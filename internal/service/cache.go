@@ -1,0 +1,66 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the bounded result cache: canonical request key → encoded
+// result bytes. Entries are immutable once inserted (callers share the
+// byte slice read-only), eviction is least-recently-used, and Get
+// promotes. It is safe for concurrent use.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, m: make(map[string]*list.Element), l: list.New()}
+}
+
+// Get returns the cached bytes and promotes the entry.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) an entry, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.l.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.l.PushFront(&lruEntry{key: key, val: val})
+	for c.l.Len() > c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

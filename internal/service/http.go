@@ -1,0 +1,188 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dolos/internal/telemetry"
+)
+
+// SubmitResponse is the body of POST /v1/jobs and GET /v1/jobs/{id}.
+type SubmitResponse struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// Cached is true when the result came from the LRU cache or a
+	// deduplicated in-flight computation rather than a fresh simulation.
+	Cached bool `json:"cached"`
+	// QueuePosition is the 1-based position among queued jobs (present
+	// only while queued).
+	QueuePosition int `json:"queue_position,omitempty"`
+	// Error carries the failure cause when Status is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/jobs             submit a grid or single-cell run
+//	GET  /v1/jobs/{id}        job status with queue position
+//	GET  /v1/jobs/{id}/result RunRecord JSON (dolos-sim -json schema)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness ("ok", or 503 while draining)
+//
+// Every handler runs behind panic-to-500 recovery and a request
+// counter.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mHTTP.Inc()
+		defer func() {
+			if p := recover(); p != nil {
+				s.mPanics.Inc()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+
+	n, err := normalize(req, s.cfg.Limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	job, err := s.submit(n, msToDuration(req.TimeoutMS))
+	switch {
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	st := snapshotStatus(s, job)
+	status := http.StatusAccepted
+	if st.Status == StatusDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, st)
+}
+
+// msToDuration maps the wire timeout_ms field onto a duration (0 keeps
+// the server default).
+func msToDuration(ms int64) time.Duration {
+	if ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotStatus(s, job))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	st := snapshotStatus(s, job)
+	switch st.Status {
+	case StatusDone:
+		s.mu.Lock()
+		result := job.result
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case StatusFailed:
+		writeError(w, http.StatusInternalServerError, st.Error)
+	default:
+		// Not finished: report the status (202) so pollers can keep the
+		// same URL.
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.gQueueDepth.Set(float64(len(s.queue)))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, telemetry.Snapshot(nil, s.reg))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// snapshotStatus reads a job's externally visible state under the lock.
+func snapshotStatus(s *Server, job *Job) SubmitResponse {
+	pos := s.queuePosition(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubmitResponse{
+		ID:            job.id,
+		Status:        job.status,
+		Cached:        job.cached,
+		QueuePosition: pos,
+		Error:         job.errMsg,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

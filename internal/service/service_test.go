@@ -1,0 +1,509 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dolos/internal/cliutil"
+	"dolos/internal/core"
+	"dolos/internal/telemetry"
+)
+
+// postJob submits a request body and decodes the response envelope.
+func postJob(t *testing.T, ts *httptest.Server, body string) (SubmitResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return sub, resp.StatusCode
+}
+
+// awaitJob polls a job until it settles.
+func awaitJob(t *testing.T, ts *httptest.Server, id string) SubmitResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub SubmitResponse
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Status == StatusDone || sub.Status == StatusFailed {
+			return sub
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in status %s", id, sub.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func getResult(t *testing.T, ts *httptest.Server, id string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, resp.StatusCode
+}
+
+// normalizeHostFields zeroes the two host-timing RunRecord fields
+// (wall_seconds and the derived sim_events_per_sec vary run to run; all
+// other fields, including events_processed, are deterministic) and
+// re-encodes, so byte comparison checks every deterministic field.
+func normalizeHostFields(t *testing.T, recordJSON []byte) []byte {
+	t.Helper()
+	var rec telemetry.RunRecord
+	if err := json.Unmarshal(recordJSON, &rec); err != nil {
+		t.Fatalf("result is not a RunRecord: %v\n%s", err, recordJSON)
+	}
+	rec.WallSeconds = 0
+	rec.EventsPerSecond = 0
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSON(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServiceEndToEnd is the PR's acceptance test: 16 concurrent
+// clients submit the identical single-cell job against an 8-worker
+// pool. Exactly one simulation must execute (cache + single-flight);
+// every client must receive bytes identical to each other and — after
+// zeroing the host-timing fields — to a direct internal/core run of the
+// same cell; /metrics must expose the job and cache counters in valid
+// Prometheus text format.
+func TestServiceEndToEnd(t *testing.T) {
+	svc := New(Config{Workers: 8, QueueDepth: 64})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	const body = `{"workloads":["Hashmap"],"schemes":["dolos-partial"],"transactions":120,"seed":1}`
+	const clients = 16
+
+	var wg sync.WaitGroup
+	results := make([][]byte, clients)
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			sub, code := postJob(t, ts, body)
+			if code != http.StatusOK && code != http.StatusAccepted {
+				t.Errorf("client %d: submit HTTP %d", c, code)
+				return
+			}
+			if st := awaitJob(t, ts, sub.ID); st.Status != StatusDone {
+				t.Errorf("client %d: job %s ended %s: %s", c, sub.ID, st.Status, st.Error)
+				return
+			}
+			b, code := getResult(t, ts, sub.ID)
+			if code != http.StatusOK {
+				t.Errorf("client %d: result HTTP %d", c, code)
+				return
+			}
+			results[c] = b
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for c := 1; c < clients; c++ {
+		if !bytes.Equal(results[c], results[0]) {
+			t.Fatalf("client %d received different bytes than client 0:\n%s\nvs\n%s",
+				c, results[c], results[0])
+		}
+	}
+
+	if sims := svc.Registry().Counter("service_sims_executed_total").Value(); sims != 1 {
+		t.Errorf("16 identical submissions executed %d simulations, want exactly 1", sims)
+	}
+
+	// Byte-identity with a direct core run of the same cell, using the
+	// very same normalization the server applied.
+	var req Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	n, err := normalize(req, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := n.cells()
+	runner := core.NewRunner(core.Options{Transactions: n.Transactions, Seed: n.Seed, Parallelism: 1})
+	rr, err := runner.RunCell(context.Background(), cells[0].Workload, cells[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := cliutil.BuildRunRecord(rr.Result, cells[0].Spec.Tree, cells[0].Spec.TxSize,
+		n.Seed, rr.Events, rr.Wall, rr.Stats, nil)
+	var directBuf bytes.Buffer
+	if err := telemetry.WriteJSON(&directBuf, direct); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeHostFields(t, results[0])
+	want := normalizeHostFields(t, directBuf.Bytes())
+	if !bytes.Equal(got, want) {
+		t.Errorf("service result differs from direct core run:\n--- service ---\n%s--- direct ---\n%s", got, want)
+	}
+
+	// /metrics: job and cache counters in valid exposition format.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	text := string(metrics)
+	for _, want := range []string{
+		"service_jobs_submitted_total", "service_jobs_completed_total",
+		"service_cache_hits_total", "service_cache_misses_total",
+		"service_sims_executed_total", "service_queue_depth",
+		"service_job_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	validPrometheus(t, text)
+
+	// The 16 clients produced exactly one miss; every other response
+	// was a cache or dedup hit.
+	reg := svc.Registry()
+	if misses := reg.Counter("service_cache_misses_total").Value(); misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+	hits := reg.Counter("service_cache_hits_total").Value() +
+		reg.Counter("service_dedup_hits_total").Value()
+	if hits != clients-1 {
+		t.Errorf("cache+dedup hits = %d, want %d", hits, clients-1)
+	}
+}
+
+// promLine mirrors the exposition line grammar pinned in
+// internal/telemetry's golden test.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*` +
+	` (NaN|[+-]Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+
+func validPrometheus(t *testing.T, text string) {
+	t.Helper()
+	if strings.TrimSpace(text) == "" {
+		t.Error("empty exposition output")
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+}
+
+// TestShutdownDrainsInFlight pins the drain contract: Shutdown with an
+// in-flight job returns only after the job completes, flushes the final
+// metrics snapshot, and rejects new submissions with 503.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 8})
+	entered := make(chan string, 8)
+	release := make(chan struct{})
+	svc.hookExecute = func(j *Job) {
+		entered <- j.id
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	sub, code := postJob(t, ts, `{"transactions":50}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit HTTP %d", code)
+	}
+	<-entered // a worker now holds the job in-flight
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- svc.Shutdown(context.Background()) }()
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a job was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// While draining: health reports 503 and submissions are rejected
+	// with Retry-After.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz HTTP %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if st := awaitJob(t, ts, sub.ID); st.Status != StatusDone {
+		t.Errorf("drained job ended %s, want done", st.Status)
+	}
+	final := string(svc.FinalMetrics())
+	if !strings.Contains(final, "service_jobs_completed_total 1") {
+		t.Errorf("final metrics snapshot missing completed counter:\n%s", final)
+	}
+	validPrometheus(t, final)
+}
+
+// TestQueueFullRejects pins the backpressure contract: with one worker
+// held and the depth-1 queue occupied, the next submission is rejected
+// with 429 and a Retry-After header.
+func TestQueueFullRejects(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	entered := make(chan string, 4)
+	release := make(chan struct{})
+	svc.hookExecute = func(j *Job) {
+		entered <- j.id
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Distinct seeds keep the three jobs from deduplicating.
+	if _, code := postJob(t, ts, `{"transactions":50,"seed":11}`); code != http.StatusAccepted {
+		t.Fatalf("job A HTTP %d", code)
+	}
+	<-entered // worker busy with A
+	subB, code := postJob(t, ts, `{"transactions":50,"seed":12}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("job B HTTP %d", code)
+	}
+	if subB.QueuePosition != 1 {
+		t.Errorf("job B queue position = %d, want 1", subB.QueuePosition)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"transactions":50,"seed":13}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("full-queue submit HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if rejected := svc.Registry().Counter("service_jobs_rejected_total").Value(); rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", rejected)
+	}
+
+	close(release)
+	svc.Shutdown(context.Background())
+}
+
+// TestJobDeadline: a job whose deadline expires before a worker can run
+// it fails with context.DeadlineExceeded instead of running anyway.
+func TestJobDeadline(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 8})
+	svc.hookExecute = func(*Job) { time.Sleep(80 * time.Millisecond) }
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	sub, code := postJob(t, ts, `{"transactions":50,"timeout_ms":20}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit HTTP %d", code)
+	}
+	st := awaitJob(t, ts, sub.ID)
+	if st.Status != StatusFailed {
+		t.Fatalf("job ended %s, want failed", st.Status)
+	}
+	if !strings.Contains(st.Error, "deadline") {
+		t.Errorf("failure cause %q does not mention the deadline", st.Error)
+	}
+	if _, code := getResult(t, ts, sub.ID); code != http.StatusInternalServerError {
+		t.Errorf("failed job result HTTP %d, want 500", code)
+	}
+	svc.Shutdown(context.Background())
+}
+
+// TestResultBeforeCompletion: polling the result URL of an unfinished
+// job reports its status with 202 instead of an error.
+func TestResultBeforeCompletion(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	entered := make(chan string, 1)
+	svc.hookExecute = func(j *Job) {
+		entered <- j.id
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	sub, _ := postJob(t, ts, `{"transactions":50}`)
+	<-entered
+	if _, code := getResult(t, ts, sub.ID); code != http.StatusAccepted {
+		t.Errorf("pending result HTTP %d, want 202", code)
+	}
+	close(release)
+	awaitJob(t, ts, sub.ID)
+	svc.Shutdown(context.Background())
+}
+
+// TestBadRequests sweeps the rejection surface of the submit endpoint.
+func TestBadRequests(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4, MaxBodyBytes: 256,
+		Limits: Limits{MaxCells: 4, MaxTransactions: 1000}})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"unknown workload", `{"workloads":["NoSuchThing"]}`, http.StatusBadRequest},
+		{"unknown scheme", `{"schemes":["turbo"]}`, http.StatusBadRequest},
+		{"unknown tree", `{"tree":"bushy"}`, http.StatusBadRequest},
+		{"grid too large", `{"workloads":["Hashmap","Btree","Ctree"],"schemes":["baseline","ideal"]}`, http.StatusBadRequest},
+		{"transactions over cap", `{"transactions":5000}`, http.StatusBadRequest},
+		{"tx size out of range", `{"tx_size":9999}`, http.StatusBadRequest},
+		{"malformed json", `{"workloads":`, http.StatusBadRequest},
+		{"unknown field", `{"workload":"Hashmap"}`, http.StatusBadRequest},
+		{"oversized body", fmt.Sprintf(`{"workloads":[%q]}`, strings.Repeat("x", 512)), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/j99999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job HTTP %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET on submit endpoint HTTP %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestGridJob: a workloads×schemes grid returns an array of RunRecords
+// in enumeration order (workloads outer, schemes inner).
+func TestGridJob(t *testing.T) {
+	svc := New(Config{Workers: 4, QueueDepth: 8})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	sub, code := postJob(t, ts,
+		`{"workloads":["Hashmap"],"schemes":["baseline","dolos-partial"],"transactions":60}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit HTTP %d", code)
+	}
+	if st := awaitJob(t, ts, sub.ID); st.Status != StatusDone {
+		t.Fatalf("grid job ended %s: %s", st.Status, st.Error)
+	}
+	b, code := getResult(t, ts, sub.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result HTTP %d", code)
+	}
+	var recs []telemetry.RunRecord
+	if err := json.Unmarshal(b, &recs); err != nil {
+		t.Fatalf("grid result is not a RunRecord array: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("grid returned %d records, want 2", len(recs))
+	}
+	if recs[0].Scheme != "Pre-WPQ-Secure" || recs[1].Scheme != "Dolos-Partial-WPQ" {
+		t.Errorf("grid order: got schemes %q, %q", recs[0].Scheme, recs[1].Scheme)
+	}
+	for i, rec := range recs {
+		if rec.Workload != "Hashmap" || rec.Cycles == 0 || rec.EventsProcessed == 0 {
+			t.Errorf("record %d incomplete: %+v", i, rec)
+		}
+	}
+}
+
+// TestPanicContainment: a panicking computation fails its job (and any
+// deduplicated followers) without killing the worker, which keeps
+// serving later jobs.
+func TestPanicContainment(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 8})
+	svc.hookExecute = func(j *Job) {
+		if j.req.Seed == 666 {
+			panic("injected failure")
+		}
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	sub, _ := postJob(t, ts, `{"transactions":50,"seed":666}`)
+	if st := awaitJob(t, ts, sub.ID); st.Status != StatusFailed || !strings.Contains(st.Error, "panic") {
+		t.Fatalf("panicked job: status %s, error %q", st.Status, st.Error)
+	}
+	if v := svc.Registry().Counter("service_panics_total").Value(); v != 1 {
+		t.Errorf("panic counter = %d, want 1", v)
+	}
+
+	// The worker survived: a healthy job still completes.
+	sub, _ = postJob(t, ts, `{"transactions":50,"seed":2}`)
+	if st := awaitJob(t, ts, sub.ID); st.Status != StatusDone {
+		t.Fatalf("job after panic ended %s: %s", st.Status, st.Error)
+	}
+}
