@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json ci profile reproduce validate serve load-smoke clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json ci profile reproduce validate serve load-smoke chaos-smoke clean
 
 all: build test
 
@@ -83,6 +83,23 @@ load-smoke:
 	pid=$$!; \
 	/tmp/dolos-load-ci -addr 127.0.0.1:8099 -duration 5s -concurrency 4 \
 		-txns 100 -min-hits 1 -max-errors 0; rc=$$?; \
+	kill -TERM $$pid; wait $$pid || rc=$$?; \
+	exit $$rc
+
+# Chaos smoke: the same pairing with deterministic fault injection
+# armed on the server (pinned spec + seed, DESIGN.md §11) and the load
+# generator in -faults mode — the run must finish with zero errors AND
+# the client's retry/resubmission machinery must have fired, proving
+# the resilience path absorbed the injected panics, rejections and
+# stalls. Runs in CI next to load-smoke.
+chaos-smoke:
+	$(GO) build -o /tmp/dolos-serve-ci ./cmd/dolos-serve
+	$(GO) build -o /tmp/dolos-load-ci ./cmd/dolos-load
+	/tmp/dolos-serve-ci -addr 127.0.0.1:8098 \
+		-faults 'job-panic:0.3,queue-full:0.1,cell-latency:0.3:1ms' -faults-seed 42 & \
+	pid=$$!; \
+	/tmp/dolos-load-ci -addr 127.0.0.1:8098 -duration 5s -concurrency 4 \
+		-txns 100 -faults -min-hits 1 -max-errors 0; rc=$$?; \
 	kill -TERM $$pid; wait $$pid || rc=$$?; \
 	exit $$rc
 

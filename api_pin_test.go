@@ -1,0 +1,189 @@
+package dolos_test
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false,
+	"rewrite testdata/api_surface.golden from the current source")
+
+// TestPublicAPISurfacePinned pins the exported surface of the two
+// public packages — dolos (the façade) and client (the service
+// client) — against a golden file, in the style of the RunRecord
+// schema pin in internal/cliutil. Every exported const, var, func,
+// type declaration (struct fields included) and method signature is
+// rendered from the source via go/doc; adding, renaming, or changing
+// any of them must show up as a deliberate edit to the golden:
+//
+//	go test . -run TestPublicAPISurfacePinned -update-api
+func TestPublicAPISurfacePinned(t *testing.T) {
+	var b strings.Builder
+	for i, pkg := range []struct{ dir, path string }{
+		{".", "dolos"},
+		{"client", "dolos/client"},
+	} {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(renderAPI(t, pkg.dir, pkg.path))
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s: %v (run with -update-api to create it)", golden, err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed.\n"+
+			"If the change is intentional, rerun with -update-api and commit the golden.\n%s",
+			firstDiff(got, string(want)))
+	}
+}
+
+// renderAPI renders one package's exported surface as sorted
+// declaration lines.
+func renderAPI(t *testing.T, dir, importPath string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var astPkg *ast.Package
+	for _, p := range pkgs {
+		astPkg = p
+	}
+	if astPkg == nil {
+		t.Fatalf("no package found in %s", dir)
+	}
+	docPkg := doc.New(astPkg, importPath, 0)
+
+	var entries []string
+	add := func(s string) { entries = append(entries, s) }
+
+	values := func(vals []*doc.Value) {
+		for _, v := range vals {
+			kind := "const"
+			if v.Decl.Tok == token.VAR {
+				kind = "var"
+			}
+			for _, name := range v.Names {
+				if token.IsExported(name) {
+					add(kind + " " + name)
+				}
+			}
+		}
+	}
+	funcs := func(fns []*doc.Func) {
+		for _, f := range fns {
+			if token.IsExported(f.Name) {
+				add(renderFunc(fset, f.Decl))
+			}
+		}
+	}
+
+	values(docPkg.Consts)
+	values(docPkg.Vars)
+	funcs(docPkg.Funcs)
+	for _, typ := range docPkg.Types {
+		if !token.IsExported(typ.Name) {
+			continue
+		}
+		for _, spec := range typ.Decl.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !token.IsExported(ts.Name.Name) {
+				continue
+			}
+			add("type " + renderNode(fset, stripComments(ts)))
+		}
+		values(typ.Consts)
+		values(typ.Vars)
+		funcs(typ.Funcs)
+		funcs(typ.Methods)
+	}
+	sort.Strings(entries)
+	return "package " + importPath + "\n\n" + strings.Join(entries, "\n") + "\n"
+}
+
+// renderFunc prints a function or method signature without body or
+// comments.
+func renderFunc(fset *token.FileSet, decl *ast.FuncDecl) string {
+	fd := *decl
+	fd.Body = nil
+	fd.Doc = nil
+	return renderNode(fset, &fd)
+}
+
+func renderNode(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return "<print error: " + err.Error() + ">"
+	}
+	return buf.String()
+}
+
+// stripComments deep-copies nothing but nils out doc comments inside a
+// type spec so the golden holds only declarations, not prose.
+func stripComments(ts *ast.TypeSpec) *ast.TypeSpec {
+	cp := *ts
+	cp.Doc, cp.Comment = nil, nil
+	ast.Inspect(cp.Type, func(n ast.Node) bool {
+		if f, ok := n.(*ast.Field); ok {
+			f.Doc, f.Comment = nil, nil
+		}
+		return true
+	})
+	return &cp
+}
+
+// firstDiff points at the first differing line of two renderings.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "first difference at line " + itoa(i+1) + ":\n  got:  " + g[i] + "\n  want: " + w[i]
+		}
+	}
+	if len(g) != len(w) {
+		return "line counts differ: got " + itoa(len(g)) + ", want " + itoa(len(w))
+	}
+	return "renderings differ"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for ; n > 0; n /= 10 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+	}
+	return string(digits)
+}

@@ -1,0 +1,516 @@
+// Package client is the official Go client for the dolos-serve
+// /v1/jobs API: submit simulation requests, poll them to completion,
+// and fetch RunRecord JSON — with context deadlines on every call,
+// exponential backoff with deterministic jitter that honors the
+// server's Retry-After on 429/503, and idempotent resubmission of
+// failed jobs keyed by the request hash (the server's result cache and
+// single-flight dedup key on the normalized request, so a resubmitted
+// job reuses completed work instead of repeating it).
+//
+// The one-call entry point:
+//
+//	cl := client.New("127.0.0.1:8080")
+//	res, err := cl.Run(ctx, client.Request{
+//		Workloads: []string{"Hashmap"},
+//		Schemes:   []string{"dolos-partial"},
+//	})
+//
+// Run submits, waits, and retries through queue-full rejections,
+// drain windows and server-side job failures; errors that survive the
+// retry budget match the package sentinels under errors.Is (see
+// errors.go). Submit / Status / Result / WaitResult expose the same
+// machinery one step at a time. See DESIGN.md §11 for the retry
+// policy's backoff table.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request is the body of POST /v1/jobs, mirroring the server's wire
+// schema: a workloads × schemes grid (or a single cell), the
+// simulation parameters, and an optional per-job timeout. Zero values
+// take the server's defaults.
+type Request struct {
+	Workloads    []string `json:"workloads,omitempty"`
+	Schemes      []string `json:"schemes,omitempty"`
+	Tree         string   `json:"tree,omitempty"`
+	Transactions int      `json:"transactions,omitempty"`
+	TxSize       int      `json:"tx_size,omitempty"`
+	Seed         int64    `json:"seed,omitempty"`
+	WPQ          int      `json:"wpq,omitempty"`
+	NoCoalesce   bool     `json:"no_coalesce,omitempty"`
+	TimeoutMS    int64    `json:"timeout_ms,omitempty"`
+}
+
+// Status is a job's lifecycle state as the server reports it.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Job is the server's job envelope: identity, lifecycle status,
+// whether the result came from the result cache or dedup, queue
+// position while queued, and the failure cause once failed.
+type Job struct {
+	ID            string `json:"id"`
+	Status        Status `json:"status"`
+	Cached        bool   `json:"cached"`
+	QueuePosition int    `json:"queue_position,omitempty"`
+	Err           string `json:"error,omitempty"`
+}
+
+// RunResult is a completed Run: the settled job envelope and the
+// RunRecord JSON bytes (one object for a single cell, an array for a
+// grid — the dolos-sim -json schema).
+type RunResult struct {
+	Job   Job
+	Bytes []byte
+}
+
+// RetryPolicy shapes the client's backoff. The nominal delay before
+// retry n (0-based) is BaseDelay·Multiplierⁿ capped at MaxDelay, then
+// spread by ±Jitter (a fraction); a server Retry-After overrides the
+// computed delay. The zero value takes the defaults noted per field.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per operation — submission attempts per
+	// Submit, resubmissions per Run (default 6).
+	MaxAttempts int
+	// BaseDelay is the first retry delay (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter spreads each delay by ±this fraction (default 0.2). The
+	// jitter stream is seeded (WithSeed), so a pinned seed replays the
+	// same delays.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// flight is one in-process single-flight slot: concurrent Run calls
+// for the identical request share one submission and result.
+type flight struct {
+	done chan struct{}
+	res  *RunResult
+	err  error
+}
+
+// Client talks to one dolos-serve instance. It is safe for concurrent
+// use; create with New.
+type Client struct {
+	base   string
+	hc     *http.Client
+	policy RetryPolicy
+	poll   time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	flights map[string]*flight
+
+	retries   atomic.Uint64
+	resubmits atomic.Uint64
+
+	// sleepFn, when set (tests only), replaces the real backoff sleep.
+	sleepFn func(ctx context.Context, d time.Duration) error
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default: a
+// client with a 30s overall timeout).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetryPolicy replaces the retry policy (zero fields keep their
+// defaults).
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.policy = p.withDefaults() }
+}
+
+// WithSeed seeds the jitter PRNG (default 1), pinning the exact delay
+// sequence for reproducible load runs and tests.
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithPollInterval sets the initial status-poll interval used by
+// WaitResult and Run (default 5ms; it backs off 1.5× per poll up to
+// 250ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.poll = d
+		}
+	}
+}
+
+// New builds a client for the server at baseURL ("host:port" or a full
+// URL).
+func New(baseURL string, opts ...Option) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		policy:  RetryPolicy{}.withDefaults(),
+		poll:    5 * time.Millisecond,
+		rng:     rand.New(rand.NewSource(1)),
+		flights: make(map[string]*flight),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the server base URL the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// Retries returns how many HTTP-level retries (429/503/transport
+// errors) the client has performed.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// Resubmits returns how many failed jobs Run has resubmitted.
+func (c *Client) Resubmits() uint64 { return c.resubmits.Load() }
+
+// Hash returns the client-side idempotency key of a request: the hex
+// SHA-256 of its JSON encoding. Concurrent Run calls with the same
+// hash share one in-process flight; the server's own dedup key (the
+// normalized request) is at least as coarse, so equal hashes always
+// mean one simulation server-side.
+func (r Request) Hash() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Request holds only slices of strings, ints and bools; Marshal
+		// cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Run is the one-call happy path: submit the request, wait for the job
+// to settle, fetch its result. Submission retries 429/503/transport
+// errors with backoff (honoring Retry-After); a job that settles
+// "failed" — a crashed handler, an expired server-side deadline — is
+// resubmitted up to the policy's attempt budget, which is idempotent
+// because the server keys results by the request hash. Concurrent Run
+// calls with an identical Request share one flight.
+func (c *Client) Run(ctx context.Context, req Request) (*RunResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	key := req.Hash()
+
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err == nil {
+			return f.res, nil
+		}
+		// The leading call failed; make an attempt of our own rather
+		// than propagating a failure that may have been its deadline.
+		return c.runAttempts(ctx, body)
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	res, err := c.runAttempts(ctx, body)
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+	return res, err
+}
+
+// runAttempts is Run's submit → wait → resubmit loop.
+func (c *Client) runAttempts(ctx context.Context, body []byte) (*RunResult, error) {
+	var last error
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.resubmits.Add(1)
+			if err := c.sleep(ctx, c.backoff(attempt-1)); err != nil {
+				return nil, errors.Join(err, last)
+			}
+		}
+		job, err := c.submitBody(ctx, body)
+		if err != nil {
+			return nil, err // submitBody spent its own retry budget
+		}
+		res, err := c.wait(ctx, job)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrJobFailed) {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, last
+}
+
+// Submit posts the request and returns the job envelope (status
+// "done" on a submission-time cache hit, otherwise "queued"), retrying
+// 429/503/transport errors per the policy.
+func (c *Client) Submit(ctx context.Context, req Request) (*Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.submitBody(ctx, body)
+}
+
+func (c *Client) submitBody(ctx context.Context, body []byte) (*Job, error) {
+	var last error
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		job, err := c.postOnce(ctx, body)
+		if err == nil {
+			return job, nil
+		}
+		last = err
+		if !retryable(err) || attempt == c.policy.MaxAttempts-1 {
+			break
+		}
+		d := c.backoff(attempt)
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			d = se.RetryAfter // the server knows best
+		}
+		if err := c.sleep(ctx, d); err != nil {
+			return nil, errors.Join(err, last)
+		}
+	}
+	return nil, fmt.Errorf("client: submit gave up after %d attempts: %w",
+		c.policy.MaxAttempts, last)
+}
+
+func (c *Client) postOnce(ctx context.Context, body []byte) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	b, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, statusError(resp, b)
+	}
+	var job Job
+	if err := json.Unmarshal(b, &job); err != nil {
+		return nil, fmt.Errorf("client: malformed submit response: %w", err)
+	}
+	return &job, nil
+}
+
+// Status fetches a job's envelope. A 404 matches ErrJobNotFound.
+func (c *Client) Status(ctx context.Context, id string) (*Job, error) {
+	b, resp, err := c.get(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp, b)
+	}
+	var job Job
+	if err := json.Unmarshal(b, &job); err != nil {
+		return nil, fmt.Errorf("client: malformed status response: %w", err)
+	}
+	return &job, nil
+}
+
+// Result fetches a settled job's RunRecord bytes. A job still in
+// flight matches ErrJobNotDone (use WaitResult to poll), a failed job
+// ErrJobFailed, an unknown id ErrJobNotFound.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	b, resp, err := c.get(ctx, "/v1/jobs/"+id+"/result")
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return b, nil
+	case http.StatusAccepted:
+		return nil, fmt.Errorf("%w: job %s still settling", ErrJobNotDone, id)
+	case http.StatusInternalServerError:
+		se := statusError(resp, b)
+		return nil, fmt.Errorf("%w: job %s: %s", ErrJobFailed, id, se.Message)
+	}
+	return nil, statusError(resp, b)
+}
+
+// WaitResult polls a job until it settles and returns its result
+// bytes: the id-based counterpart of Run for jobs submitted elsewhere.
+func (c *Client) WaitResult(ctx context.Context, id string) ([]byte, error) {
+	res, err := c.wait(ctx, &Job{ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bytes, nil
+}
+
+// wait polls a job envelope to settlement and fetches the result.
+// Transient status-poll errors are tolerated up to the policy's
+// attempt budget of consecutive failures.
+func (c *Client) wait(ctx context.Context, job *Job) (*RunResult, error) {
+	interval := c.poll
+	misses := 0
+	for {
+		switch job.Status {
+		case StatusDone:
+			b, err := c.Result(ctx, job.ID)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Job: *job, Bytes: b}, nil
+		case StatusFailed:
+			return nil, fmt.Errorf("%w: job %s: %s", ErrJobFailed, job.ID, job.Err)
+		}
+		if err := c.sleep(ctx, interval); err != nil {
+			return nil, err
+		}
+		next, err := c.Status(ctx, job.ID)
+		if err != nil {
+			if !retryable(err) {
+				return nil, err
+			}
+			if misses++; misses >= c.policy.MaxAttempts {
+				return nil, err
+			}
+			c.retries.Add(1)
+			continue
+		}
+		misses = 0
+		job = next
+		if interval < 250*time.Millisecond {
+			interval = interval * 3 / 2
+		}
+	}
+}
+
+// get performs one GET and returns the drained body and response.
+func (c *Client) get(ctx context.Context, path string) ([]byte, *http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := readBody(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, resp, nil
+}
+
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// retryable classifies an error: HTTP 429/503 and 5xx rejections and
+// transport-level failures are worth retrying; context expiry and
+// everything else (4xx, malformed responses) is terminal.
+func retryable(err error) bool {
+	if err == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusTooManyRequests || se.Code >= 500
+	}
+	return true // transport-level
+}
+
+// backoff computes the jittered delay before retry attempt (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	p := c.policy
+	d := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(attempt))
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		c.mu.Lock()
+		u := c.rng.Float64()
+		c.mu.Unlock()
+		d *= 1 + p.Jitter*(2*u-1)
+	}
+	return time.Duration(d)
+}
+
+// sleep blocks for d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.sleepFn != nil {
+		return c.sleepFn(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

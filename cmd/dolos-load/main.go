@@ -1,41 +1,39 @@
-// Command dolos-load is a closed-loop load generator for dolos-serve:
-// a pool of concurrent clients submits jobs, polls them to completion,
-// and reports throughput, latency percentiles and the cache hit rate —
-// a serving benchmark alongside the simulator benchmark.
+// Command dolos-load is a closed-loop load generator for dolos-serve,
+// built on the official client package: a pool of concurrent clients
+// submits jobs through client.Run — which retries 429/503 rejections
+// with backoff, honors Retry-After, and resubmits failed jobs — and
+// reports throughput, latency percentiles, the cache hit rate, and the
+// client's retry/resubmission counts.
 //
 // Usage:
 //
 //	dolos-load -addr http://127.0.0.1:8080 -duration 5s -concurrency 4
 //	dolos-load -schemes dolos-partial,baseline -workloads Hashmap,Btree -rps 50
 //	dolos-load -duration 5s -min-hits 1 -max-errors 0   # smoke-check mode (make load-smoke)
+//	dolos-load -duration 5s -faults -max-errors 0       # chaos mode (make chaos-smoke)
 //
 // With -rps 0 (default) each client issues its next request as soon as
 // the previous one completes; with -rps > 0 a shared pacer caps the
 // aggregate submission rate. -min-hits/-max-errors turn the run into a
-// pass/fail check: the exit status is 1 when the run saw fewer cache
-// hits or more errors than allowed.
+// pass/fail check. -faults declares that the server was started with
+// fault injection armed: the run then also fails unless the client's
+// retry/resubmission machinery actually fired — proving the resilience
+// path absorbed the injected adversity rather than never meeting it.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
-)
 
-type submitResponse struct {
-	ID     string `json:"id"`
-	Status string `json:"status"`
-	Cached bool   `json:"cached"`
-	Error  string `json:"error"`
-}
+	"dolos/client"
+)
 
 type result struct {
 	latency time.Duration
@@ -56,36 +54,28 @@ func main() {
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the server's /healthz before starting")
 	minHits := flag.Int("min-hits", -1, "fail unless at least this many responses were cache hits (-1 = no check)")
 	maxErrors := flag.Int("max-errors", -1, "fail if more than this many requests errored (-1 = no check)")
+	faults := flag.Bool("faults", false,
+		"the server has fault injection armed: fail unless the client retried or resubmitted at least once")
 	flag.Parse()
-
-	// Accept both "host:port" and a full base URL.
-	if !strings.Contains(*addr, "://") {
-		*addr = "http://" + *addr
-	}
 
 	if err := waitHealthy(*addr, *wait); err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-load: %v\n", err)
 		os.Exit(1)
 	}
 
-	// One single-cell request body per workload×scheme combination;
-	// clients rotate through them, so every combination after its first
+	// One single-cell request per workload×scheme combination; clients
+	// rotate through them, so every combination after its first
 	// submission should be served from the result cache.
-	var bodies [][]byte
+	var reqs []client.Request
 	for _, wl := range strings.Split(*workloads, ",") {
 		for _, sch := range strings.Split(*schemes, ",") {
-			body, err := json.Marshal(map[string]any{
-				"workloads":    []string{strings.TrimSpace(wl)},
-				"schemes":      []string{strings.TrimSpace(sch)},
-				"transactions": *txns,
-				"tx_size":      *txSize,
-				"seed":         *seed,
+			reqs = append(reqs, client.Request{
+				Workloads:    []string{strings.TrimSpace(wl)},
+				Schemes:      []string{strings.TrimSpace(sch)},
+				Transactions: *txns,
+				TxSize:       *txSize,
+				Seed:         *seed,
 			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dolos-load: %v\n", err)
-				os.Exit(1)
-			}
-			bodies = append(bodies, body)
 		}
 	}
 
@@ -96,18 +86,21 @@ func main() {
 		pace = t.C
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	// One shared client: its single-flight layer mirrors production use,
+	// and its retry/resubmission counters aggregate across the pool.
+	cl := client.New(*addr, client.WithSeed(*seed),
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 8}))
 	deadline := time.Now().Add(*duration)
 	resultCh := make(chan result, 1024)
 	var wg sync.WaitGroup
 	var rotor int64
 	var rotorMu sync.Mutex
-	nextBody := func() []byte {
+	nextReq := func() client.Request {
 		rotorMu.Lock()
 		defer rotorMu.Unlock()
-		b := bodies[rotor%int64(len(bodies))]
+		r := reqs[rotor%int64(len(reqs))]
 		rotor++
-		return b
+		return r
 	}
 
 	start := time.Now()
@@ -123,7 +116,7 @@ func main() {
 						return
 					}
 				}
-				resultCh <- runOne(client, *addr, nextBody(), deadline)
+				resultCh <- runOne(cl, nextReq(), deadline)
 			}
 		}()
 	}
@@ -160,6 +153,8 @@ func main() {
 		fmt.Printf("cache    %d hits / %d ok (%.1f%%)\n",
 			hits, len(latencies), 100*float64(hits)/float64(len(latencies)))
 	}
+	retries, resubmits := cl.Retries(), cl.Resubmits()
+	fmt.Printf("resilience  %d retries, %d resubmissions\n", retries, resubmits)
 
 	failed := false
 	if *maxErrors >= 0 && errorsSeen > *maxErrors {
@@ -170,59 +165,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dolos-load: FAIL: %d cache hits < required %d\n", hits, *minHits)
 		failed = true
 	}
+	if *faults && retries+resubmits == 0 {
+		fmt.Fprintln(os.Stderr, "dolos-load: FAIL: -faults set but the client never retried or resubmitted "+
+			"— the injected adversity was not exercised")
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// runOne submits one job and polls it to completion, returning the
-// submit-to-done latency and whether the result was served from cache.
-func runOne(client *http.Client, addr string, body []byte, deadline time.Time) result {
+// runOne drives one request to a settled result through the client's
+// retry machinery, returning the end-to-end latency and whether the
+// result was served from the cache or a deduplicated flight.
+func runOne(cl *client.Client, req client.Request, deadline time.Time) result {
+	// The request budget extends past the load deadline so jobs
+	// submitted near the end still settle.
+	ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(30*time.Second))
+	defer cancel()
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	res, err := cl.Run(ctx, req)
 	if err != nil {
 		return result{err: err}
 	}
-	sub, err := decodeSubmit(resp)
-	if err != nil {
-		return result{err: err}
-	}
-	// Poll until the job settles. The poll budget extends past the load
-	// deadline so jobs submitted near the end still settle.
-	pollDeadline := deadline.Add(30 * time.Second)
-	for sub.Status != "done" && sub.Status != "failed" {
-		if time.Now().After(pollDeadline) {
-			return result{err: fmt.Errorf("job %s did not settle before the poll deadline", sub.ID)}
-		}
-		time.Sleep(5 * time.Millisecond)
-		resp, err := client.Get(addr + "/v1/jobs/" + sub.ID)
-		if err != nil {
-			return result{err: err}
-		}
-		if sub, err = decodeSubmit(resp); err != nil {
-			return result{err: err}
-		}
-	}
-	if sub.Status == "failed" {
-		return result{err: fmt.Errorf("job %s failed: %s", sub.ID, sub.Error)}
-	}
-	return result{latency: time.Since(start), cached: sub.Cached}
-}
-
-func decodeSubmit(resp *http.Response) (submitResponse, error) {
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return submitResponse{}, err
-	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return submitResponse{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
-	}
-	var sub submitResponse
-	if err := json.Unmarshal(b, &sub); err != nil {
-		return submitResponse{}, err
-	}
-	return sub, nil
+	return result{latency: time.Since(start), cached: res.Job.Cached}
 }
 
 func percentile(sorted []time.Duration, p int) time.Duration {
@@ -235,10 +201,13 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 
 // waitHealthy polls GET /healthz until the server answers 200.
 func waitHealthy(addr string, timeout time.Duration) error {
-	client := &http.Client{Timeout: time.Second}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	hc := &http.Client{Timeout: time.Second}
 	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := client.Get(addr + "/healthz")
+		resp, err := hc.Get(addr + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {

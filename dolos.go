@@ -28,6 +28,21 @@ import (
 	"dolos/internal/whisper"
 )
 
+// Sentinel errors of the public API, matchable with errors.Is anywhere
+// in a wrapped chain. The HTTP serving stack preserves them too: a
+// misspelled workload in a service request fails normalization with an
+// error wrapping ErrUnknownWorkload before it is mapped to a 400.
+var (
+	// ErrUnknownWorkload reports a workload name no spelling rule can
+	// resolve. ParseWorkload, Runner.Run and Runner.RunContext all wrap
+	// it.
+	ErrUnknownWorkload = whisper.ErrUnknown
+	// ErrCanceled reports a run or sweep cut short by its context. The
+	// chain still carries the underlying context.Canceled or
+	// context.DeadlineExceeded for callers that care why.
+	ErrCanceled = core.ErrCanceled
+)
+
 // Scheme selects the secure memory controller configuration.
 type Scheme = controller.Scheme
 
@@ -72,6 +87,11 @@ type Spec = core.Spec
 // Safe for concurrent use; sweep experiments run their cells on a worker
 // pool sized by Options.Parallelism with byte-identical output at any
 // setting.
+//
+// Context-aware callers use RunContext(ctx, workload, spec); Run is
+// exactly RunContext with context.Background(). A run bounded by a
+// context that is already done fails with an error matching both
+// ErrCanceled and the context's own cause.
 type Runner = core.Runner
 
 // Result summarizes one simulation (cycles, CPI, retry events, ...).
@@ -86,7 +106,53 @@ func NewRunner(opts Options) *Runner { return core.NewRunner(opts) }
 // Speedup is the paper's metric: baseline cycles over candidate cycles.
 func Speedup(baseline, candidate Result) float64 { return core.Speedup(baseline, candidate) }
 
+// Workload names one benchmark. The constants below cover the six
+// WHISPER-style workloads of the paper's figures plus the two in-house
+// microbenchmarks; ParseWorkload folds any accepted spelling onto them.
+type Workload string
+
+// The WHISPER benchmarks in figure order, then the microbenchmarks.
+const (
+	WorkloadHashmap  Workload = "Hashmap"
+	WorkloadCtree    Workload = "Ctree"
+	WorkloadBtree    Workload = "Btree"
+	WorkloadRBtree   Workload = "RBtree"
+	WorkloadYCSB     Workload = "NStore:YCSB"
+	WorkloadRedis    Workload = "Redis"
+	WorkloadTxStream Workload = "TxStream"
+	WorkloadPQueue   Workload = "PQueue"
+)
+
+// String returns the canonical name — the spelling Runner.Run and the
+// paper's figures use.
+func (w Workload) String() string { return string(w) }
+
+// ParseWorkload resolves any accepted workload spelling: canonical
+// names in any case or hyphenation ("hashmap", "NStore:YCSB",
+// "nstore-ycsb") plus the YCSB short forms ("ycsb", "nstore") — the
+// same folding the scheme aliases use. Unknown names fail with an
+// error wrapping ErrUnknownWorkload.
+func ParseWorkload(name string) (Workload, error) {
+	canon, err := whisper.Resolve(name)
+	if err != nil {
+		return "", err
+	}
+	return Workload(canon), nil
+}
+
+// AllWorkloads lists the six WHISPER-style benchmarks in figure order.
+func AllWorkloads() []Workload {
+	names := whisper.Names()
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = Workload(n)
+	}
+	return out
+}
+
 // Workloads lists the six WHISPER-style benchmarks in figure order.
+//
+// Deprecated: use AllWorkloads (typed) or the Workload constants.
 func Workloads() []string { return whisper.Names() }
 
 // MicroWorkloads lists the in-house microbenchmarks (TxStream, PQueue),

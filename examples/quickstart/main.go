@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"dolos"
 )
@@ -14,7 +16,19 @@ import (
 func main() {
 	runner := dolos.NewRunner(dolos.Options{Transactions: 500})
 
-	baseline, err := runner.Run("Hashmap", dolos.Spec{
+	// Workload names fold case and aliases; unknown names fail with an
+	// error matching dolos.ErrUnknownWorkload under errors.Is.
+	workload, err := dolos.ParseWorkload("hashmap")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// RunContext bounds each simulation; Run is the same call with
+	// context.Background().
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	baseline, err := runner.RunContext(ctx, workload.String(), dolos.Spec{
 		Scheme: dolos.PreWPQSecure, // security before the WPQ (Figure 5-b)
 		Tree:   dolos.BMTEager,
 	})
@@ -22,7 +36,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fast, err := runner.Run("Hashmap", dolos.Spec{
+	fast, err := runner.RunContext(ctx, workload.String(), dolos.Spec{
 		Scheme: dolos.DolosPartial, // Mi-SU protects the WPQ (Figure 5-d)
 		Tree:   dolos.BMTEager,
 	})

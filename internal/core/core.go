@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,6 +18,16 @@ import (
 	"dolos/internal/trace"
 	"dolos/internal/whisper"
 )
+
+// ErrCanceled marks a run or sweep cut short by its context. It wraps
+// the underlying context error, so errors.Is(err, ErrCanceled) and
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) both hold —
+// callers that only care that the run was bounded match the sentinel,
+// callers that care why still reach the cause.
+var ErrCanceled = errors.New("run canceled")
+
+// canceled wraps a context error with the ErrCanceled sentinel.
+func canceled(err error) error { return fmt.Errorf("%w: %w", ErrCanceled, err) }
 
 // Options configures an experiment batch.
 type Options struct {
@@ -32,6 +43,12 @@ type Options struct {
 	// is an independent single-clock-domain system, so output is
 	// byte-identical at every setting; see DESIGN.md §9.
 	Parallelism int
+	// PreRun, when set, runs at the top of every simulation, before the
+	// system is built. It is the fault-injection seam (internal/fault's
+	// artificial cell latency threads through here) and must not mutate
+	// the workload or spec: a stalled cell still produces byte-identical
+	// results.
+	PreRun func(workload string, spec Spec)
 }
 
 func (o Options) withDefaults() Options {
@@ -164,10 +181,21 @@ func (r *Runner) Trace(workload string, txSize int) (*trace.Trace, error) {
 	return e.tr, e.err
 }
 
-// Run simulates one workload under one configuration.
+// Run simulates one workload under one configuration. It is
+// RunContext with context.Background(): an unbounded run.
 func (r *Runner) Run(workload string, spec Spec) (cpu.Result, error) {
 	res, _, err := r.runSystem(workload, spec)
 	return res, err
+}
+
+// RunContext simulates one workload under one configuration, bounded
+// by ctx. Like RunCell, the context is checked on entry only — one
+// simulation is indivisible, so a context that expires mid-run never
+// truncates it. A context already done returns an error matching both
+// ErrCanceled and the context's own cause under errors.Is.
+func (r *Runner) RunContext(ctx context.Context, workload string, spec Spec) (cpu.Result, error) {
+	rr, err := r.RunCell(ctx, workload, spec)
+	return rr.Result, err
 }
 
 // runSystem simulates one workload under one configuration and also
@@ -175,6 +203,9 @@ func (r *Runner) Run(workload string, spec Spec) (cpu.Result, error) {
 // state (write amplification, crash/recovery ablations).
 func (r *Runner) runSystem(workload string, spec Spec) (cpu.Result, *cpu.System, error) {
 	spec = spec.withDefaults()
+	if r.opts.PreRun != nil {
+		r.opts.PreRun(workload, spec)
+	}
 	tr, err := r.Trace(workload, spec.TxSize)
 	if err != nil {
 		return cpu.Result{}, nil, err

@@ -61,7 +61,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 			}
 		}
 		if err := ctx.Err(); err != nil {
-			errs = append(errs, err)
+			errs = append(errs, canceled(err))
 		}
 		return errors.Join(errs...)
 	}
@@ -84,7 +84,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 	wg.Wait()
 	all := errs
 	if err := ctx.Err(); err != nil {
-		all = append(all, err)
+		all = append(all, canceled(err))
 	}
 	return errors.Join(all...)
 }
@@ -116,7 +116,7 @@ type RunResult struct {
 // truncate it (truncated runs would break determinism guarantees).
 func (r *Runner) RunCell(ctx context.Context, workload string, spec Spec) (RunResult, error) {
 	if err := ctx.Err(); err != nil {
-		return RunResult{}, err
+		return RunResult{}, canceled(err)
 	}
 	start := time.Now()
 	res, sys, err := r.runSystem(workload, spec)

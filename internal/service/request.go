@@ -5,7 +5,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"strings"
 
 	"dolos/internal/cliutil"
 	"dolos/internal/core"
@@ -152,19 +151,13 @@ func normalize(req Request, lim Limits) (normalized, error) {
 	return n, nil
 }
 
-// canonicalWorkload resolves a workload name case-insensitively to the
-// spelling the paper's figures (and whisper.Names) use.
+// canonicalWorkload resolves a workload name — any case or
+// hyphenation the façade's ParseWorkload accepts — to the spelling
+// the paper's figures (and whisper.Names) use. The error wraps
+// whisper.ErrUnknown, so errors.Is reaches the sentinel from the
+// HTTP 400 the handler maps it to.
 func canonicalWorkload(name string) (string, error) {
-	if w, err := whisper.ByName(name); err == nil {
-		return w.Name(), nil
-	}
-	for _, canon := range whisper.Names() {
-		if strings.EqualFold(name, canon) {
-			return canon, nil
-		}
-	}
-	return "", fmt.Errorf("unknown workload %q (want one of %s)",
-		name, strings.Join(whisper.Names(), ", "))
+	return whisper.Resolve(name)
 }
 
 // Key returns the canonical cache key: the hex SHA-256 of the canonical

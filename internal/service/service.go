@@ -18,6 +18,7 @@ import (
 
 	"dolos/internal/cliutil"
 	"dolos/internal/core"
+	"dolos/internal/fault"
 	"dolos/internal/telemetry"
 )
 
@@ -38,6 +39,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Limits bounds what one request may ask for.
 	Limits Limits
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// server's named fault points (see internal/fault and DESIGN.md
+	// §11). Nil — the default — injects nothing and costs one nil
+	// check per point.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -108,8 +114,9 @@ type runnerKey struct {
 // Server owns the queue, worker pool, caches and metrics. Create with
 // New, expose with Handler, stop with Shutdown.
 type Server struct {
-	cfg Config
-	reg *telemetry.Registry
+	cfg    Config
+	reg    *telemetry.Registry
+	faults *fault.Injector
 
 	mu       sync.Mutex
 	draining bool
@@ -130,7 +137,7 @@ type Server struct {
 
 	mSubmitted, mCompleted, mFailed, mRejected *telemetry.Counter
 	mCacheHits, mCacheMisses, mDedupHits       *telemetry.Counter
-	mSims, mPanics, mHTTP                      *telemetry.Counter
+	mSims, mPanics, mHTTP, mCorrupt            *telemetry.Counter
 	gQueueDepth                                *telemetry.Gauge
 	hJobSeconds                                *telemetry.CycleHist
 }
@@ -143,6 +150,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
+		faults:  cfg.Faults,
 		jobs:    make(map[string]*Job),
 		flights: make(map[string]*flight),
 		runners: make(map[runnerKey]*core.Runner),
@@ -159,9 +167,12 @@ func New(cfg Config) *Server {
 		mSims:        reg.Counter("service_sims_executed_total"),
 		mPanics:      reg.Counter("service_panics_total"),
 		mHTTP:        reg.Counter("service_http_requests_total"),
+		mCorrupt:     reg.Counter("service_cache_corruptions_detected_total"),
 		gQueueDepth:  reg.Gauge("service_queue_depth"),
 		hJobSeconds:  reg.CycleHist("service_job_seconds"),
 	}
+	s.cache.onCorrupt = func(string) { s.mCorrupt.Inc() }
+	s.faults.Bind(reg)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -244,6 +255,12 @@ func (s *Server) submit(n normalized, timeout time.Duration) (*Job, error) {
 		s.mRejected.Inc()
 		return nil, errDraining
 	}
+	if s.faults.Fire(fault.QueueFull) {
+		s.mu.Unlock()
+		cancel()
+		s.mRejected.Inc()
+		return nil, fmt.Errorf("%w (injected)", errQueueFull)
+	}
 	s.seq++
 	job.seq = s.seq
 	job.id = fmt.Sprintf("j%08d", job.seq)
@@ -325,6 +342,16 @@ func (s *Server) execute(job *Job) {
 	if s.hookExecute != nil {
 		s.hookExecute(job)
 	}
+	if s.faults.Fire(fault.JobPanic) {
+		panic("fault: injected job-handler panic")
+	}
+	if s.isDraining() {
+		// Stretch the drain window: chaos runs prove graceful shutdown
+		// still completes when in-flight work dawdles.
+		if d, ok := s.faults.FireDelay(fault.DrainStall); ok {
+			time.Sleep(d)
+		}
+	}
 
 	for {
 		if err := job.ctx.Err(); err != nil {
@@ -404,11 +431,25 @@ func (s *Server) publish(key string, f *flight, b []byte, err error) {
 	s.mu.Lock()
 	if err == nil {
 		s.cache.Put(key, b)
+		if s.faults.Fire(fault.CacheCorrupt) {
+			// Flip a byte in the cached copy only: the flight's bytes —
+			// what this job and its followers receive — stay intact, and
+			// the cache's checksum turns the next probe into a detected
+			// miss instead of a wrong answer.
+			s.cache.corrupt(key)
+		}
 	}
 	f.bytes, f.err = b, err
 	delete(s.flights, key)
 	s.mu.Unlock()
 	close(f.done)
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // computeGuarded is compute with panic containment local to the
@@ -473,7 +514,18 @@ func (s *Server) runnerFor(txns int, seed int64) *core.Runner {
 	if len(s.runners) >= 64 {
 		s.runners = make(map[runnerKey]*core.Runner)
 	}
-	r := core.NewRunner(core.Options{Transactions: txns, Seed: seed, Parallelism: 1})
+	opts := core.Options{Transactions: txns, Seed: seed, Parallelism: 1}
+	if s.faults != nil {
+		// Artificial cell latency threads through the experiment layer's
+		// PreRun seam: the stall lands inside the simulation pipeline,
+		// upstream of the job deadline, without touching determinism.
+		opts.PreRun = func(string, core.Spec) {
+			if d, ok := s.faults.FireDelay(fault.CellLatency); ok {
+				time.Sleep(d)
+			}
+		}
+	}
+	r := core.NewRunner(opts)
 	s.runners[k] = r
 	return r
 }

@@ -47,6 +47,31 @@ func TestRegistryMetrics(t *testing.T) {
 	}
 }
 
+func TestRegistryEachCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Counter("c.third").Add(3)
+
+	var names []string
+	var sum uint64
+	r.EachCounter(func(name string, v uint64) {
+		names = append(names, name)
+		sum += v
+		// Touching the registry from inside f must not deadlock.
+		r.Counter(name)
+	})
+	if len(names) != 3 || names[0] != "a.first" || names[1] != "b.second" || names[2] != "c.third" {
+		t.Fatalf("EachCounter order = %v, want sorted", names)
+	}
+	if sum != 6 {
+		t.Fatalf("EachCounter values summed to %d, want 6", sum)
+	}
+
+	var nilReg *Registry
+	nilReg.EachCounter(func(string, uint64) { t.Fatal("nil registry must not call f") })
+}
+
 // TestRegistryRaceClean hammers the registry and a probe from many
 // goroutines; `go test -race` (the CI configuration) verifies the
 // subsystem's concurrency contract.

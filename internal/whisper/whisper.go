@@ -13,13 +13,21 @@
 package whisper
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"dolos/internal/pmem"
 	"dolos/internal/sim"
 	"dolos/internal/trace"
 )
+
+// ErrUnknown is the sentinel wrapped by every "no such workload"
+// failure (ByName, Resolve), re-exported at the façade as
+// dolos.ErrUnknownWorkload so callers can errors.Is their way from an
+// arbitrary run error to the misspelled-workload cause.
+var ErrUnknown = errors.New("unknown workload")
 
 // Params configures a workload run.
 type Params struct {
@@ -101,7 +109,49 @@ func ByName(name string) (Workload, error) {
 	case "PQueue":
 		return PQueue{}, nil
 	}
-	return nil, fmt.Errorf("whisper: unknown workload %q", name)
+	return nil, fmt.Errorf("whisper: %w %q", ErrUnknown, name)
+}
+
+// aliasKey folds a workload spelling the same way the scheme aliases
+// fold: lowercase with separator runes removed, so "NStore:YCSB",
+// "nstore-ycsb" and "NStore_YCSB" all resolve identically.
+func aliasKey(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch r {
+		case '-', '_', ' ', ':', '.':
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// workloadAliases maps folded spellings to canonical names: the six
+// WHISPER benchmarks, the two microbenchmarks, and the short forms the
+// paper's text uses for the YCSB workload.
+var workloadAliases = func() map[string]string {
+	m := make(map[string]string)
+	for _, n := range Names() {
+		m[aliasKey(n)] = n
+	}
+	for _, n := range MicroNames() {
+		m[aliasKey(n)] = n
+	}
+	m["ycsb"] = "NStore:YCSB"
+	m["nstore"] = "NStore:YCSB"
+	return m
+}()
+
+// Resolve maps any accepted workload spelling — canonical names in any
+// case or hyphenation, plus the YCSB short forms — onto the canonical
+// name ByName and the paper's figures use. The error wraps ErrUnknown.
+func Resolve(name string) (string, error) {
+	if canon, ok := workloadAliases[aliasKey(name)]; ok {
+		return canon, nil
+	}
+	return "", fmt.Errorf("whisper: %w %q (want one of %s)",
+		ErrUnknown, name, strings.Join(Names(), ", "))
 }
 
 // All returns every workload in figure order.
