@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json ci profile reproduce validate serve load-smoke chaos-smoke clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
 
 all: build test
 
@@ -58,11 +58,27 @@ ci:
 	$(GO) test -run '^$$' -bench 'Fig12|Table2' -benchtime=1x ./...
 	$(GO) build -o /tmp/dolos-bench-ci ./cmd/dolos-bench
 	timeout 300 /tmp/dolos-bench-ci -exp all -txns 50 > /dev/null
+	$(GO) run ./cmd/dolos-profile -grid -txns 50 -o /tmp/dolos-grid-ci.json
 
 # Regenerate BENCH_baseline.json: a small fixed-seed scheme×workload
 # grid of RunRecords. Commit the result so perf drifts show up in review.
 bench-json:
 	$(GO) run ./cmd/dolos-profile -grid -txns 200 -o BENCH_baseline.json
+
+# Re-run the baseline grid against BENCH_baseline.json: fails if any
+# deterministic field (cycles, event counts, retry counters) diverges
+# from the committed trajectory, and reports the host-side throughput
+# delta (sim_events_per_sec geomean). The refreshed grid lands in
+# BENCH_pr5.json so the current optimisation level is committed next to
+# the baseline it is measured against.
+bench-delta:
+	$(GO) run ./cmd/dolos-profile -grid -txns 200 -o BENCH_pr5.json -compare BENCH_baseline.json
+
+# CPU+heap profile of a serial grid run, ready for `go tool pprof`.
+pprof:
+	$(GO) run ./cmd/dolos-profile -grid -txns 1000 -parallel 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -o /tmp/dolos-grid-profiled.json
+	@echo "wrote cpu.pprof and mem.pprof; try: go tool pprof -top cpu.pprof"
 
 # One profiled run: trace.json (open in ui.perfetto.dev) + metrics.json.
 profile:

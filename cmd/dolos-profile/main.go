@@ -11,7 +11,9 @@
 //	dolos-profile -scheme DolosPartial -workload Hashmap
 //	dolos-profile -scheme baseline -workload Redis -trace base.json -metrics base-metrics.json
 //	dolos-profile -grid -o BENCH_baseline.json   # fixed-seed bench grid, no trace
+//	dolos-profile -grid -o BENCH_pr5.json -compare BENCH_baseline.json  # bit-identity + perf delta
 //	dolos-profile -workload Hashmap -prom -      # Prometheus text exposition on stdout
+//	dolos-profile -grid -cpuprofile cpu.pprof    # host-side hot-path hunt (go tool pprof)
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +36,12 @@ import (
 )
 
 func main() {
+	// The actual work lives in run so pprof teardown (deferred) happens
+	// before the process exits; os.Exit in main would skip it.
+	os.Exit(run())
+}
+
+func run() int {
 	workload := flag.String("workload", "Hashmap", "workload: Hashmap, Ctree, Btree, RBtree, NStore:YCSB, Redis")
 	scheme := flag.String("scheme", "DolosPartial", "controller scheme (any spelling: dolos-partial, DolosPartial, Dolos-Partial-WPQ)")
 	tree := flag.String("tree", "eager", "integrity backend: eager (BMT) or lazy (ToC)")
@@ -47,30 +56,56 @@ func main() {
 	grid := flag.Bool("grid", false, "run the fixed-seed scheme×workload bench grid instead of one profiled run")
 	gridOut := flag.String("o", "BENCH_baseline.json", "bench grid JSON output path")
 	parallel := flag.Int("parallel", 0, "concurrent grid simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+	compare := flag.String("compare", "", "grid mode: verify deterministic fields bit-identical against this trajectory file and report the throughput delta (exit 1 on divergence)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU profile (go tool pprof) to this path")
+	memProfile := flag.String("memprofile", "", "write a host-side heap profile (after GC) to this path on exit")
 	flag.Parse()
 
-	if *grid {
-		if err := runGrid(*gridOut, *txns, *txSize, *parallel); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+			}
+		}()
+	}
+
+	if *grid {
+		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare); err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	sch, err := cliutil.ParseScheme(*scheme)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	kind, err := cliutil.ParseTree(*tree)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	w, err := whisper.ByName(*workload)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	tr := w.Generate(whisper.Params{Transactions: *txns, TxSize: *txSize, Seed: *seed})
 
@@ -87,12 +122,12 @@ func main() {
 
 	if err := writeTrace(*traceOut, probe); err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Eng.Processed(), wall, sys.Ctrl.Stats(), probe.Registry())
 	if err := writeMetrics(*metricsOut, rec); err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if *promOut != "" {
 		// The same exposition renderer the service's /metrics endpoint
@@ -100,7 +135,7 @@ func main() {
 		// one-shot profile can feed the same dashboards as the daemon.
 		if err := writeProm(*promOut, rec.Metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -112,6 +147,22 @@ func main() {
 	}
 	fmt.Printf(")\nmetrics  %s\n", *metricsOut)
 	fmt.Println("open the trace at https://ui.perfetto.dev or chrome://tracing")
+	return 0
+}
+
+// writeHeapProfile forces a GC so the heap profile reflects live objects,
+// then writes it — the standard -memprofile teardown.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeTrace(path string, p *telemetry.Probe) error {
@@ -161,7 +212,12 @@ func writeMetrics(path string, v any) error {
 // workload is generated once up front and replayed read-only), but
 // records and report lines are assembled in enumeration order, so the
 // output is identical at every -parallel setting.
-func runGrid(path string, txns, txSize, parallel int) error {
+//
+// When comparePath is non-empty the freshly produced records are checked
+// field-by-field against that trajectory file: any deterministic-field
+// divergence is an error (the timing model changed), while the host-side
+// throughput fields are summarized as a speedup ratio.
+func runGrid(path string, txns, txSize, parallel int, comparePath string) error {
 	schemes := []controller.Scheme{
 		controller.PreWPQSecure,
 		controller.DolosFull,
@@ -187,6 +243,12 @@ func runGrid(path string, txns, txSize, parallel int) error {
 			cells = append(cells, gridCell{wl, tr, sch})
 		}
 	}
+
+	// Trace generation just produced hundreds of MB of short-lived
+	// recorder state; collect it now so the GC doesn't run inside the
+	// timed windows below. Host-side only — simulated timing is
+	// unaffected.
+	runtime.GC()
 
 	workers := parallel
 	if workers <= 0 {
@@ -224,5 +286,37 @@ func runGrid(path string, txns, txSize, parallel int) error {
 		fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR\n",
 			c.workload, records[i].Scheme, records[i].Cycles, records[i].RetryPerKWR)
 	}
-	return writeMetrics(path, records)
+	if err := writeMetrics(path, records); err != nil {
+		return err
+	}
+	if comparePath == "" {
+		return nil
+	}
+	base, err := cliutil.LoadBenchRecords(comparePath)
+	if err != nil {
+		return err
+	}
+	delta := cliutil.CompareBenchRecords(records, base)
+	fmt.Printf("compared %d records against %s\n", delta.Records, comparePath)
+	if delta.EPSRatio > 0 {
+		fmt.Printf("sim_events_per_sec: %.2fx the baseline (geomean); wall_seconds: %.2fx\n",
+			delta.EPSRatio, delta.WallRatio)
+	}
+	if !delta.Identical() {
+		const maxShown = 20
+		diffs := delta.Diffs
+		if len(diffs) > maxShown {
+			diffs = diffs[:maxShown]
+		}
+		for _, d := range diffs {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		if n := len(delta.Diffs) - maxShown; n > 0 {
+			fmt.Fprintf(os.Stderr, "  ... and %d more\n", n)
+		}
+		return fmt.Errorf("deterministic fields diverged from %s (%d diffs): the timing model changed",
+			comparePath, len(delta.Diffs))
+	}
+	fmt.Println("deterministic fields are bit-identical to the baseline")
+	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"dolos/internal/crypt"
+	"dolos/internal/dense"
 	"dolos/internal/nvm"
 )
 
@@ -46,12 +47,6 @@ func (m UpdateMode) String() string {
 	return "lazy"
 }
 
-// nodeKey identifies an interior node.
-type nodeKey struct {
-	level int // 1..levels (leaves are level 0 and live in the counter region)
-	index uint64
-}
-
 // Tree is the Bonsai Merkle Tree state machine. Interior node images live
 // in a volatile overlay (the metadata cache's architectural content) and
 // are persisted to an NVM region on demand; the root register is modeled
@@ -64,10 +59,18 @@ type Tree struct {
 	counts   []uint64 // counts[l] = number of nodes at level l (counts[0] = leaves)
 	offsets  []uint64 // NVM offset of each interior level within the node region
 
-	volatile map[nodeKey]*[NodeSize]byte
-	dirty    map[nodeKey]bool
-	root     crypt.MAC
-	rootSet  bool
+	// volatile[l] and dirty[l] hold the overlay state of interior
+	// level l (1..levels; slot 0 is unused — leaves live in the
+	// counter region), indexed by node index within the level. Dense
+	// per-level tables sized from counts[l] replaced the former
+	// map[{level,index}] so the per-write path walk is array indexing
+	// (DESIGN.md §12); dirtyCount tracks the number of true dirty
+	// flags.
+	volatile   []*dense.Table[*[NodeSize]byte]
+	dirty      []*dense.Table[bool]
+	dirtyCount int
+	root       crypt.MAC
+	rootSet    bool
 
 	macOps  uint64
 	updates uint64
@@ -85,8 +88,6 @@ func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tr
 		dev:      dev,
 		nodeBase: nodeBase,
 		leaves:   leaves,
-		volatile: make(map[nodeKey]*[NodeSize]byte),
-		dirty:    make(map[nodeKey]bool),
 	}
 	t.counts = []uint64{leaves}
 	n := leaves
@@ -99,6 +100,12 @@ func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tr
 	for l := 1; l < len(t.counts); l++ {
 		t.offsets[l] = off
 		off += t.counts[l] * NodeSize
+	}
+	t.volatile = make([]*dense.Table[*[NodeSize]byte], len(t.counts))
+	t.dirty = make([]*dense.Table[bool], len(t.counts))
+	for l := 1; l < len(t.counts); l++ {
+		t.volatile[l] = dense.NewTable[*[NodeSize]byte](t.counts[l])
+		t.dirty[l] = dense.NewTable[bool](t.counts[l])
 	}
 	return t
 }
@@ -147,15 +154,31 @@ func position(level int, index uint64) uint64 { return uint64(level)<<56 | index
 // node returns the live image of interior node (level, index), reading
 // from NVM on first touch.
 func (t *Tree) node(level int, index uint64) *[NodeSize]byte {
-	k := nodeKey{level, index}
-	img, ok := t.volatile[k]
-	if !ok {
+	slot := t.volatile[level].Ptr(index)
+	if *slot == nil {
 		line := t.dev.ReadLine(t.NodeNVMAddr(level, index))
-		img = new([NodeSize]byte)
+		img := new([NodeSize]byte)
 		*img = line
-		t.volatile[k] = img
+		*slot = img
 	}
-	return img
+	return *slot
+}
+
+// markDirty flags (level, index) as newer in the overlay than in NVM.
+func (t *Tree) markDirty(level int, index uint64) {
+	p := t.dirty[level].Ptr(index)
+	if !*p {
+		*p = true
+		t.dirtyCount++
+	}
+}
+
+// clearDirty drops the dirty flag after a persist.
+func (t *Tree) clearDirty(level int, index uint64) {
+	if t.dirty[level].Get(index) {
+		t.dirty[level].Set(index, false)
+		t.dirtyCount--
+	}
 }
 
 func isZero(b []byte) bool {
@@ -198,7 +221,7 @@ func (t *Tree) UpdateLeaf(index uint64, image *[64]byte, mode UpdateMode) int {
 		slot := child % Arity
 		img := t.node(level, idx)
 		copy(img[slot*crypt.MACSize:], mac[:])
-		t.dirty[nodeKey{level, idx}] = true
+		t.markDirty(level, idx)
 		if mode == Lazy && level == 1 {
 			// Lazy: stop after the parent; upper levels refresh on
 			// eviction. The root register is NOT updated.
@@ -223,10 +246,18 @@ type NodeUpdate struct {
 // This is the Ma-SU's Figure 11 step 2: results go to the redo-log
 // registers first; InstallPathUpdate is step 3.
 func (t *Tree) PreparePathUpdate(index uint64, image *[64]byte) ([]NodeUpdate, crypt.MAC) {
+	return t.AppendPathUpdate(make([]NodeUpdate, 0, len(t.counts)-1), index, image)
+}
+
+// AppendPathUpdate is PreparePathUpdate appending into a caller-owned
+// slice (passed with length 0), so a steady-state writer reuses one
+// backing array across writes instead of allocating per write. The
+// returned slice is dst grown as needed.
+func (t *Tree) AppendPathUpdate(dst []NodeUpdate, index uint64, image *[64]byte) ([]NodeUpdate, crypt.MAC) {
 	if index >= t.leaves {
 		panic(fmt.Sprintf("bmt: leaf %d out of range", index))
 	}
-	ups := make([]NodeUpdate, 0, len(t.counts)-1)
+	ups := dst
 	mac := t.leafMAC(index, image)
 	child := index
 	for level := 1; level < len(t.counts); level++ {
@@ -246,14 +277,17 @@ func (t *Tree) PreparePathUpdate(index uint64, image *[64]byte) ([]NodeUpdate, c
 // only the level-1 node is installed and the root is left alone.
 func (t *Tree) InstallPathUpdate(ups []NodeUpdate, root crypt.MAC, mode UpdateMode) {
 	t.updates++
-	for _, up := range ups {
+	for i := range ups {
+		up := &ups[i]
 		if mode == Lazy && up.Level > 1 {
 			break
 		}
-		k := nodeKey{up.Level, up.Index}
-		img := up.Image
-		t.volatile[k] = &img
-		t.dirty[k] = true
+		slot := t.volatile[up.Level].Ptr(up.Index)
+		if *slot == nil {
+			*slot = new([NodeSize]byte)
+		}
+		**slot = up.Image
+		t.markDirty(up.Level, up.Index)
 	}
 	if mode == Eager {
 		t.root, t.rootSet = root, true
@@ -272,19 +306,22 @@ func (t *Tree) refreshNode(level int, index uint64) {
 	parent := t.node(level+1, index/Arity)
 	slot := index % Arity
 	copy(parent[slot*crypt.MACSize:], mac[:])
-	t.dirty[nodeKey{level + 1, index / Arity}] = true
+	t.markDirty(level+1, index/Arity)
 	t.refreshNode(level+1, index/Arity)
 }
 
 // PropagateDirty pushes all lazily-deferred updates to the root (used at
-// clean shutdown or before crash-free verification in lazy mode).
+// clean shutdown or before crash-free verification in lazy mode), level
+// by level in ascending index order. refreshNode only marks nodes at
+// higher levels dirty, so iterating one level while it runs is safe.
 func (t *Tree) PropagateDirty() {
 	for l := 1; l < len(t.counts); l++ {
-		for k := range t.dirty {
-			if k.level == l {
-				t.refreshNode(k.level, k.index)
+		t.dirty[l].Range(func(idx uint64, d *bool) bool {
+			if *d {
+				t.refreshNode(l, idx)
 			}
-		}
+			return true
+		})
 	}
 }
 
@@ -336,7 +373,7 @@ func (t *Tree) verify(index uint64, image *[64]byte, trustCached bool) (int, err
 			}
 			return int(t.macOps - before), &VerifyError{Level: level - 1, Index: child, Want: stored, Got: mac}
 		}
-		if trustCached && t.dirty[nodeKey{level, idx}] {
+		if trustCached && t.dirty[level].Get(idx) {
 			// The node is live on-chip (metadata cache); once verified
 			// against it the path is trusted without walking to the
 			// root. This is what makes lazy updates sound at run time.
@@ -354,28 +391,41 @@ func (t *Tree) verify(index uint64, image *[64]byte, trustCached bool) (int, err
 // PersistNode writes an interior node image to its NVM home (metadata
 // cache eviction of a dirty block, or Anubis shadow replay).
 func (t *Tree) PersistNode(level int, index uint64) {
-	k := nodeKey{level, index}
-	img, ok := t.volatile[k]
-	if !ok {
+	if level < 1 || level >= len(t.counts) {
+		return
+	}
+	img := t.volatile[level].Get(index)
+	if img == nil {
 		return
 	}
 	t.dev.WriteLine(t.NodeNVMAddr(level, index), *img)
-	delete(t.dirty, k)
+	t.clearDirty(level, index)
 }
 
-// PersistAll writes every live interior node to NVM (clean shutdown).
+// PersistAll writes every live interior node to NVM (clean shutdown),
+// level by level in ascending index order.
 func (t *Tree) PersistAll() {
-	for k := range t.volatile {
-		t.PersistNode(k.level, k.index)
+	for l := 1; l < len(t.counts); l++ {
+		t.volatile[l].Range(func(idx uint64, img **[NodeSize]byte) bool {
+			if *img != nil {
+				t.PersistNode(l, idx)
+			}
+			return true
+		})
 	}
 }
 
 // DirtyNodes returns the (level, index) pairs of interior nodes whose
 // live image is newer than their NVM copy, for the Anubis shadow tracker.
 func (t *Tree) DirtyNodes() [][2]uint64 {
-	var out [][2]uint64
-	for k := range t.dirty {
-		out = append(out, [2]uint64{uint64(k.level), k.index})
+	out := make([][2]uint64, 0, t.dirtyCount)
+	for l := 1; l < len(t.counts); l++ {
+		t.dirty[l].Range(func(idx uint64, d *bool) bool {
+			if *d {
+				out = append(out, [2]uint64{uint64(l), idx})
+			}
+			return true
+		})
 	}
 	return out
 }
@@ -388,18 +438,22 @@ func (t *Tree) NodeImage(level int, index uint64) [NodeSize]byte {
 // RestoreNode installs an interior node image directly (Anubis shadow
 // replay during recovery).
 func (t *Tree) RestoreNode(level int, index uint64, img [NodeSize]byte) {
-	k := nodeKey{level, index}
-	p := new([NodeSize]byte)
-	*p = img
-	t.volatile[k] = p
-	t.dirty[k] = true
+	slot := t.volatile[level].Ptr(index)
+	if *slot == nil {
+		*slot = new([NodeSize]byte)
+	}
+	**slot = img
+	t.markDirty(level, index)
 }
 
 // DropVolatile models power failure: the overlay (metadata cache content)
 // is lost; NVM copies and the persistent root register survive.
 func (t *Tree) DropVolatile() {
-	t.volatile = make(map[nodeKey]*[NodeSize]byte)
-	t.dirty = make(map[nodeKey]bool)
+	for l := 1; l < len(t.counts); l++ {
+		t.volatile[l].Reset()
+		t.dirty[l].Reset()
+	}
+	t.dirtyCount = 0
 }
 
 // RebuildFromLeaves recomputes the tree bottom-up from the given leaf

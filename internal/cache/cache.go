@@ -31,6 +31,14 @@ type Cache struct {
 	lines    []line // sets*ways entries
 	stamp    uint64
 
+	// lineShift/setMask are the shift-and-mask form of the index
+	// computation. Geometry is power-of-two by construction, and index()
+	// runs on every access of every cache level, where a hardware-style
+	// div/mod by a runtime value costs more than the lookup itself.
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+
 	hits, misses, evictions, writebacks uint64
 }
 
@@ -49,12 +57,26 @@ func New(name string, size uint64, ways int, lineSize uint64) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: %d sets not a power of two", name, sets))
 	}
+	if lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", name, lineSize))
+	}
+	lineShift := uint(0)
+	for 1<<lineShift != lineSize {
+		lineShift++
+	}
+	setShift := uint(0)
+	for 1<<setShift != sets {
+		setShift++
+	}
 	return &Cache{
-		name:     name,
-		sets:     sets,
-		ways:     ways,
-		lineSize: lineSize,
-		lines:    make([]line, sets*uint64(ways)),
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineSize:  lineSize,
+		lines:     make([]line, sets*uint64(ways)),
+		lineShift: lineShift,
+		setShift:  setShift,
+		setMask:   sets - 1,
 	}
 }
 
@@ -83,8 +105,8 @@ func (c *Cache) Evictions() uint64 { return c.evictions }
 func (c *Cache) Writebacks() uint64 { return c.writebacks }
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
-	lineAddr := addr / c.lineSize
-	return lineAddr % c.sets, lineAddr / c.sets
+	lineAddr := addr >> c.lineShift
+	return lineAddr & c.setMask, lineAddr >> c.setShift
 }
 
 func (c *Cache) set(set uint64) []line {

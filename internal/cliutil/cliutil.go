@@ -4,7 +4,10 @@
 package cliutil
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -142,5 +145,159 @@ func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
 		EventsProcessed:  events,
 		EventsPerSecond:  eps,
 		Metrics:          telemetry.Snapshot(set, reg),
+	}
+}
+
+// LoadBenchRecords reads a bench-grid trajectory file (a JSON array of
+// RunRecords, as written by dolos-profile -grid).
+func LoadBenchRecords(path string) ([]telemetry.RunRecord, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []telemetry.RunRecord
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// BenchDelta is the result of comparing a fresh bench grid against a
+// committed trajectory point. Diffs lists every deterministic-field
+// divergence (empty = bit-identical simulation output); the host-side
+// throughput fields are reduced to aggregate ratios so a perf PR can
+// report its win from the same comparison that proves it changed
+// nothing else.
+type BenchDelta struct {
+	// Records is the number of record pairs compared.
+	Records int
+	// Diffs holds one "path: current != baseline" line per divergent
+	// deterministic field, in record order then field order.
+	Diffs []string
+	// EPSRatio is the geometric mean over records of
+	// sim_events_per_sec(current) / sim_events_per_sec(baseline); 0 when
+	// either side lacks throughput data.
+	EPSRatio float64
+	// WallRatio is total wall_seconds(current) / total(baseline); 0 when
+	// the baseline total is 0.
+	WallRatio float64
+}
+
+// Identical reports whether every deterministic field matched.
+func (d BenchDelta) Identical() bool { return len(d.Diffs) == 0 }
+
+// hostFields are the RunRecord JSON fields measured on the host rather
+// than in the simulated model; they differ run to run by design and are
+// excluded from bit-identity comparison (events_processed stays in: the
+// engine's dispatch count is deterministic).
+var hostFields = []string{"wall_seconds", "sim_events_per_sec"}
+
+// CompareBenchRecords compares two bench grids field-by-field. Records
+// pair by position (the grid assembles records in enumeration order);
+// every JSON field of each record — including the nested counters and
+// histogram summaries — must match exactly, except the host-side
+// throughput fields, which feed the EPSRatio/WallRatio summary instead.
+// Numbers are compared as JSON literals, so the check is exact for
+// uint64 counters and bit-exact for floats.
+func CompareBenchRecords(cur, base []telemetry.RunRecord) BenchDelta {
+	d := BenchDelta{Records: len(cur)}
+	if len(cur) != len(base) {
+		d.Diffs = append(d.Diffs, fmt.Sprintf("record count: %d != %d (baseline)", len(cur), len(base)))
+		return d
+	}
+	var epsRatios []float64
+	var wallCur, wallBase float64
+	for i := range cur {
+		label := fmt.Sprintf("[%d] %s/%s", i, cur[i].Scheme, cur[i].Workload)
+		a, errA := comparableRecord(cur[i])
+		b, errB := comparableRecord(base[i])
+		if errA != nil || errB != nil {
+			d.Diffs = append(d.Diffs, fmt.Sprintf("%s: re-encode failed: %v %v", label, errA, errB))
+			continue
+		}
+		diffJSON(label, a, b, &d.Diffs)
+		if cur[i].EventsPerSecond > 0 && base[i].EventsPerSecond > 0 {
+			epsRatios = append(epsRatios, cur[i].EventsPerSecond/base[i].EventsPerSecond)
+		}
+		wallCur += cur[i].WallSeconds
+		wallBase += base[i].WallSeconds
+	}
+	d.EPSRatio = stats.GeoMean(epsRatios)
+	if wallBase > 0 {
+		d.WallRatio = wallCur / wallBase
+	}
+	return d
+}
+
+// comparableRecord round-trips a record through its JSON encoding into a
+// generic tree with numbers kept as literals, minus the host-side fields.
+func comparableRecord(rec telemetry.RunRecord) (any, error) {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	if m, ok := v.(map[string]any); ok {
+		for _, f := range hostFields {
+			delete(m, f)
+		}
+	}
+	return v, nil
+}
+
+// diffJSON walks two generic JSON trees in parallel, appending one line
+// per divergent leaf (map keys visited in sorted order, so output is
+// deterministic).
+func diffJSON(path string, a, b any, out *[]string) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: object vs %T (baseline)", path, b))
+			return
+		}
+		keys := make([]string, 0, len(av)+len(bv))
+		seen := make(map[string]bool, len(av)+len(bv))
+		for k := range av {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+		for k := range bv {
+			if !seen[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub := path + "." + k
+			ak, aok := av[k]
+			bk, bok := bv[k]
+			switch {
+			case !aok:
+				*out = append(*out, fmt.Sprintf("%s: absent (baseline has %v)", sub, bk))
+			case !bok:
+				*out = append(*out, fmt.Sprintf("%s: %v absent in baseline", sub, ak))
+			default:
+				diffJSON(sub, ak, bk, out)
+			}
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			*out = append(*out, fmt.Sprintf("%s: array shape differs from baseline", path))
+			return
+		}
+		for i := range av {
+			diffJSON(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], out)
+		}
+	default:
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			*out = append(*out, fmt.Sprintf("%s: %v != %v (baseline)", path, a, b))
+		}
 	}
 }

@@ -1,10 +1,12 @@
 package cliutil
 
 import (
+	"strings"
 	"testing"
 
 	"dolos/internal/controller"
 	"dolos/internal/masu"
+	"dolos/internal/telemetry"
 )
 
 func TestParseScheme(t *testing.T) {
@@ -89,5 +91,70 @@ func TestDemoKeysDeterministicDistinct(t *testing.T) {
 	}
 	if a1 == m1 {
 		t.Fatal("AES and MAC keys identical")
+	}
+}
+
+// benchRecord builds a small but fully populated RunRecord for the
+// comparator tests.
+func benchRecord() telemetry.RunRecord {
+	return telemetry.RunRecord{
+		Scheme: "Dolos-Partial-WPQ", Workload: "Hashmap", Tree: "BMT-eager",
+		Transactions: 200, TxSize: 1024, Seed: 1,
+		Ops: 1000, Cycles: 123456, CyclesPerTx: 617.28, CPI: 1.5,
+		WriteRequests: 400, RetryEvents: 3, RetryPerKWR: 7.5,
+		WallSeconds: 1.0, EventsProcessed: 50_000, EventsPerSecond: 50_000,
+		Metrics: telemetry.MetricsSnapshot{
+			Counters: map[string]uint64{"wpq.inserted": 400, "masu.drained": 400},
+			Histograms: map[string]telemetry.HistogramStats{
+				"wpq.interarrival_cycles": {Count: 399, Sum: 1e6, Mean: 2506.3, Min: 1, Max: 9000},
+			},
+		},
+	}
+}
+
+func TestCompareBenchRecordsIdentical(t *testing.T) {
+	cur, base := benchRecord(), benchRecord()
+	// Host-side throughput may differ arbitrarily without breaking
+	// bit-identity; it only feeds the ratio summary.
+	cur.WallSeconds = 0.25
+	cur.EventsPerSecond = 200_000
+	d := CompareBenchRecords([]telemetry.RunRecord{cur}, []telemetry.RunRecord{base})
+	if !d.Identical() {
+		t.Fatalf("identical grids reported diffs: %v", d.Diffs)
+	}
+	if d.EPSRatio < 3.99 || d.EPSRatio > 4.01 {
+		t.Fatalf("EPSRatio = %v, want 4", d.EPSRatio)
+	}
+	if d.WallRatio < 0.24 || d.WallRatio > 0.26 {
+		t.Fatalf("WallRatio = %v, want 0.25", d.WallRatio)
+	}
+}
+
+func TestCompareBenchRecordsFindsDivergence(t *testing.T) {
+	cur, base := benchRecord(), benchRecord()
+	cur.Cycles++                                 // timing divergence
+	cur.Metrics.Counters["masu.drained"] = 401   // counter divergence
+	delete(cur.Metrics.Counters, "wpq.inserted") // registration divergence
+	d := CompareBenchRecords([]telemetry.RunRecord{cur}, []telemetry.RunRecord{base})
+	if len(d.Diffs) != 3 {
+		t.Fatalf("diffs = %v, want 3 entries", d.Diffs)
+	}
+	for _, want := range []string{".cycles", "masu.drained", "wpq.inserted"} {
+		found := false
+		for _, diff := range d.Diffs {
+			if strings.Contains(diff, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no diff mentions %q: %v", want, d.Diffs)
+		}
+	}
+}
+
+func TestCompareBenchRecordsCountMismatch(t *testing.T) {
+	d := CompareBenchRecords([]telemetry.RunRecord{benchRecord()}, nil)
+	if d.Identical() {
+		t.Fatal("record-count mismatch not reported")
 	}
 }

@@ -168,9 +168,15 @@ type Controller struct {
 	secUnit *sim.PipeServer // PreWPQSecure: the security pipeline
 	miSU    *sim.PipeServer // Dolos: the Mi-SU MAC engine
 	maSU    *sim.PipeServer // Dolos: the Ma-SU pipeline
-	waiters []waiter
 
-	insertTime  map[int]sim.Cycle // WPQ slot -> insertion cycle (drain-delay window)
+	// waiters[waitHead:] is the retry queue of parked writes. The head
+	// index (rather than re-slicing on pop) keeps the backing array's
+	// base fixed, so pushes reuse freed capacity instead of marching the
+	// slice through the heap one realloc per retry burst.
+	waiters  []waiter
+	waitHead int
+
+	insertTime  []sim.Cycle // WPQ slot -> insertion cycle (drain-delay window)
 	crashed     bool
 	epoch       uint64 // bumped at every crash; stale events self-cancel
 	maPumpArmed bool
@@ -183,6 +189,30 @@ type Controller struct {
 	tWPQ, tMiSU, tMaSU telemetry.TrackID
 	hAccept            *telemetry.CycleHist
 	hDrain             *telemetry.CycleHist
+
+	// Interned stats handles. stats.Set.Counter creates-on-first-use and
+	// returns a stable pointer, so resolving each hot-path metric once in
+	// New turns every per-event update into a pointer increment instead
+	// of a map[string] hash+probe. Cold-path readers (cpu result
+	// extraction, accessors below) still go through the Set by name and
+	// see the same objects.
+	cWriteRequests    *stats.Counter   // wpq.write_requests
+	cEvictRequests    *stats.Counter   // wpq.evict_requests (lazy: see EvictWrite)
+	cInserted         *stats.Counter   // wpq.inserted
+	cRetryEvents      *stats.Counter   // wpq.retry_events
+	cReadHits         *stats.Counter   // wpq.read_hits
+	cMemReads         *stats.Counter   // mem.reads
+	cDrained          *stats.Counter   // masu.drained
+	cCounterMisses    *stats.Counter   // masu.counter_misses
+	cTreeMisses       *stats.Counter   // masu.tree_misses
+	cSerialMACs       *stats.Counter   // masu.serial_macs
+	cNVMWrites        *stats.Counter   // masu.nvm_writes
+	cShadowWrites     *stats.Counter   // masu.shadow_writes
+	cPageReenc        *stats.Counter   // masu.page_reencryptions
+	cReadCounterMiss  *stats.Counter   // masu.read_counter_misses
+	cReadTreeMiss     *stats.Counter   // masu.read_tree_misses
+	hInterarrival     *stats.Histogram // wpq.interarrival_cycles
+	hOccupancyArrival *stats.Histogram // wpq.occupancy_at_arrival
 }
 
 // New creates a controller bound to a simulation engine and NVM device.
@@ -213,8 +243,29 @@ func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
 		secUnit:    sim.NewPipeServer(eng, "security-unit", maII),
 		miSU:       sim.NewPipeServer(eng, "mi-su", miII),
 		maSU:       sim.NewPipeServer(eng, "ma-su", maII),
-		insertTime: make(map[int]sim.Cycle),
+		insertTime: make([]sim.Cycle, cfg.UsableWPQ()),
 	}
+	// Every metric below appears in any run that issues a single write or
+	// read, so resolving them eagerly does not change which names a
+	// RunRecord snapshot reports. wpq.evict_requests is the exception —
+	// bench-grid runs never evict — so EvictWrite interns it on first
+	// use to keep snapshots byte-identical with the lazy registry.
+	c.cWriteRequests = c.st.Counter("wpq.write_requests")
+	c.cInserted = c.st.Counter("wpq.inserted")
+	c.cRetryEvents = c.st.Counter("wpq.retry_events")
+	c.cReadHits = c.st.Counter("wpq.read_hits")
+	c.cMemReads = c.st.Counter("mem.reads")
+	c.cDrained = c.st.Counter("masu.drained")
+	c.cCounterMisses = c.st.Counter("masu.counter_misses")
+	c.cTreeMisses = c.st.Counter("masu.tree_misses")
+	c.cSerialMACs = c.st.Counter("masu.serial_macs")
+	c.cNVMWrites = c.st.Counter("masu.nvm_writes")
+	c.cShadowWrites = c.st.Counter("masu.shadow_writes")
+	c.cPageReenc = c.st.Counter("masu.page_reencryptions")
+	c.cReadCounterMiss = c.st.Counter("masu.read_counter_misses")
+	c.cReadTreeMiss = c.st.Counter("masu.read_tree_misses")
+	c.hInterarrival = c.st.Histogram("wpq.interarrival_cycles")
+	c.hOccupancyArrival = c.st.Histogram("wpq.occupancy_at_arrival")
 	if cfg.Scheme.IsDolos() {
 		c.mi = misu.New(cfg.Scheme.MiSUDesign(), engine, dev, cfg.Layout.DrainBase, cfg.UsableWPQ())
 	} else {
@@ -246,23 +297,23 @@ func (c *Controller) queue() *wpq.Queue {
 	return c.bq
 }
 
-// stale returns a predicate that reports whether the controller has
-// crashed, or crashed-and-recovered, since the predicate was created —
-// every deferred completion checks it so events scheduled before a power
-// failure cannot touch post-recovery state.
-func (c *Controller) stale() func() bool {
-	epoch := c.epoch
-	return func() bool { return c.crashed || c.epoch != epoch }
-}
+// staleAt reports whether the controller has crashed, or
+// crashed-and-recovered, since the caller read c.epoch — every deferred
+// completion checks it so events scheduled before a power failure cannot
+// touch post-recovery state. Callers snapshot the epoch as a plain value
+// (their completion closures capture c anyway), which is why this is not
+// a closure-returning helper: one predicate closure per scheduled write
+// adds up on the hot path.
+func (c *Controller) staleAt(epoch uint64) bool { return c.crashed || c.epoch != epoch }
 
 // WPQLive returns the current number of live WPQ entries.
 func (c *Controller) WPQLive() int { return c.queue().Live() }
 
 // RetryEvents returns the number of WPQ insertion re-try events.
-func (c *Controller) RetryEvents() uint64 { return c.st.Counter("wpq.retry_events").Value() }
+func (c *Controller) RetryEvents() uint64 { return c.cRetryEvents.Value() }
 
 // WriteRequests returns the number of write requests that arrived.
-func (c *Controller) WriteRequests() uint64 { return c.st.Counter("wpq.write_requests").Value() }
+func (c *Controller) WriteRequests() uint64 { return c.cWriteRequests.Value() }
 
 // RetryPerKWR returns retry events per kilo write requests (Table 2).
 func (c *Controller) RetryPerKWR() float64 {

@@ -74,7 +74,7 @@ func (c *Controller) Crash() (CrashReport, error) {
 	}
 
 	c.ma.CrashVolatile()
-	c.waiters = nil
+	c.waiters, c.waitHead = nil, 0
 	return rep, nil
 }
 

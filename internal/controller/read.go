@@ -23,11 +23,11 @@ const wpqHitLatency = 4 + crypt.XORLatency
 // driven through the recovery/attack APIs where errors are returned.
 func (c *Controller) ReadLine(addr uint64, done func()) {
 	addr &^= 63
-	c.st.Counter("mem.reads").Inc()
+	c.cMemReads.Inc()
 
 	if slot, ok := c.queue().Lookup(addr); ok {
 		c.queue().ReadHit()
-		c.st.Counter("wpq.read_hits").Inc()
+		c.cReadHits.Inc()
 		if c.probe != nil {
 			c.probe.Instant(c.tWPQ, "read-hit")
 		}
@@ -54,8 +54,8 @@ func (c *Controller) ReadLine(addr uint64, done func()) {
 // readThroughMaSU performs the functional verified read.
 func (c *Controller) readThroughMaSU(addr uint64) (masu.Cost, error) {
 	_, cost, err := c.ma.ReadLine(addr)
-	c.st.Counter("masu.read_counter_misses").Add(uint64(cost.CounterMisses))
-	c.st.Counter("masu.read_tree_misses").Add(uint64(cost.TreeMisses))
+	c.cReadCounterMiss.Add(uint64(cost.CounterMisses))
+	c.cReadTreeMiss.Add(uint64(cost.TreeMisses))
 	return cost, err
 }
 

@@ -15,7 +15,7 @@ import (
 // (Table 2's metric).
 func (c *Controller) PersistWrite(addr uint64, data [64]byte, accepted func()) {
 	addr &^= 63
-	c.st.Counter("wpq.write_requests").Inc()
+	c.cWriteRequests.Inc()
 	c.noteArrival()
 	if c.probe != nil {
 		// Observe the request->acceptance latency: the pre-WPQ critical
@@ -37,7 +37,13 @@ func (c *Controller) PersistWrite(addr uint64, data [64]byte, accepted func()) {
 // takes the same secured path but nothing waits on it.
 func (c *Controller) EvictWrite(addr uint64, data [64]byte) {
 	addr &^= 63
-	c.st.Counter("wpq.evict_requests").Inc()
+	if c.cEvictRequests == nil {
+		// Interned lazily, unlike the other handles: bench-grid runs
+		// never evict, and registering the counter at construction would
+		// add a zero-valued entry to their metrics snapshots.
+		c.cEvictRequests = c.st.Counter("wpq.evict_requests")
+	}
+	c.cEvictRequests.Inc()
 	c.tryInsert(waiter{addr: addr, data: data}, false)
 }
 
@@ -46,11 +52,11 @@ func (c *Controller) EvictWrite(addr uint64, data [64]byte) {
 func (c *Controller) noteArrival() {
 	now := float64(c.eng.Now())
 	if c.haveArrival {
-		c.st.Histogram("wpq.interarrival_cycles").Observe(now - c.lastArrival)
+		c.hInterarrival.Observe(now - c.lastArrival)
 	}
 	c.haveArrival = true
 	c.lastArrival = now
-	c.st.Histogram("wpq.occupancy_at_arrival").Observe(float64(c.queue().Live()))
+	c.hOccupancyArrival.Observe(float64(c.queue().Live()))
 }
 
 // tryInsert routes a write into the scheme's insertion path. wake marks
@@ -78,19 +84,19 @@ func (c *Controller) tryInsert(w waiter, wake bool) {
 // background pipeline), exactly as an eADR platform would secure lines
 // on their way from the persistent caches to NVM.
 func (c *Controller) insertEADR(w waiter) {
-	c.st.Counter("wpq.inserted").Inc()
+	c.cInserted.Inc()
 	if w.accepted != nil {
 		c.eng.After(1, w.accepted)
 	}
 	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
 	c.chargeWriteCost(cost)
-	stale := c.stale()
+	epoch := c.epoch
 	c.secUnit.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
-		if stale() {
+		if c.staleAt(epoch) {
 			return
 		}
 		c.dev.AccessWrite(w.addr, func() {
-			c.st.Counter("masu.drained").Inc()
+			c.cDrained.Inc()
 		})
 	})
 }
@@ -101,27 +107,53 @@ func (c *Controller) insertEADR(w waiter) {
 // retry events are specifically full-queue events).
 func (c *Controller) park(w waiter, front, countRetry bool) {
 	if countRetry {
-		c.st.Counter("wpq.retry_events").Inc()
+		c.cRetryEvents.Inc()
 		if c.probe != nil {
 			c.probe.Instant(c.tWPQ, "retry")
 		}
 	}
 	if front {
-		c.waiters = append([]waiter{w}, c.waiters...)
+		if c.waitHead > 0 {
+			// Refill the gap popWaiter left at the head.
+			c.waitHead--
+			c.waiters[c.waitHead] = w
+		} else {
+			// Grow in place and shift right instead of building a fresh
+			// slice: front parks happen on every full-WPQ retry, and a
+			// rebuild would allocate a new backing array each time.
+			c.waiters = append(c.waiters, waiter{})
+			copy(c.waiters[1:], c.waiters)
+			c.waiters[0] = w
+		}
 	} else {
 		c.waiters = append(c.waiters, w)
 	}
 }
 
+// popWaiter dequeues the oldest parked write. Popping advances the head
+// index and clears the vacated slot (releasing the accepted-callback
+// reference); the slice rewinds to its base once empty so appends keep
+// reusing one backing array.
+func (c *Controller) popWaiter() (waiter, bool) {
+	if c.waitHead == len(c.waiters) {
+		return waiter{}, false
+	}
+	w := c.waiters[c.waitHead]
+	c.waiters[c.waitHead] = waiter{}
+	c.waitHead++
+	if c.waitHead == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.waitHead = 0
+	}
+	return w, true
+}
+
 // wakeWaiters re-attempts the oldest parked write after a slot freed or
 // the deferred Mi-SU op finished.
 func (c *Controller) wakeWaiters() {
-	if len(c.waiters) == 0 {
-		return
+	if w, ok := c.popWaiter(); ok {
+		c.tryInsert(w, true)
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.tryInsert(w, true)
 }
 
 // --- Dolos insertion (Figure 5-d) ---
@@ -138,9 +170,9 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 	// The Mi-SU MAC engine is a serial resource; the insert occupies it
 	// for the design's latency. Post-WPQ's XOR-only path is effectively
 	// immediate and the deferred MAC runs after commit.
-	stale := c.stale()
+	epoch := c.epoch
 	c.miSU.Submit(c.cfg.Scheme.MiSUDesign().InsertLatency(), func(_, _ sim.Cycle) {
-		if stale() {
+		if c.staleAt(epoch) {
 			return
 		}
 		// Re-check: a competing insert may have consumed the last slot
@@ -152,7 +184,7 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 		}
 		slot := c.mi.Protect(w.addr, w.data)
 		c.insertTime[slot] = c.eng.Now()
-		c.st.Counter("wpq.inserted").Inc()
+		c.cInserted.Inc()
 		if w.accepted != nil {
 			w.accepted()
 		}
@@ -160,7 +192,7 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 			// The deferred MAC occupies the Mi-SU after commit; new
 			// writes are rejected until it completes.
 			c.miSU.Submit(crypt.MACLatency, func(_, _ sim.Cycle) {
-				if stale() {
+				if c.staleAt(epoch) {
 					return
 				}
 				c.mi.CompleteDeferredMAC(slot)
@@ -199,10 +231,10 @@ func (c *Controller) pumpMaSU() {
 		at = e
 	}
 	c.maPumpArmed = true
-	stale := c.stale()
+	epoch := c.epoch
 	c.eng.At(at, func() {
 		c.maPumpArmed = false
-		if stale() {
+		if c.staleAt(epoch) {
 			return
 		}
 		slot, ok := c.mi.Queue().FetchOldest()
@@ -220,16 +252,16 @@ func (c *Controller) pumpMaSU() {
 		cost := c.ma.ProcessWrite(addr, plain, slot)
 		c.chargeWriteCost(cost)
 		c.maSU.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
-			if stale() {
+			if c.staleAt(epoch) {
 				return
 			}
 			// Step 3: the ciphertext heads to NVM; step 4 clears the
 			// WPQ entry once the write is in the array.
 			c.dev.AccessWrite(addr, func() {
-				if stale() {
+				if c.staleAt(epoch) {
 					return
 				}
-				c.st.Counter("masu.drained").Inc()
+				c.cDrained.Inc()
 				if c.probe != nil {
 					// Per-entry drain latency: WPQ residency from
 					// insertion to the NVM array write completing.
@@ -263,13 +295,13 @@ func (c *Controller) maSUService(cost masu.Cost) sim.Cycle {
 
 // chargeWriteCost records cost composition statistics.
 func (c *Controller) chargeWriteCost(cost masu.Cost) {
-	c.st.Counter("masu.counter_misses").Add(uint64(cost.CounterMisses))
-	c.st.Counter("masu.tree_misses").Add(uint64(cost.TreeMisses))
-	c.st.Counter("masu.serial_macs").Add(uint64(cost.SerialMACs))
-	c.st.Counter("masu.nvm_writes").Add(uint64(cost.NVMWrites))
-	c.st.Counter("masu.shadow_writes").Add(uint64(cost.ShadowWrites))
+	c.cCounterMisses.Add(uint64(cost.CounterMisses))
+	c.cTreeMisses.Add(uint64(cost.TreeMisses))
+	c.cSerialMACs.Add(uint64(cost.SerialMACs))
+	c.cNVMWrites.Add(uint64(cost.NVMWrites))
+	c.cShadowWrites.Add(uint64(cost.ShadowWrites))
 	if cost.ReencryptedLines > 0 {
-		c.st.Counter("masu.page_reencryptions").Inc()
+		c.cPageReenc.Inc()
 	}
 }
 
@@ -284,9 +316,9 @@ func (c *Controller) insertPreWPQ(w waiter) {
 	service := crypt.AESLatency + sim.Cycle(cost.SerialMACs)*crypt.MACLatency +
 		sim.Cycle(cost.CounterMisses+cost.TreeMisses)*600 +
 		sim.Cycle(cost.ReencryptedLines)*(2*crypt.AESLatency+crypt.MACLatency)
-	stale := c.stale()
+	epoch := c.epoch
 	c.secUnit.Submit(service, func(_, _ sim.Cycle) {
-		if stale() {
+		if c.staleAt(epoch) {
 			return
 		}
 		c.allocBaseline(w, false)
@@ -303,7 +335,7 @@ func (c *Controller) allocBaseline(w waiter, wake bool) {
 		c.park(w, wake, true)
 		return
 	}
-	c.st.Counter("wpq.inserted").Inc()
+	c.cInserted.Inc()
 	if w.accepted != nil {
 		w.accepted()
 	}
@@ -313,14 +345,14 @@ func (c *Controller) allocBaseline(w waiter, wake bool) {
 	}
 	c.bq.Commit(slot, wpq.Entry{Addr: w.addr, Valid: true})
 	// Drain: the entry only awaits its NVM write (already secured).
-	stale := c.stale()
+	epoch := c.epoch
 	insertAt := c.eng.Now()
 	c.dev.AccessWrite(w.addr, func() {
-		if stale() {
+		if c.staleAt(epoch) {
 			return
 		}
 		c.bq.Clear(slot)
-		c.st.Counter("masu.drained").Inc()
+		c.cDrained.Inc()
 		if c.probe != nil {
 			c.hDrain.Observe(float64(c.eng.Now() - insertAt))
 		}
@@ -330,12 +362,9 @@ func (c *Controller) allocBaseline(w waiter, wake bool) {
 
 // wakeBaseline re-attempts a parked baseline write after a slot freed.
 func (c *Controller) wakeBaseline() {
-	if len(c.waiters) == 0 {
-		return
+	if w, ok := c.popWaiter(); ok {
+		c.allocBaseline(w, true)
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.allocBaseline(w, true)
 }
 
 // --- Ideal insertion (NonSecureADR): persist immediately ---
@@ -346,7 +375,7 @@ func (c *Controller) insertIdeal(w waiter, wake bool) {
 		c.park(w, wake, true)
 		return
 	}
-	c.st.Counter("wpq.inserted").Inc()
+	c.cInserted.Inc()
 	// Security is applied with zero charged latency (the infeasible
 	// reference point): functional state stays exact.
 	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
@@ -358,22 +387,19 @@ func (c *Controller) insertIdeal(w waiter, wake bool) {
 		return
 	}
 	c.bq.Commit(slot, wpq.Entry{Addr: w.addr, Valid: true})
-	stale := c.stale()
+	epoch := c.epoch
 	c.dev.AccessWrite(w.addr, func() {
-		if stale() {
+		if c.staleAt(epoch) {
 			return
 		}
 		c.bq.Clear(slot)
-		c.st.Counter("masu.drained").Inc()
+		c.cDrained.Inc()
 		c.wakeIdeal()
 	})
 }
 
 func (c *Controller) wakeIdeal() {
-	if len(c.waiters) == 0 {
-		return
+	if w, ok := c.popWaiter(); ok {
+		c.insertIdeal(w, true)
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.insertIdeal(w, true)
 }

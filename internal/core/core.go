@@ -156,9 +156,16 @@ func (r *Runner) context() context.Context {
 
 // Trace returns the (cached) trace for a workload at a transaction size.
 // Concurrent callers for the same (workload, txSize) block until the one
-// generation completes and then share the same immutable trace.
+// generation completes and then share the same immutable trace. The
+// workload spelling is normalized through whisper.Resolve before keying
+// the cache, so an alias ("redis") and the canonical name ("Redis")
+// share one generated trace instead of silently generating twice.
 func (r *Runner) Trace(workload string, txSize int) (*trace.Trace, error) {
-	key := fmt.Sprintf("%s/%d", workload, txSize)
+	canon, err := whisper.Resolve(workload)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%d", canon, txSize)
 	r.traces.mu.Lock()
 	e, ok := r.traces.m[key]
 	if !ok {
@@ -167,7 +174,7 @@ func (r *Runner) Trace(workload string, txSize int) (*trace.Trace, error) {
 	}
 	r.traces.mu.Unlock()
 	e.once.Do(func() {
-		w, err := whisper.ByName(workload)
+		w, err := whisper.ByName(canon)
 		if err != nil {
 			e.err = err
 			return

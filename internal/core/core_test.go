@@ -39,6 +39,24 @@ func TestUnknownWorkloadErrors(t *testing.T) {
 	}
 }
 
+func TestTraceCacheSharedAcrossAliases(t *testing.T) {
+	r := NewRunner(Options{Transactions: 20})
+	canon, err := r.Trace("Redis", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias, err := r.Trace("redis", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon != alias {
+		t.Fatal("alias spelling generated a second trace instead of sharing the cached one")
+	}
+	if _, err := r.Trace("Nope", 1024); err == nil {
+		t.Fatal("unknown workload accepted by Trace")
+	}
+}
+
 func TestSpeedupMetric(t *testing.T) {
 	if Speedup(resultWithCycles(200), resultWithCycles(100)) != 2 {
 		t.Fatal("speedup arithmetic wrong")

@@ -62,7 +62,19 @@ type System struct {
 	Ctrl *controller.Controller
 	Hier *cache.Hierarchy
 
-	mirror map[uint64][64]byte
+	// The mirror tracks each line address's last application-written
+	// plaintext. Values are pointers into the immutable trace (ops and
+	// init image are never mutated after generation), so tracking a
+	// write stores one word instead of copying 64 bytes. The trace's
+	// line-address range is known when Start loads it, so the common
+	// case is a dense table indexed by line offset — the mirror is
+	// updated on every write and consulted on every eviction, and those
+	// were the hottest map operations left after the metadata tables
+	// went dense. mirrorMap catches addresses outside the trace range
+	// (none in practice) and serves until Start sizes the table.
+	mirrorBase uint64
+	mirrorTab  []*[64]byte
+	mirrorMap  map[uint64]*[64]byte
 
 	// OnAccepted, when set, observes every persist acceptance (used by
 	// the crash driver to know which writes the platform has promised).
@@ -93,7 +105,10 @@ type backend struct{ s *System }
 func (b backend) ReadLine(addr uint64, done func()) { b.s.Ctrl.ReadLine(addr, done) }
 
 func (b backend) EvictLine(addr uint64) {
-	data := b.s.mirror[addr&^63]
+	var data [64]byte
+	if p := b.s.mirrorAt(addr); p != nil {
+		data = *p
+	}
 	b.s.Ctrl.EvictWrite(addr, data)
 }
 
@@ -102,7 +117,7 @@ func NewSystem(cfg controller.Config) *System {
 	eng := sim.NewEngine()
 	s := &System{
 		Eng:         eng,
-		mirror:      make(map[uint64][64]byte),
+		mirrorMap:   make(map[uint64]*[64]byte),
 		txLatencies: stats.NewHistogram("tx_latency"),
 		txReservoir: stats.NewReservoir("tx_latency", 0),
 	}
@@ -156,8 +171,65 @@ func (s *System) Run(tr *trace.Trace) Result {
 // Mirror returns the current plaintext value of addr's line as the
 // application last wrote it.
 func (s *System) Mirror(addr uint64) ([64]byte, bool) {
-	d, ok := s.mirror[addr&^63]
-	return d, ok
+	if p := s.mirrorAt(addr); p != nil {
+		return *p, true
+	}
+	return [64]byte{}, false
+}
+
+// mirrorAt returns the mirror entry for addr's line (nil if untracked).
+func (s *System) mirrorAt(addr uint64) *[64]byte {
+	addr &^= 63
+	if i := (addr - s.mirrorBase) >> 6; i < uint64(len(s.mirrorTab)) {
+		return s.mirrorTab[i]
+	}
+	return s.mirrorMap[addr]
+}
+
+// setMirror records p as addr's line contents.
+func (s *System) setMirror(addr uint64, p *[64]byte) {
+	addr &^= 63
+	if i := (addr - s.mirrorBase) >> 6; i < uint64(len(s.mirrorTab)) {
+		s.mirrorTab[i] = p
+		return
+	}
+	s.mirrorMap[addr] = p
+}
+
+// mirrorTabLimit caps the dense mirror at 1<<24 lines (a 128 MB pointer
+// table covering 1 GB of touched span); traces with a sparser footprint
+// fall back to the map.
+const mirrorTabLimit = 1 << 24
+
+// sizeMirror sizes the dense mirror table to the trace's touched line
+// range. Addresses outside it (none for a well-formed trace) fall back
+// to the map.
+func (s *System) sizeMirror(tr *trace.Trace) {
+	lo, hi := ^uint64(0), uint64(0)
+	track := func(a uint64) {
+		a &^= 63
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	for i := range tr.InitImage {
+		track(tr.InitImage[i].Addr)
+	}
+	for i := range tr.Ops {
+		if k := tr.Ops[i].Kind; k == trace.Write || k == trace.Flush || k == trace.Read {
+			track(tr.Ops[i].Addr)
+		}
+	}
+	if lo > hi {
+		return // no memory operations
+	}
+	if n := (hi-lo)>>6 + 1; n <= mirrorTabLimit {
+		s.mirrorBase = lo
+		s.mirrorTab = make([]*[64]byte, n)
+	}
 }
 
 // Finished reports whether the trace has fully executed.
@@ -173,14 +245,24 @@ func (s *System) Start(tr *trace.Trace) {
 	}
 	s.running = true
 
+	s.sizeMirror(tr)
 	for i := range tr.InitImage {
 		il := &tr.InitImage[i]
 		s.Ctrl.MaSU().ProcessWrite(il.Addr, il.Data, -1)
-		s.mirror[il.Addr] = il.Data
+		s.setMirror(il.Addr, &il.Data)
 	}
 
-	var step func(i int)
-	step = func(i int) {
+	// One step/next closure pair serves the whole trace: exactly one op
+	// is in flight at a time, so the shared index advances strictly after
+	// the previous op's continuation fired. The former per-op `next`
+	// closure was the single largest allocation site in a bench run (one
+	// escape per trace op). Only the persist-completion callback still
+	// allocates — it genuinely outlives its op — and it captures the
+	// read-only op pointer rather than a 64-byte data copy.
+	i := 0
+	var step func()
+	next := func() { i++; step() }
+	step = func() {
 		if i >= len(tr.Ops) {
 			s.endCycle = s.Eng.Now()
 			s.finished = true
@@ -188,25 +270,23 @@ func (s *System) Start(tr *trace.Trace) {
 		}
 		op := &tr.Ops[i]
 		s.opsExecuted++
-		next := func() { step(i + 1) }
 		switch op.Kind {
 		case trace.Compute:
 			s.Eng.After(op.Cycles, next)
 		case trace.Read:
 			s.Hier.Read(op.Addr, next)
 		case trace.Write:
-			s.mirror[op.Addr] = op.Data
+			s.setMirror(op.Addr, &op.Data)
 			lat := s.Hier.Write(op.Addr)
 			s.Eng.After(lat, next)
 		case trace.Flush:
-			s.mirror[op.Addr] = op.Data
+			s.setMirror(op.Addr, &op.Data)
 			if s.Hier.FlushLine(op.Addr) {
 				s.outstanding++
-				addr, data := op.Addr, op.Data
-				s.Ctrl.PersistWrite(addr, data, func() {
+				s.Ctrl.PersistWrite(op.Addr, op.Data, func() {
 					s.outstanding--
 					if s.OnAccepted != nil {
-						s.OnAccepted(addr, data)
+						s.OnAccepted(op.Addr, op.Data)
 					}
 					if s.outstanding == 0 && s.fenceResume != nil {
 						resume := s.fenceResume
@@ -244,7 +324,7 @@ func (s *System) Start(tr *trace.Trace) {
 		}
 	}
 
-	s.Eng.At(s.Eng.Now(), func() { step(0) })
+	s.Eng.At(s.Eng.Now(), step)
 }
 
 // Collect gathers the result after a Run (or a partial run).

@@ -61,6 +61,24 @@ func MakeIV(pageID uint64, pageOffset uint16, counter uint64) IV {
 type Engine struct {
 	block  cipher.Block
 	macKey [16]byte
+
+	// Scratch buffers for CTR pad generation. Anything passed to the
+	// cipher.Block interface escapes (the compiler cannot see through
+	// the dynamic call), so using locals would heap-allocate a lane
+	// input and a pad per call. The engine is owned by one simulated
+	// system and the event loop is single-threaded, so one scratch set
+	// per engine is safe; parallel sweeps build a system — and an
+	// engine — per cell.
+	ctrIn  [16]byte
+	ctrPad Pad
+
+	// MAC digest-input scratch, macKey pre-filled in the first 16 bytes
+	// at construction. A stack buffer would need a fresh zero-fill and
+	// key copy on every MAC, and the model computes up to 10 serial MACs
+	// per persisted line; reusing engine memory leaves only the varying
+	// bytes to write. Same single-threaded ownership argument as above.
+	lineBuf [16 + 16 + BlockSize]byte
+	nodeBuf [nodeMACBufSize]byte
 }
 
 // NewEngine creates an engine from a 16-byte AES key and a 16-byte MAC key.
@@ -73,6 +91,8 @@ func NewEngine(aesKey, macKey [16]byte) *Engine {
 	}
 	e := &Engine{block: block}
 	e.macKey = macKey
+	copy(e.lineBuf[0:16], macKey[:])
+	copy(e.nodeBuf[0:16], macKey[:])
 	return e
 }
 
@@ -80,14 +100,21 @@ func NewEngine(aesKey, macKey [16]byte) *Engine {
 // blocks of (IV with a lane index mixed into the top bits).
 func (e *Engine) GeneratePad(iv IV) Pad {
 	var pad Pad
-	var in, out [16]byte
-	for lane := 0; lane < BlockSize/16; lane++ {
-		in = iv
-		in[15] ^= byte(lane + 1) // lane counter within the 64 B block
-		e.block.Encrypt(out[:], in[:])
-		copy(pad[lane*16:], out[:])
-	}
+	e.GeneratePadInto(&pad, iv)
 	return pad
+}
+
+// GeneratePadInto writes the CTR-mode pad for iv into *pad. It is the
+// allocation-free form of GeneratePad: the AES blocks are produced in
+// the engine's scratch pad (only engine-owned memory touches the cipher
+// interface, so the caller's buffer never escapes) and copied out once.
+func (e *Engine) GeneratePadInto(pad *Pad, iv IV) {
+	for lane := 0; lane < BlockSize/16; lane++ {
+		e.ctrIn = iv
+		e.ctrIn[15] ^= byte(lane + 1) // lane counter within the 64 B block
+		e.block.Encrypt(e.ctrPad[lane*16:(lane+1)*16], e.ctrIn[:])
+	}
+	*pad = e.ctrPad
 }
 
 // XOR applies pad to the 64-byte line src, writing the result to dst.
@@ -102,10 +129,19 @@ func XOR(dst, src *[BlockSize]byte, pad *Pad) {
 
 // EncryptLine encrypts a 64-byte plaintext line with the pad for iv.
 func (e *Engine) EncryptLine(plain [BlockSize]byte, iv IV) [BlockSize]byte {
-	pad := e.GeneratePad(iv)
 	var out [BlockSize]byte
-	XOR(&out, &plain, &pad)
+	e.EncryptLineTo(&out, &plain, iv)
 	return out
+}
+
+// EncryptLineTo encrypts the 64-byte line *src with the pad for iv,
+// writing the result to *dst. dst and src may alias. This is the
+// allocation-free form used by the write path: no 64-byte values move
+// through return slots.
+func (e *Engine) EncryptLineTo(dst, src *[BlockSize]byte, iv IV) {
+	var pad Pad
+	e.GeneratePadInto(&pad, iv)
+	XOR(dst, src, &pad)
 }
 
 // DecryptLine decrypts a 64-byte ciphertext line with the pad for iv.
@@ -113,33 +149,59 @@ func (e *Engine) DecryptLine(ct [BlockSize]byte, iv IV) [BlockSize]byte {
 	return e.EncryptLine(ct, iv) // CTR is symmetric
 }
 
+// DecryptLineTo decrypts the 64-byte line *src into *dst (CTR is
+// symmetric, so this is EncryptLineTo under another name).
+func (e *Engine) DecryptLineTo(dst, src *[BlockSize]byte, iv IV) {
+	e.EncryptLineTo(dst, src, iv)
+}
+
 // LineMAC computes the 8-byte MAC over (ciphertext, address, counter) as
 // in a Bonsai Merkle Tree data MAC: the MT-verifiable counter binds
 // freshness, the address binds location, the ciphertext binds content.
+//
+// The digest input is assembled in the engine's key-prefilled scratch
+// and hashed with the one-shot sha256.Sum256 — byte-identical to the
+// former streaming macKey‖addr,counter‖ct writes, but with zero heap
+// allocations and no per-call buffer zeroing (the streaming form paid a
+// hasher allocation plus the Sum(nil) copy per MAC, and the model
+// computes up to 10 serial MACs per persisted line).
 func (e *Engine) LineMAC(ct *[BlockSize]byte, addr, counter uint64) MAC {
-	h := sha256.New()
-	h.Write(e.macKey[:])
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], addr)
-	binary.LittleEndian.PutUint64(hdr[8:16], counter)
-	h.Write(hdr[:])
-	h.Write(ct[:])
+	buf := &e.lineBuf // [0:16] holds macKey since construction
+	binary.LittleEndian.PutUint64(buf[16:24], addr)
+	binary.LittleEndian.PutUint64(buf[24:32], counter)
+	copy(buf[32:], ct[:])
+	sum := sha256.Sum256(buf[:])
 	var m MAC
-	copy(m[:], h.Sum(nil)[:MACSize])
+	copy(m[:], sum[:MACSize])
 	return m
 }
 
+// nodeMACBufSize sizes the node-MAC scratch: key (16) + position (8) +
+// the largest payload in the model. The integrity trees hash 64-byte
+// BMT nodes and 72-byte ToC images; the Mi-SU's Full-WPQ L1 group MAC
+// concatenates eight 72-byte WPQ entry records, 576 bytes — undersizing
+// that bound would silently heap-allocate on every WPQ tree update,
+// which is exactly the per-insert hot path.
+const nodeMACBufSize = 16 + 8 + 576
+
 // NodeMAC computes the 8-byte MAC over an arbitrary node payload plus a
-// position tag, used for integrity-tree nodes.
+// position tag, used for integrity-tree nodes and the Mi-SU WPQ tree.
+// Payloads up to 576 bytes (every MAC input in the model) assemble
+// macKey‖position‖payload in the engine's key-prefilled scratch and
+// hash in one shot, with zero allocations; larger payloads take a
+// one-shot fallback with the identical digest stream.
 func (e *Engine) NodeMAC(payload []byte, position uint64) MAC {
-	h := sha256.New()
-	h.Write(e.macKey[:])
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], position)
-	h.Write(hdr[:])
-	h.Write(payload)
+	buf := e.nodeBuf[:] // [0:16] holds macKey since construction
+	if len(payload) > nodeMACBufSize-24 {
+		// Oversized payloads (none in the model) take one allocation.
+		buf = make([]byte, 24+len(payload))
+		copy(buf[0:16], e.macKey[:])
+	}
+	binary.LittleEndian.PutUint64(buf[16:24], position)
+	n := 24 + copy(buf[24:], payload)
+	sum := sha256.Sum256(buf[:n])
 	var m MAC
-	copy(m[:], h.Sum(nil)[:MACSize])
+	copy(m[:], sum[:MACSize])
 	return m
 }
 

@@ -8,8 +8,10 @@
 package ctr
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"dolos/internal/dense"
 	"dolos/internal/nvm"
 )
 
@@ -43,43 +45,56 @@ func (b *Block) Counter(idx int) uint64 {
 	return b.Major<<MinorBits | uint64(b.Minors[idx])
 }
 
-// Encode packs the block into its 64-byte NVM image.
+// Encode packs the block into its 64-byte NVM image: the 8-byte
+// little-endian major followed by 64 7-bit minors as a little-endian
+// bitstream. Eight minors fill exactly 56 bits, so each group of eight
+// packs into one uint64 and lands on a 7-byte boundary — the image
+// bytes are identical to per-minor bit packing, at an eighth of the
+// loop iterations (this codec runs on every counter persist, shadow
+// write and counter-cache fill).
 func (b *Block) Encode() [BlockSize]byte {
 	var out [BlockSize]byte
-	for i := 0; i < 8; i++ {
-		out[i] = byte(b.Major >> (8 * i))
-	}
-	// Pack 64 7-bit minors into 56 bytes.
-	bitpos := 0
-	for _, m := range b.Minors {
-		v := uint(m) & MinorMax
-		byteIdx := 8 + bitpos/8
-		bitOff := bitpos % 8
-		out[byteIdx] |= byte(v << bitOff)
-		if bitOff > 1 { // spills into next byte
-			out[byteIdx+1] |= byte(v >> (8 - bitOff))
+	binary.LittleEndian.PutUint64(out[0:8], b.Major)
+	for g := 0; g < 8; g++ {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(b.Minors[g*8+j]&MinorMax) << (7 * j)
 		}
-		bitpos += MinorBits
+		o := 8 + g*7
+		if g < 7 {
+			// w's top byte is zero; the next group overwrites it with
+			// its own low byte.
+			binary.LittleEndian.PutUint64(out[o:o+8], w)
+		} else {
+			// Last group: only 7 bytes remain.
+			binary.LittleEndian.PutUint32(out[o:o+4], uint32(w))
+			binary.LittleEndian.PutUint16(out[o+4:o+6], uint16(w>>32))
+			out[o+6] = byte(w >> 48)
+		}
 	}
 	return out
 }
 
-// DecodeBlock unpacks a 64-byte NVM image into a Block.
+// DecodeBlock unpacks a 64-byte NVM image into a Block (the inverse of
+// Encode, group-at-a-time).
 func DecodeBlock(img [BlockSize]byte) Block {
 	var b Block
-	for i := 0; i < 8; i++ {
-		b.Major |= uint64(img[i]) << (8 * i)
-	}
-	bitpos := 0
-	for i := range b.Minors {
-		byteIdx := 8 + bitpos/8
-		bitOff := bitpos % 8
-		v := uint(img[byteIdx]) >> bitOff
-		if bitOff > 1 {
-			v |= uint(img[byteIdx+1]) << (8 - bitOff)
+	b.Major = binary.LittleEndian.Uint64(img[0:8])
+	for g := 0; g < 8; g++ {
+		o := 8 + g*7
+		var w uint64
+		if g < 7 {
+			// The load overlaps the next group's first byte; only the
+			// low 56 bits are consumed.
+			w = binary.LittleEndian.Uint64(img[o : o+8])
+		} else {
+			w = uint64(binary.LittleEndian.Uint32(img[o:o+4])) |
+				uint64(binary.LittleEndian.Uint16(img[o+4:o+6]))<<32 |
+				uint64(img[o+6])<<48
 		}
-		b.Minors[i] = uint8(v & MinorMax)
-		bitpos += MinorBits
+		for j := 0; j < 8; j++ {
+			b.Minors[g*8+j] = uint8(w>>(7*j)) & MinorMax
+		}
 	}
 	return b
 }
@@ -97,8 +112,15 @@ type Store struct {
 	dataSpan uint64 // bytes of data covered
 	period   uint64
 
-	volatile map[uint64]*Block // page index -> live block
-	updates  map[uint64]uint64 // page index -> updates since last persist
+	// volatile holds the live (architectural) counter blocks, indexed
+	// by page index; nil = not resident. updates counts block updates
+	// since the last persist. Both are dense tables sized to the
+	// covered span — the per-write lookups were the hottest map
+	// operations in the seed profile (DESIGN.md §12). live counts the
+	// non-nil volatile entries.
+	volatile *dense.Table[*Block] // page index -> live block
+	updates  *dense.Table[uint64] // page index -> updates since last persist
+	live     int
 
 	persists  uint64
 	overflows uint64
@@ -111,14 +133,15 @@ func NewStore(dev *nvm.Device, base, dataBase, dataSpan uint64, period uint64) *
 	if period == 0 {
 		period = DefaultOsirisPeriod
 	}
+	pages := (dataSpan + nvm.PageSize - 1) / nvm.PageSize
 	return &Store{
 		dev:      dev,
 		base:     base,
 		dataBase: dataBase,
 		dataSpan: dataSpan,
 		period:   period,
-		volatile: make(map[uint64]*Block),
-		updates:  make(map[uint64]uint64),
+		volatile: dense.NewTable[*Block](pages),
+		updates:  dense.NewTable[uint64](pages),
 	}
 }
 
@@ -156,14 +179,14 @@ func (s *Store) BlockNVMAddr(addr uint64) uint64 {
 // from NVM on first touch.
 func (s *Store) block(addr uint64) *Block {
 	pi := s.pageIndex(addr)
-	b, ok := s.volatile[pi]
-	if !ok {
+	slot := s.volatile.Ptr(pi)
+	if *slot == nil {
 		img := s.dev.ReadLine(s.base + pi*BlockSize)
 		blk := DecodeBlock(img)
-		b = &blk
-		s.volatile[pi] = b
+		*slot = &blk
+		s.live++
 	}
-	return b
+	return *slot
 }
 
 // Counter returns the current effective counter for addr's line.
@@ -205,8 +228,9 @@ func (s *Store) Increment(addr uint64) IncrementResult {
 	}
 	res.Counter = b.Counter(li)
 
-	s.updates[pi]++
-	if res.Overflow || s.updates[pi]%s.period == 0 {
+	up := s.updates.Ptr(pi)
+	*up++
+	if res.Overflow || *up%s.period == 0 {
 		s.persistBlock(pi)
 		res.Persisted = true
 	}
@@ -215,7 +239,7 @@ func (s *Store) Increment(addr uint64) IncrementResult {
 
 // persistBlock writes the live block image to the NVM counter region.
 func (s *Store) persistBlock(pi uint64) {
-	b := s.volatile[pi]
+	b := s.volatile.Get(pi)
 	s.dev.WriteLine(s.base+pi*BlockSize, b.Encode())
 	s.persists++
 }
@@ -224,23 +248,28 @@ func (s *Store) persistBlock(pi uint64) {
 // eviction of a dirty block, or an Anubis-style forced persist).
 func (s *Store) PersistAddr(addr uint64) {
 	pi := s.pageIndex(addr)
-	if _, ok := s.volatile[pi]; ok {
+	if s.volatile.Get(pi) != nil {
 		s.persistBlock(pi)
 	}
 }
 
-// PersistAll persists every live block (clean shutdown).
+// PersistAll persists every live block (clean shutdown), in ascending
+// page order.
 func (s *Store) PersistAll() {
-	for pi := range s.volatile {
-		s.persistBlock(pi)
-	}
+	s.volatile.Range(func(pi uint64, b **Block) bool {
+		if *b != nil {
+			s.persistBlock(pi)
+		}
+		return true
+	})
 }
 
 // DropVolatile models power failure: all live (cached) counter state is
 // lost; only what was persisted to NVM survives.
 func (s *Store) DropVolatile() {
-	s.volatile = make(map[uint64]*Block)
-	s.updates = make(map[uint64]uint64)
+	s.volatile.Reset()
+	s.updates.Reset()
+	s.live = 0
 }
 
 // StoredCounter returns the persisted (NVM) counter for addr's line,
@@ -292,7 +321,7 @@ func (s *Store) Preview(addr uint64) IncrementResult {
 		res.Counter = b.Major<<MinorBits | uint64(b.Minors[li]) + 1
 	}
 	pi := s.pageIndex(addr)
-	res.Persisted = res.Overflow || (s.updates[pi]+1)%s.period == 0
+	res.Persisted = res.Overflow || (s.updates.Get(pi)+1)%s.period == 0
 	return res
 }
 
@@ -301,10 +330,15 @@ func (s *Store) Preview(addr uint64) IncrementResult {
 // Osiris persist policy. Unlike Increment it is idempotent with respect
 // to a staged image, which makes redo replay after a crash safe.
 func (s *Store) ApplyUpdate(pi uint64, img [BlockSize]byte, forcePersist bool) {
-	b := DecodeBlock(img)
-	s.volatile[pi] = &b
-	s.updates[pi]++
-	if forcePersist || s.updates[pi]%s.period == 0 {
+	slot := s.volatile.Ptr(pi)
+	if *slot == nil {
+		*slot = new(Block)
+		s.live++
+	}
+	**slot = DecodeBlock(img)
+	up := s.updates.Ptr(pi)
+	*up++
+	if forcePersist || *up%s.period == 0 {
 		s.persistBlock(pi)
 	}
 }
@@ -312,17 +346,48 @@ func (s *Store) ApplyUpdate(pi uint64, img [BlockSize]byte, forcePersist bool) {
 // ImageByIndex returns the current 64-byte image of page pi's counter
 // block (the integrity-tree leaf image).
 func (s *Store) ImageByIndex(pi uint64) [BlockSize]byte {
-	b, ok := s.volatile[pi]
-	if !ok {
+	b := s.volatile.Get(pi)
+	if b == nil {
 		return s.dev.ReadLine(s.base + pi*BlockSize)
 	}
 	return b.Encode()
 }
 
+// BlockByIndex returns a copy of page pi's current counter block in
+// decoded form. Callers that go on to work with the fields should prefer
+// this over DecodeBlock(ImageByIndex(pi)), which round-trips a live
+// block through an encode/decode pair on the per-write hot path.
+func (s *Store) BlockByIndex(pi uint64) Block {
+	b := s.volatile.Get(pi)
+	if b == nil {
+		return DecodeBlock(s.dev.ReadLine(s.base + pi*BlockSize))
+	}
+	return *b
+}
+
+// ApplyBlock is ApplyUpdate for a caller that already holds the decoded
+// block (the Ma-SU stages both forms: the image for the redo record and
+// shadow region, the block for the counter store). Behaviour is
+// identical to ApplyUpdate(pi, blk.Encode(), forcePersist) — the codec
+// is lossless — minus the image decode.
+func (s *Store) ApplyBlock(pi uint64, blk *Block, forcePersist bool) {
+	slot := s.volatile.Ptr(pi)
+	if *slot == nil {
+		*slot = new(Block)
+		s.live++
+	}
+	**slot = *blk
+	up := s.updates.Ptr(pi)
+	*up++
+	if forcePersist || *up%s.period == 0 {
+		s.persistBlock(pi)
+	}
+}
+
 // PersistByIndex persists page pi's counter block if live (metadata-cache
 // eviction keyed by NVM address).
 func (s *Store) PersistByIndex(pi uint64) {
-	if _, ok := s.volatile[pi]; ok {
+	if s.volatile.Get(pi) != nil {
 		s.persistBlock(pi)
 	}
 }
@@ -330,8 +395,12 @@ func (s *Store) PersistByIndex(pi uint64) {
 // RestoreByIndex installs a counter-block image into live state (Anubis
 // shadow replay during recovery).
 func (s *Store) RestoreByIndex(pi uint64, img [BlockSize]byte) {
-	b := DecodeBlock(img)
-	s.volatile[pi] = &b
+	slot := s.volatile.Ptr(pi)
+	if *slot == nil {
+		*slot = new(Block)
+		s.live++
+	}
+	**slot = DecodeBlock(img)
 }
 
 // PageIndexOfNVMAddr maps a counter-region NVM address back to its page
@@ -343,11 +412,15 @@ func (s *Store) PageIndexOfNVMAddr(nvmAddr uint64) (uint64, bool) {
 	return (nvmAddr - s.base) / BlockSize, true
 }
 
-// TouchedPages returns the indices of pages with live counter blocks.
+// TouchedPages returns the indices of pages with live counter blocks,
+// in ascending order.
 func (s *Store) TouchedPages() []uint64 {
-	out := make([]uint64, 0, len(s.volatile))
-	for pi := range s.volatile {
-		out = append(out, pi)
-	}
+	out := make([]uint64, 0, s.live)
+	s.volatile.Range(func(pi uint64, b **Block) bool {
+		if *b != nil {
+			out = append(out, pi)
+		}
+		return true
+	})
 	return out
 }

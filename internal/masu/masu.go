@@ -21,6 +21,7 @@ import (
 	"dolos/internal/cache"
 	"dolos/internal/crypt"
 	"dolos/internal/ctr"
+	"dolos/internal/dense"
 	"dolos/internal/layout"
 	"dolos/internal/nvm"
 	"dolos/internal/toc"
@@ -110,6 +111,11 @@ type Op struct {
 
 	LeafIndex uint64
 	LeafImage [64]byte
+	// LeafBlock is LeafImage in decoded form — the same staged counter
+	// block both ways, so ApplyWrite can install it into the counter
+	// store without re-decoding the image (the image form still feeds
+	// the redo record, shadow region and integrity tree).
+	LeafBlock ctr.Block
 
 	BMTNodes []bmt.NodeUpdate
 	TempRoot crypt.MAC
@@ -121,10 +127,23 @@ type Op struct {
 	WPQSlot int
 }
 
-// redoLog models the persistent redo registers.
+// redoLog models the persistent redo registers. The op is stored by
+// value and reused across writes (PrepareWrite stages into it in
+// place), so the steady-state write path allocates nothing: only the
+// ready bit distinguishes "staged" from "stale contents of the last
+// applied op". ApplyWrite clears ready but leaves the op bytes (and the
+// BMTNodes/ToCNodes backing arrays, reused via [:0]) intact.
 type redoLog struct {
 	ready bool
-	op    *Op
+	op    Op
+}
+
+// shadowEntry is one slot of the Anubis shadow-tracker table. live
+// distinguishes a present entry from the zero value of an untouched
+// slot (a zero image is a legal shadow payload).
+type shadowEntry struct {
+	img  [64]byte
+	live bool
 }
 
 // Unit is the Major Security Unit.
@@ -140,21 +159,31 @@ type Unit struct {
 
 	counterCache *cache.Cache
 	mtCache      *cache.Cache
-	nodeByAddr   map[uint64][2]uint64 // tree-node NVM addr -> (level, index)
+
+	// nodeByAddr maps a tree-node NVM address (64 B granules over
+	// [TreeBase, MACBase)) to its packed (level<<56 | index) reference;
+	// 0 means unknown, which is unambiguous because tree levels start
+	// at 1. A dense table replaced the former map: the write path
+	// stores into it once per touched tree node (DESIGN.md §12).
+	nodeByAddr *dense.Table[uint64]
 
 	// shadow is the Anubis shadow-tracker region: NVM-resident by
 	// construction (it survives CrashVolatile), mirroring every metadata
-	// block that is dirty in the caches.
-	shadow map[uint64][64]byte
+	// block that is dirty in the caches. Indexed by 64 B granule over
+	// [CounterBase, MACBase); shadowCount counts live entries.
+	shadow      *dense.Table[shadowEntry]
+	shadowCount int
 
 	// written tracks lines that have ever been written (the recovery
-	// scan set; in hardware this is a memory scan).
-	written map[uint64]bool
+	// scan set; in hardware this is a memory scan), indexed by line
+	// within the data region; writtenCount counts set bits.
+	written      *dense.Table[bool]
+	writtenCount int
 	// lineCounter records the counter each line's current NVM ciphertext
 	// was produced with. Normally equal to the counter store's value; it
 	// diverges only transiently during post-overflow page re-encryption,
 	// where hardware reads the pre-reset counters from the old block.
-	lineCounter map[uint64]uint64
+	lineCounter *dense.Table[uint64]
 
 	redo redoLog
 
@@ -200,10 +229,10 @@ func NewWithParams(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout
 		counters:     ctr.NewStore(dev, lay.CounterBase, lay.DataBase, lay.DataSpan, p.OsirisPeriod),
 		counterCache: cache.New("counter-cache", ccBytes, CounterCacheWays, MetaLineSize),
 		mtCache:      cache.New("mt-cache", mtBytes, MTCacheWays, MetaLineSize),
-		nodeByAddr:   make(map[uint64][2]uint64),
-		shadow:       make(map[uint64][64]byte),
-		written:      make(map[uint64]bool),
-		lineCounter:  make(map[uint64]uint64),
+		nodeByAddr:   dense.NewTable[uint64]((lay.MACBase - lay.TreeBase) / 64),
+		shadow:       dense.NewTable[shadowEntry]((lay.MACBase - lay.CounterBase) / 64),
+		written:      dense.NewTable[bool](lay.DataSpan / 64),
+		lineCounter:  dense.NewTable[uint64](lay.DataSpan / 64),
 	}
 	switch kind {
 	case BMTEager:
@@ -247,7 +276,36 @@ func (u *Unit) Reads() uint64 { return u.reads }
 func (u *Unit) RedoReady() bool { return u.redo.ready }
 
 // WrittenLines returns the number of distinct lines ever written.
-func (u *Unit) WrittenLines() int { return len(u.written) }
+func (u *Unit) WrittenLines() int { return u.writtenCount }
+
+// lineIdx maps a data address to its index in the written/lineCounter
+// tables.
+func (u *Unit) lineIdx(addr uint64) uint64 { return (addr - u.lay.DataBase) / 64 }
+
+// metaIdx maps a metadata NVM address (counter block or tree node) to
+// its shadow-table index; ok is false outside [CounterBase, MACBase).
+func (u *Unit) metaIdx(nvmAddr uint64) (uint64, bool) {
+	if nvmAddr < u.lay.CounterBase || nvmAddr >= u.lay.MACBase {
+		return 0, false
+	}
+	return (nvmAddr - u.lay.CounterBase) / 64, true
+}
+
+// setNodeRef records the (level, index) identity of a tree node's NVM
+// address for victim persistence and shadow replay.
+func (u *Unit) setNodeRef(nvmAddr uint64, level int, index uint64) {
+	u.nodeByAddr.Set((nvmAddr-u.lay.TreeBase)/64, uint64(level)<<56|index)
+}
+
+// nodeRefAt returns the packed (level, index) for a tree-node NVM
+// address, or 0 when unknown (levels start at 1, so 0 is never a
+// valid reference).
+func (u *Unit) nodeRefAt(nvmAddr uint64) uint64 {
+	if nvmAddr < u.lay.TreeBase || nvmAddr >= u.lay.MACBase {
+		return 0
+	}
+	return u.nodeByAddr.Get((nvmAddr - u.lay.TreeBase) / 64)
+}
 
 // tocLeafMACAddr is where a ToC leaf MAC is persisted.
 func (u *Unit) tocLeafMACAddr(leaf uint64) uint64 {
@@ -269,7 +327,7 @@ func (u *Unit) touchCounter(addr uint64, write bool, cost *Cost) {
 
 // touchTreeNode charges an MT-cache access for a tree-node NVM address.
 func (u *Unit) touchTreeNode(nodeAddr uint64, level int, index uint64, write bool, cost *Cost) {
-	u.nodeByAddr[nodeAddr] = [2]uint64{uint64(level), index}
+	u.setNodeRef(nodeAddr, level, index)
 	hit, victim, evicted := u.mtCache.Access(nodeAddr, write)
 	if !hit {
 		cost.TreeMisses++
@@ -284,21 +342,34 @@ func (u *Unit) touchTreeNode(nodeAddr uint64, level int, index uint64, write boo
 func (u *Unit) persistMetaVictim(nvmAddr uint64, cost *Cost) {
 	if pi, ok := u.counters.PageIndexOfNVMAddr(nvmAddr); ok {
 		u.counters.PersistByIndex(pi)
-	} else if li, ok := u.nodeByAddr[nvmAddr]; ok {
+	} else if ref := u.nodeRefAt(nvmAddr); ref != 0 {
 		if u.bmtTree != nil {
-			u.bmtTree.PersistNode(int(li[0]), li[1])
+			u.bmtTree.PersistNode(int(ref>>56), ref&(1<<56-1))
 		} else {
-			u.tocTree.PersistNode(int(li[0]), li[1])
+			u.tocTree.PersistNode(int(ref>>56), ref&(1<<56-1))
 		}
 	}
-	delete(u.shadow, nvmAddr)
+	if i, ok := u.metaIdx(nvmAddr); ok {
+		e := u.shadow.Ptr(i)
+		if e.live {
+			e.live = false
+			u.shadowCount--
+		}
+	}
 	cost.NVMWrites++
 }
 
 // shadowWrite records the current image of a dirty metadata block in the
 // Anubis shadow region (one extra NVM write, off the critical path).
 func (u *Unit) shadowWrite(nvmAddr uint64, img [64]byte, cost *Cost) {
-	u.shadow[nvmAddr] = img
+	if i, ok := u.metaIdx(nvmAddr); ok {
+		e := u.shadow.Ptr(i)
+		if !e.live {
+			e.live = true
+			u.shadowCount++
+		}
+		e.img = img
+	}
 	cost.ShadowWrites++
 	cost.NVMWrites++
 }
@@ -320,16 +391,17 @@ func (u *Unit) PrepareWrite(addr uint64, plain [64]byte, wpqSlot int) (*Op, Cost
 	u.touchCounter(addr, true, &cost)
 	prev := u.counters.Preview(addr)
 
-	op := &Op{
-		Addr:     addr,
-		Plain:    plain,
-		Counter:  prev.Counter,
-		Overflow: prev.Overflow,
-		ECC:      crypt.ECC(&plain),
-		WPQSlot:  wpqSlot,
-	}
+	// Stage into the redo registers in place: the op (and the backing
+	// arrays of its node-update slices) is reused across writes.
+	op := &u.redo.op
+	op.Addr = addr
+	op.Plain = plain
+	op.Counter = prev.Counter
+	op.Overflow = prev.Overflow
+	op.ECC = crypt.ECC(&op.Plain)
+	op.WPQSlot = wpqSlot
 	iv := crypt.MakeIV(addr/nvm.PageSize, uint16(addr%nvm.PageSize/64), prev.Counter)
-	op.Cipher = u.eng.EncryptLine(plain, iv)
+	u.eng.EncryptLineTo(&op.Cipher, &op.Plain, iv)
 	cost.AESOps++
 	op.MAC = u.eng.LineMAC(&op.Cipher, addr, prev.Counter)
 	cost.TotalMACs++
@@ -337,7 +409,7 @@ func (u *Unit) PrepareWrite(addr uint64, plain [64]byte, wpqSlot int) (*Op, Cost
 	// New leaf image: the counter block after this increment.
 	leaf := u.lay.LeafIndex(addr)
 	op.LeafIndex = leaf
-	blk := ctr.DecodeBlock(u.counters.ImageByIndex(leaf))
+	blk := u.counters.BlockByIndex(leaf)
 	li := int(addr/64) % ctr.LinesPerBlock
 	if prev.Overflow {
 		blk.Major++
@@ -348,19 +420,20 @@ func (u *Unit) PrepareWrite(addr uint64, plain [64]byte, wpqSlot int) (*Op, Cost
 	} else {
 		blk.Minors[li]++
 	}
+	op.LeafBlock = blk
 	op.LeafImage = blk.Encode()
 
 	switch u.kind {
 	case BMTEager:
-		op.BMTNodes, op.TempRoot = u.bmtTree.PreparePathUpdate(leaf, &op.LeafImage)
+		op.BMTNodes, op.TempRoot = u.bmtTree.AppendPathUpdate(op.BMTNodes[:0], leaf, &op.LeafImage)
 		cost.TotalMACs += len(op.BMTNodes)
 	case ToCLazy:
-		op.ToCNodes, op.ToCLeafMAC, op.ToCRootVer = u.tocTree.PrepareUpdate(leaf, &op.LeafImage)
+		op.ToCNodes, op.ToCLeafMAC, op.ToCRootVer = u.tocTree.AppendUpdate(op.ToCNodes[:0], leaf, &op.LeafImage)
 		cost.TotalMACs += len(op.ToCNodes) + 1
 	}
 	cost.SerialMACs = u.kind.SerialMACs()
 
-	u.redo = redoLog{ready: true, op: op}
+	u.redo.ready = true
 	return op, cost
 }
 
@@ -372,7 +445,7 @@ func (u *Unit) ApplyWrite(op *Op) Cost {
 
 	// Counter store: install the staged block image (idempotent, so redo
 	// replay after a crash is safe). Overflow forces a persist.
-	u.counters.ApplyUpdate(op.LeafIndex, op.LeafImage, op.Overflow)
+	u.counters.ApplyBlock(op.LeafIndex, &op.LeafBlock, op.Overflow)
 	u.shadowWrite(u.counters.BlockNVMAddr(op.Addr), op.LeafImage, &cost)
 
 	// Integrity tree.
@@ -408,15 +481,23 @@ func (u *Unit) ApplyWrite(op *Op) Cost {
 	u.dev.Write(u.lay.ECCAddr(op.Addr), eccBytes[:])
 	cost.NVMWrites++ // MAC+ECC share a metadata write slot in the model
 
-	u.written[op.Addr] = true
-	u.lineCounter[op.Addr] = op.Counter
+	wi := u.lineIdx(op.Addr)
+	wp := u.written.Ptr(wi)
+	if !*wp {
+		*wp = true
+		u.writtenCount++
+	}
+	u.lineCounter.Set(wi, op.Counter)
 	u.writes++
 
 	if op.Overflow {
 		cost.Add(u.reencryptPage(op.Addr))
 	}
 
-	u.redo = redoLog{}
+	// Clear only the ready bit: the staged op bytes remain valid for a
+	// caller still holding the *Op, and the slices' backing arrays are
+	// reused by the next PrepareWrite.
+	u.redo.ready = false
 	return cost
 }
 
@@ -448,27 +529,30 @@ func (u *Unit) reencryptPage(addr uint64) Cost {
 			continue
 		}
 		newCtr := u.counters.Counter(a)
+		ai := u.lineIdx(a)
 		var plain [64]byte
-		if u.written[a] {
-			oldCtr := u.lineCounter[a]
+		if wp := u.written.Ptr(ai); *wp {
+			oldCtr := u.lineCounter.Get(ai)
 			ct := u.dev.ReadLine(a)
 			ivOld := crypt.MakeIV(a/nvm.PageSize, uint16(a%nvm.PageSize/64), oldCtr)
-			plain = u.eng.DecryptLine(ct, ivOld)
+			u.eng.DecryptLineTo(&plain, &ct, ivOld)
 			cost.AESOps++
 		} else {
-			u.written[a] = true
+			*wp = true
+			u.writtenCount++
 			var eccBytes [4]byte
 			binary.LittleEndian.PutUint32(eccBytes[:], crypt.ECC(&plain))
 			u.dev.Write(u.lay.ECCAddr(a), eccBytes[:])
 		}
 		ivNew := crypt.MakeIV(a/nvm.PageSize, uint16(a%nvm.PageSize/64), newCtr)
-		ct2 := u.eng.EncryptLine(plain, ivNew)
+		var ct2 [64]byte
+		u.eng.EncryptLineTo(&ct2, &plain, ivNew)
 		u.dev.WriteLine(a, ct2)
 		mac := u.eng.LineMAC(&ct2, a, newCtr)
 		var macBytes [8]byte
 		copy(macBytes[:], mac[:])
 		u.dev.Write(u.lay.LineMACAddr(a), macBytes[:])
-		u.lineCounter[a] = newCtr
+		u.lineCounter.Set(ai, newCtr)
 		cost.ReencryptedLines++
 		cost.AESOps++
 		cost.TotalMACs++

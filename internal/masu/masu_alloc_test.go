@@ -1,0 +1,32 @@
+package masu
+
+import "testing"
+
+// Steady-state ProcessWrite must not allocate: the op is staged into the
+// value-typed redo log in place, node-update slices reuse their backing
+// arrays, counter blocks and shadow entries live in dense tables, and
+// the crypto runs in engine scratch. The warm-up below takes the
+// first-touch allocations (counter blocks, tree nodes, NVM pages) out
+// of the measured window; the pinned window rotates across 64 lines of
+// one page, so no minor counter comes near the 127-write overflow that
+// would trigger a page re-encryption (a legitimate allocation burst).
+func TestProcessWriteSteadyStateAllocFree(t *testing.T) {
+	for _, kind := range []TreeKind{BMTEager, ToCLazy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			u, _, _ := newUnit(kind)
+			p := line(1)
+			for j := uint64(0); j < 64; j++ {
+				u.ProcessWrite(0x1000+j*64, p, -1)
+				u.ProcessWrite(0x1000+j*64, p, -1)
+			}
+			i := uint64(0)
+			allocs := testing.AllocsPerRun(64, func() {
+				u.ProcessWrite(0x1000+(i%64)*64, p, -1)
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state ProcessWrite (%v) allocates %.1f objects per op, want 0", kind, allocs)
+			}
+		})
+	}
+}

@@ -60,7 +60,7 @@ func BenchmarkOsirisRecovery(b *testing.B) {
 			u.ProcessWrite(0x1000+j*64, p, -1)
 		}
 		u.CrashVolatile()
-		u.shadow = make(map[uint64][64]byte)
+		u.WipeShadow()
 		b.StartTimer()
 		if _, err := u.RecoverOsiris(); err != nil {
 			b.Fatal(err)

@@ -125,7 +125,7 @@ func TestReplayDetectedAfterRecovery(t *testing.T) {
 	u.ProcessWrite(0x1000, line(2), 0)
 	dev.Restore(snap) // adversary rolls back NVM
 	u.CrashVolatile()
-	u.shadow = make(map[uint64][64]byte) // adversary also wiped the shadow region
+	u.WipeShadow() // adversary also wiped the shadow region
 	if _, err := u.RecoverAnubis(); err == nil {
 		t.Fatal("replayed (rolled back) NVM image accepted")
 	}
@@ -244,7 +244,7 @@ func TestOsirisRecovery(t *testing.T) {
 		want[addr] = p
 	}
 	u.CrashVolatile()
-	u.shadow = make(map[uint64][64]byte) // force the slow path: no shadow
+	u.WipeShadow() // force the slow path: no shadow
 	rep, err := u.RecoverOsiris()
 	if err != nil {
 		t.Fatalf("Osiris recovery: %v", err)

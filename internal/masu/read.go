@@ -114,7 +114,7 @@ func (u *Unit) chargeTreePath(leaf uint64, cost *Cost) {
 		} else {
 			nodeAddr = u.tocTree.NodeNVMAddr(level, idx)
 		}
-		u.nodeByAddr[nodeAddr] = [2]uint64{uint64(level), idx}
+		u.setNodeRef(nodeAddr, level, idx)
 		hit, victim, evicted := u.mtCache.Access(nodeAddr, false)
 		if evicted && victim.Dirty {
 			u.persistMetaVictim(victim.Addr, cost)

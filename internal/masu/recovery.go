@@ -48,27 +48,32 @@ func (u *Unit) RecoverAnubis() (RecoveryReport, error) {
 
 	// Restore the metadata caches from the shadow region first, so the
 	// counter/tree state is consistent with the root register...
-	for nvmAddr, img := range u.shadow {
-		if pi, ok := u.counters.PageIndexOfNVMAddr(nvmAddr); ok {
-			u.counters.RestoreByIndex(pi, img)
-			rep.ShadowRestored++
-			continue
+	u.shadow.Range(func(i uint64, e *shadowEntry) bool {
+		if !e.live {
+			return true
 		}
-		if li, ok := u.nodeByAddr[nvmAddr]; ok {
+		nvmAddr := u.lay.CounterBase + i*64
+		if pi, ok := u.counters.PageIndexOfNVMAddr(nvmAddr); ok {
+			u.counters.RestoreByIndex(pi, e.img)
+			rep.ShadowRestored++
+			return true
+		}
+		if ref := u.nodeRefAt(nvmAddr); ref != 0 {
 			if u.bmtTree != nil {
-				u.bmtTree.RestoreNode(int(li[0]), li[1], img)
+				u.bmtTree.RestoreNode(int(ref>>56), ref&(1<<56-1), e.img)
 			} else {
-				u.tocTree.RestoreNode(int(li[0]), li[1], img)
+				u.tocTree.RestoreNode(int(ref>>56), ref&(1<<56-1), e.img)
 			}
 			rep.ShadowRestored++
 		}
-	}
+		return true
+	})
 
 	// ...then resume from step 3 if the crash hit between Prepare and
 	// Apply (ready bit set). Step 4 (WPQ clear) is skipped — the
 	// controller treats the entry as already evicted.
 	if u.redo.ready {
-		u.ApplyWrite(u.redo.op)
+		u.ApplyWrite(&u.redo.op)
 		rep.RedoReplayed = true
 	}
 
@@ -95,11 +100,12 @@ func (u *Unit) RecoverOsiris() (RecoveryReport, error) {
 		return rep, fmt.Errorf("masu: Osiris recovery requires the BMT backend")
 	}
 	if u.redo.ready {
-		u.ApplyWrite(u.redo.op)
+		u.ApplyWrite(&u.redo.op)
 		rep.RedoReplayed = true
 	}
 
-	for addr := range u.written {
+	var probeErr error
+	u.eachWritten(func(addr uint64) bool {
 		ct := u.dev.ReadLine(addr)
 		var eccBytes [4]byte
 		u.dev.Read(u.lay.ECCAddr(addr), eccBytes[:])
@@ -112,16 +118,22 @@ func (u *Unit) RecoverOsiris() (RecoveryReport, error) {
 		})
 		rep.OsirisProbes += tried
 		if !ok {
-			return rep, &IntegrityError{Addr: addr, Reason: "Osiris probe found no counter matching ECC"}
+			probeErr = &IntegrityError{Addr: addr, Reason: "Osiris probe found no counter matching ECC"}
+			return false
 		}
+		return true
+	})
+	if probeErr != nil {
+		return rep, probeErr
 	}
 
 	// Rebuild the tree over recovered counter blocks and check the root.
 	leafImages := make(map[uint64][64]byte)
-	for addr := range u.written {
+	u.eachWritten(func(addr uint64) bool {
 		leaf := u.lay.LeafIndex(addr)
 		leafImages[leaf] = u.counters.ImageByIndex(leaf)
-	}
+		return true
+	})
 	if got := u.bmtTree.RebuildFromLeaves(leafImages); got != u.bmtTree.Root() {
 		return rep, &IntegrityError{Addr: 0, Reason: "rebuilt tree root mismatch"}
 	}
@@ -145,14 +157,16 @@ func (u *Unit) RecoverOsiris() (RecoveryReport, error) {
 // root register (full path, no trusted-cache shortcut for the BMT).
 func (u *Unit) auditWrittenLines(rep *RecoveryReport) error {
 	verifiedLeaves := make(map[uint64]bool)
-	for addr := range u.written {
+	var auditErr error
+	u.eachWritten(func(addr uint64) bool {
 		counter := u.counters.Counter(addr)
 		ct := u.dev.ReadLine(addr)
 		var stored crypt.MAC
 		macLine := u.dev.ReadLine(u.lay.LineMACAddr(addr))
 		copy(stored[:], macLine[(addr/64%8)*8:])
 		if got := u.eng.LineMAC(&ct, addr, counter); got != stored {
-			return &IntegrityError{Addr: addr, Reason: "post-recovery data MAC mismatch"}
+			auditErr = &IntegrityError{Addr: addr, Reason: "post-recovery data MAC mismatch"}
+			return false
 		}
 		leaf := u.lay.LeafIndex(addr)
 		if !verifiedLeaves[leaf] {
@@ -160,28 +174,43 @@ func (u *Unit) auditWrittenLines(rep *RecoveryReport) error {
 			switch u.kind {
 			case BMTEager:
 				if _, err := u.bmtTree.VerifyLeafFull(leaf, &leafImg); err != nil {
-					return &IntegrityError{Addr: addr, Reason: err.Error()}
+					auditErr = &IntegrityError{Addr: addr, Reason: err.Error()}
+					return false
 				}
 			case ToCLazy:
 				var leafMAC crypt.MAC
 				u.dev.Read(u.tocLeafMACAddr(leaf), leafMAC[:])
 				if err := u.tocTree.VerifyLeafFull(leaf, &leafImg, leafMAC); err != nil {
-					return &IntegrityError{Addr: addr, Reason: err.Error()}
+					auditErr = &IntegrityError{Addr: addr, Reason: err.Error()}
+					return false
 				}
 			}
 			verifiedLeaves[leaf] = true
 		}
 		rep.LinesVerified++
-	}
-	return nil
+		return true
+	})
+	return auditErr
+}
+
+// eachWritten calls f with the address of every line ever written, in
+// ascending address order, until f returns false.
+func (u *Unit) eachWritten(f func(addr uint64) bool) {
+	u.written.Range(func(i uint64, w *bool) bool {
+		if !*w {
+			return true
+		}
+		return f(u.lay.DataBase + i*64)
+	})
 }
 
 // rebuildLineCounters re-derives the per-line ciphertext counters from
 // the recovered counter store.
 func (u *Unit) rebuildLineCounters() {
-	for addr := range u.written {
-		u.lineCounter[addr] = u.counters.Counter(addr)
-	}
+	u.eachWritten(func(addr uint64) bool {
+		u.lineCounter.Set(u.lineIdx(addr), u.counters.Counter(addr))
+		return true
+	})
 }
 
 // Audit scrubs the protected memory: every written line's MAC is checked
@@ -198,15 +227,27 @@ func (u *Unit) Audit() (int, error) {
 	return rep.LinesVerified, nil
 }
 
-// TamperShadow corrupts a shadow-region entry (attack modeling).
+// TamperShadow corrupts the first (lowest-address) live shadow-region
+// entry (attack modeling).
 func (u *Unit) TamperShadow() bool {
-	for addr, img := range u.shadow {
-		img[0] ^= 0xFF
-		u.shadow[addr] = img
-		return true
-	}
-	return false
+	tampered := false
+	u.shadow.Range(func(i uint64, e *shadowEntry) bool {
+		if !e.live {
+			return true
+		}
+		e.img[0] ^= 0xFF
+		tampered = true
+		return false
+	})
+	return tampered
+}
+
+// WipeShadow erases the whole shadow region (attack modeling: an
+// adversary clears the Anubis tracker between crash and recovery).
+func (u *Unit) WipeShadow() {
+	u.shadow.Reset()
+	u.shadowCount = 0
 }
 
 // ShadowEntries returns the number of live shadow-region entries.
-func (u *Unit) ShadowEntries() int { return len(u.shadow) }
+func (u *Unit) ShadowEntries() int { return u.shadowCount }

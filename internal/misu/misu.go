@@ -317,7 +317,12 @@ func (u *Unit) groupMAC(group int) crypt.MAC {
 func (u *Unit) rootMAC() crypt.MAC {
 	u.macOps++
 	groups := (u.queue.Size() + groupSize - 1) / groupSize
-	buf := make([]byte, 0, groups*crypt.MACSize+8)
+	// Fixed-capacity stack buffer: a variable-capacity make escapes and
+	// this runs on every Full-WPQ insert. 16 groups covers a 128-entry
+	// WPQ; larger ablations spill to one append re-allocation, with the
+	// identical byte stream either way.
+	var stack [16*crypt.MACSize + 8]byte
+	buf := stack[:0]
 	for g := 0; g < groups; g++ {
 		m := u.l1[g]
 		buf = append(buf, m[:]...)

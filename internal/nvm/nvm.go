@@ -8,6 +8,7 @@ package nvm
 import (
 	"fmt"
 
+	"dolos/internal/dense"
 	"dolos/internal/sim"
 )
 
@@ -32,10 +33,17 @@ const DefaultBanks = 16
 // usable; construct with NewDevice. Contents survive simulated power
 // failures by construction: only explicit Clear wipes them.
 type Device struct {
-	eng   *sim.Engine
-	size  uint64
-	pages map[uint64]*[PageSize]byte
-	banks []*sim.Server
+	eng  *sim.Engine
+	size uint64
+	// pages is the sparse backing store: a dense two-level table over
+	// page index (addr/PageSize), nil until a page is first written.
+	// Dense indexing replaced the former map so the per-access page
+	// lookup on the write path is two array dereferences (DESIGN.md
+	// §12); allocated counts the non-nil entries so AllocatedPages
+	// stays O(1).
+	pages     *dense.Table[*[PageSize]byte]
+	allocated int
+	banks     []*sim.Server
 
 	reads, writes uint64
 
@@ -54,7 +62,7 @@ func NewDevice(eng *sim.Engine, size uint64, banks int) *Device {
 	d := &Device{
 		eng:   eng,
 		size:  size,
-		pages: make(map[uint64]*[PageSize]byte),
+		pages: dense.NewTable[*[PageSize]byte]((size + PageSize - 1) / PageSize),
 	}
 	if eng != nil {
 		d.banks = make([]*sim.Server, banks)
@@ -75,7 +83,7 @@ func (d *Device) Reads() uint64 { return d.reads }
 func (d *Device) Writes() uint64 { return d.writes }
 
 // AllocatedPages returns how many 4 KB pages are materialized.
-func (d *Device) AllocatedPages() int { return len(d.pages) }
+func (d *Device) AllocatedPages() int { return d.allocated }
 
 // BankCount returns the number of banks (0 on a purely functional device).
 func (d *Device) BankCount() int { return len(d.banks) }
@@ -96,15 +104,15 @@ func (d *Device) page(addr uint64, create bool) *[PageSize]byte {
 		panic(fmt.Sprintf("nvm: address %#x out of range (size %#x)", addr, d.size))
 	}
 	id := addr / PageSize
-	p, ok := d.pages[id]
-	if !ok {
-		if !create {
-			return nil
-		}
-		p = new([PageSize]byte)
-		d.pages[id] = p
+	if !create {
+		return d.pages.Get(id)
 	}
-	return p
+	slot := d.pages.Ptr(id)
+	if *slot == nil {
+		*slot = new([PageSize]byte)
+		d.allocated++
+	}
+	return *slot
 }
 
 // Read copies len(buf) bytes starting at addr into buf. Unwritten memory
@@ -196,23 +204,29 @@ func (d *Device) ReadReadyAt(addr uint64) sim.Cycle {
 // model to implement replay (rollback) attacks and by tests to compare
 // memory images across crashes.
 func (d *Device) Snapshot() map[uint64][PageSize]byte {
-	out := make(map[uint64][PageSize]byte, len(d.pages))
-	for id, p := range d.pages {
-		out[id] = *p
-	}
+	out := make(map[uint64][PageSize]byte, d.allocated)
+	d.pages.Range(func(id uint64, p **[PageSize]byte) bool {
+		if *p != nil {
+			out[id] = **p
+		}
+		return true
+	})
 	return out
 }
 
 // Restore overwrites the device contents with a snapshot taken earlier.
 func (d *Device) Restore(snap map[uint64][PageSize]byte) {
-	d.pages = make(map[uint64]*[PageSize]byte, len(snap))
+	d.pages.Reset()
+	d.allocated = 0
 	for id, img := range snap {
 		p := img
-		d.pages[id] = &p
+		d.pages.Set(id, &p)
+		d.allocated++
 	}
 }
 
 // Clear erases all contents (a fresh, never-written device).
 func (d *Device) Clear() {
-	d.pages = make(map[uint64]*[PageSize]byte)
+	d.pages.Reset()
+	d.allocated = 0
 }

@@ -13,6 +13,23 @@ type PipeServer struct {
 	nextStart Cycle
 	jobs      uint64
 	onJob     func(name string, start, end Cycle)
+
+	// pending holds in-flight jobs ordered by (end, submission order) —
+	// the exact order the engine fires their completion events in, so
+	// each firing of fireFn pops pending[pendHead]. fireFn is bound
+	// once; scheduling it instead of a per-job closure keeps Submit
+	// allocation-free (a job's start/end/done ride in the ring, not in
+	// a captured environment). Starts are monotonic, so out-of-order
+	// ends (a long job submitted before a short one) are rare and the
+	// ordered insert almost always appends at the tail.
+	pending  []pipeJob
+	pendHead int
+	fireFn   func()
+}
+
+type pipeJob struct {
+	start, end Cycle
+	done       func(start, end Cycle)
 }
 
 // NewPipeServer returns a pipelined server with the given initiation
@@ -21,7 +38,9 @@ func NewPipeServer(eng *Engine, name string, ii Cycle) *PipeServer {
 	if ii == 0 {
 		ii = 1
 	}
-	return &PipeServer{eng: eng, name: name, ii: ii}
+	p := &PipeServer{eng: eng, name: name, ii: ii}
+	p.fireFn = p.fire
+	return p
 }
 
 // Name returns the diagnostic name.
@@ -57,14 +76,34 @@ func (p *PipeServer) Submit(latency Cycle, done func(start, end Cycle)) {
 	p.nextStart = start + p.ii
 	p.jobs++
 	end := start + latency
-	p.eng.At(end, func() {
-		if p.onJob != nil {
-			p.onJob(p.name, start, end)
-		}
-		if done != nil {
-			done(start, end)
-		}
-	})
+
+	// Ordered insert by end (stable for ties: equal ends fire in
+	// submission order, and scanning from the tail keeps later
+	// submissions after earlier ones).
+	p.pending = append(p.pending, pipeJob{start: start, end: end, done: done})
+	for i := len(p.pending) - 1; i > p.pendHead && p.pending[i-1].end > end; i-- {
+		p.pending[i], p.pending[i-1] = p.pending[i-1], p.pending[i]
+	}
+	p.eng.At(end, p.fireFn)
+}
+
+// fire completes the in-flight job whose turn it is: completion events
+// were scheduled in exactly the ring's (end, submission) order, so the
+// head is always the job this event belongs to.
+func (p *PipeServer) fire() {
+	job := p.pending[p.pendHead]
+	p.pending[p.pendHead] = pipeJob{}
+	p.pendHead++
+	if p.pendHead == len(p.pending) {
+		p.pending = p.pending[:0]
+		p.pendHead = 0
+	}
+	if p.onJob != nil {
+		p.onJob(p.name, job.start, job.end)
+	}
+	if job.done != nil {
+		job.done(job.start, job.end)
+	}
 }
 
 // Server models a serially-occupied resource (a security unit, an NVM
@@ -76,7 +115,25 @@ type Server struct {
 	name string
 
 	busyUntil Cycle
-	queue     []serverJob
+	// queue is a head-indexed deque: pump consumes from queue[qHead]
+	// and rewinds to the base when it empties, so the append in Submit
+	// reuses one backing array for the run. Popping via queue[1:]
+	// instead would advance the slice base and every append would
+	// reallocate once the remaining capacity ran out.
+	queue []serverJob
+	qHead int
+
+	// inflight is the FIFO ring of started-but-not-completed jobs, and
+	// fireFn the pre-bound completion handler scheduled for each (per-job
+	// closures would allocate once per submit for the same effect).
+	// Service is serial, so inflight almost always holds one job — but at
+	// the exact cycle a job ends, an event ordered before its completion
+	// can Submit and start the next job (the server is no longer busy),
+	// leaving two completions outstanding. Starts are serialized, so ends
+	// are non-decreasing and each firing pops the ring head.
+	inflight []pipeJob
+	inHead   int
+	fireFn   func()
 
 	// Stats
 	jobs      uint64
@@ -94,7 +151,9 @@ type serverJob struct {
 // NewServer returns a server bound to the engine. The name is used only
 // for diagnostics.
 func NewServer(eng *Engine, name string) *Server {
-	return &Server{eng: eng, name: name}
+	s := &Server{eng: eng, name: name}
+	s.fireFn = s.fire
+	return s
 }
 
 // Name returns the diagnostic name of the server.
@@ -104,7 +163,7 @@ func (s *Server) Name() string { return s.name }
 func (s *Server) Busy() bool { return s.eng.Now() < s.busyUntil }
 
 // QueueLen returns the number of jobs waiting (not including any in service).
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return len(s.queue) - s.qHead }
 
 // Jobs returns the number of jobs that have started service.
 func (s *Server) Jobs() uint64 { return s.jobs }
@@ -124,8 +183,8 @@ func (s *Server) SetJobHook(fn func(name string, start, end Cycle)) { s.onJob = 
 // Jobs are served in submission order.
 func (s *Server) Submit(service Cycle, done func(start, end Cycle)) {
 	s.queue = append(s.queue, serverJob{service: service, done: done})
-	if len(s.queue) > s.maxQueue {
-		s.maxQueue = len(s.queue)
+	if n := s.QueueLen(); n > s.maxQueue {
+		s.maxQueue = n
 	}
 	s.pump()
 }
@@ -137,18 +196,23 @@ func (s *Server) FreeAt() Cycle {
 	if s.busyUntil > at {
 		at = s.busyUntil
 	}
-	for _, j := range s.queue {
+	for _, j := range s.queue[s.qHead:] {
 		at += j.service
 	}
 	return at
 }
 
 func (s *Server) pump() {
-	if len(s.queue) == 0 || s.Busy() {
+	if s.qHead == len(s.queue) || s.Busy() {
 		return
 	}
-	job := s.queue[0]
-	s.queue = s.queue[1:]
+	job := s.queue[s.qHead]
+	s.queue[s.qHead] = serverJob{}
+	s.qHead++
+	if s.qHead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qHead = 0
+	}
 	start := s.eng.Now()
 	if s.busyUntil > start {
 		start = s.busyUntil
@@ -157,13 +221,24 @@ func (s *Server) pump() {
 	s.busyUntil = end
 	s.jobs++
 	s.busyTotal += job.service
-	s.eng.At(end, func() {
-		if s.onJob != nil {
-			s.onJob(s.name, start, end)
-		}
-		if job.done != nil {
-			job.done(start, end)
-		}
-		s.pump()
-	})
+	s.inflight = append(s.inflight, pipeJob{start: start, end: end, done: job.done})
+	s.eng.At(end, s.fireFn)
+}
+
+// fire completes the oldest in-flight job and starts the next queued one.
+func (s *Server) fire() {
+	job := s.inflight[s.inHead]
+	s.inflight[s.inHead] = pipeJob{}
+	s.inHead++
+	if s.inHead == len(s.inflight) {
+		s.inflight = s.inflight[:0]
+		s.inHead = 0
+	}
+	if s.onJob != nil {
+		s.onJob(s.name, job.start, job.end)
+	}
+	if job.done != nil {
+		job.done(job.start, job.end)
+	}
+	s.pump()
 }

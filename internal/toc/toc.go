@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"dolos/internal/crypt"
+	"dolos/internal/dense"
 	"dolos/internal/nvm"
 )
 
@@ -63,11 +64,6 @@ func DecodeNode(img [NodeSize]byte) Node {
 	return n
 }
 
-type nodeKey struct {
-	level int
-	index uint64
-}
-
 // Tree is the Tree of Counters over `leaves` counter blocks. The root
 // version register is persistent in-processor state; everything else
 // lives in the volatile overlay until persisted.
@@ -79,9 +75,13 @@ type Tree struct {
 	counts   []uint64
 	offsets  []uint64
 
-	volatile map[nodeKey]*Node
-	dirty    map[nodeKey]bool
-	rootVer  uint64 // persistent root version register
+	// volatile[l] and dirty[l] mirror the bmt layout: per-level dense
+	// tables over node index (slot 0 unused), replacing the former
+	// map[{level,index}] lookups (DESIGN.md §12).
+	volatile   []*dense.Table[*Node]
+	dirty      []*dense.Table[bool]
+	dirtyCount int
+	rootVer    uint64 // persistent root version register
 
 	macOps  uint64
 	updates uint64
@@ -98,8 +98,6 @@ func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tr
 		dev:      dev,
 		nodeBase: nodeBase,
 		leaves:   leaves,
-		volatile: make(map[nodeKey]*Node),
-		dirty:    make(map[nodeKey]bool),
 	}
 	t.counts = []uint64{leaves}
 	n := leaves
@@ -113,7 +111,22 @@ func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tr
 		t.offsets[l] = off
 		off += t.counts[l] * NodeSize
 	}
+	t.volatile = make([]*dense.Table[*Node], len(t.counts))
+	t.dirty = make([]*dense.Table[bool], len(t.counts))
+	for l := 1; l < len(t.counts); l++ {
+		t.volatile[l] = dense.NewTable[*Node](t.counts[l])
+		t.dirty[l] = dense.NewTable[bool](t.counts[l])
+	}
 	return t
+}
+
+// markDirty flags (level, index) as newer in the overlay than in NVM.
+func (t *Tree) markDirty(level int, index uint64) {
+	p := t.dirty[level].Ptr(index)
+	if !*p {
+		*p = true
+		t.dirtyCount++
+	}
 }
 
 // Levels returns the number of interior levels.
@@ -149,15 +162,13 @@ func (t *Tree) NodeNVMAddr(level int, index uint64) uint64 {
 }
 
 func (t *Tree) node(level int, index uint64) *Node {
-	k := nodeKey{level, index}
-	n, ok := t.volatile[k]
-	if !ok {
+	slot := t.volatile[level].Ptr(index)
+	if *slot == nil {
 		img := t.dev.ReadLine(t.NodeNVMAddr(level, index))
 		decoded := DecodeNode(img)
-		n = &decoded
-		t.volatile[k] = n
+		*slot = &decoded
 	}
-	return n
+	return *slot
 }
 
 // parentVersion returns the version of node (level, index) as recorded in
@@ -217,7 +228,7 @@ func (t *Tree) UpdateLeaf(index uint64, image *[64]byte) (crypt.MAC, UpdateResul
 	for level := 1; level < len(t.counts); level++ {
 		n := t.node(level, child/Arity)
 		n.Versions[child%Arity] = (n.Versions[child%Arity] + 1) & versionMask
-		t.dirty[nodeKey{level, child / Arity}] = true
+		t.markDirty(level, child/Arity)
 		child /= Arity
 	}
 	t.rootVer++
@@ -245,11 +256,19 @@ type NodeUpdate struct {
 // version that UpdateLeaf(index, image) would produce, for the Ma-SU
 // redo-log step. InstallUpdate applies them.
 func (t *Tree) PrepareUpdate(index uint64, image *[64]byte) ([]NodeUpdate, crypt.MAC, uint64) {
+	return t.AppendUpdate(make([]NodeUpdate, 0, len(t.counts)-1), index, image)
+}
+
+// AppendUpdate is PrepareUpdate appending into a caller-owned slice
+// (which must be passed with length 0 — the path arithmetic indexes
+// ups from the slice start), so a steady-state writer reuses one
+// backing array across writes.
+func (t *Tree) AppendUpdate(dst []NodeUpdate, index uint64, image *[64]byte) ([]NodeUpdate, crypt.MAC, uint64) {
 	if index >= t.leaves {
 		panic(fmt.Sprintf("toc: leaf %d out of range", index))
 	}
 	// Build copies with incremented versions along the path.
-	ups := make([]NodeUpdate, 0, len(t.counts)-1)
+	ups := dst
 	child := index
 	for level := 1; level < len(t.counts); level++ {
 		n := *t.node(level, child/Arity)
@@ -277,11 +296,14 @@ func (t *Tree) PrepareUpdate(index uint64, image *[64]byte) ([]NodeUpdate, crypt
 // InstallUpdate applies a prepared update and advances the root register.
 func (t *Tree) InstallUpdate(ups []NodeUpdate, rootVer uint64) {
 	t.updates++
-	for _, up := range ups {
-		n := up.Node
-		k := nodeKey{up.Level, up.Index}
-		t.volatile[k] = &n
-		t.dirty[k] = true
+	for i := range ups {
+		up := &ups[i]
+		slot := t.volatile[up.Level].Ptr(up.Index)
+		if *slot == nil {
+			*slot = new(Node)
+		}
+		**slot = up.Node
+		t.markDirty(up.Level, up.Index)
 	}
 	t.rootVer = rootVer
 }
@@ -304,7 +326,7 @@ func (t *Tree) verify(index uint64, image *[64]byte, stored crypt.MAC, trustCach
 	if got := t.leafMAC(index, image, ver); got != stored {
 		return fmt.Errorf("toc: leaf %d MAC mismatch (version %d)", index, ver)
 	}
-	if trustCached && t.dirty[nodeKey{1, index / Arity}] {
+	if trustCached && t.dirty[1].Get(index/Arity) {
 		return nil
 	}
 	child := index
@@ -315,7 +337,7 @@ func (t *Tree) verify(index uint64, image *[64]byte, stored crypt.MAC, trustCach
 		if n.MAC != want {
 			return fmt.Errorf("toc: node MAC mismatch at level %d index %d", level, idx)
 		}
-		if trustCached && level+1 < len(t.counts) && t.dirty[nodeKey{level + 1, idx / Arity}] {
+		if trustCached && level+1 < len(t.counts) && t.dirty[level+1].Get(idx/Arity) {
 			return nil
 		}
 		child = idx
@@ -325,27 +347,43 @@ func (t *Tree) verify(index uint64, image *[64]byte, stored crypt.MAC, trustCach
 
 // PersistNode writes node (level, index) to NVM.
 func (t *Tree) PersistNode(level int, index uint64) {
-	k := nodeKey{level, index}
-	n, ok := t.volatile[k]
-	if !ok {
+	if level < 1 || level >= len(t.counts) {
+		return
+	}
+	n := t.volatile[level].Get(index)
+	if n == nil {
 		return
 	}
 	t.dev.WriteLine(t.NodeNVMAddr(level, index), n.Encode())
-	delete(t.dirty, k)
+	if t.dirty[level].Get(index) {
+		t.dirty[level].Set(index, false)
+		t.dirtyCount--
+	}
 }
 
-// PersistAll writes every live node to NVM (clean shutdown).
+// PersistAll writes every live node to NVM (clean shutdown), level by
+// level in ascending index order.
 func (t *Tree) PersistAll() {
-	for k := range t.volatile {
-		t.PersistNode(k.level, k.index)
+	for l := 1; l < len(t.counts); l++ {
+		t.volatile[l].Range(func(idx uint64, n **Node) bool {
+			if *n != nil {
+				t.PersistNode(l, idx)
+			}
+			return true
+		})
 	}
 }
 
 // DirtyNodes lists nodes newer than their NVM copies (shadow tracker).
 func (t *Tree) DirtyNodes() [][2]uint64 {
-	var out [][2]uint64
-	for k := range t.dirty {
-		out = append(out, [2]uint64{uint64(k.level), k.index})
+	out := make([][2]uint64, 0, t.dirtyCount)
+	for l := 1; l < len(t.counts); l++ {
+		t.dirty[l].Range(func(idx uint64, d *bool) bool {
+			if *d {
+				out = append(out, [2]uint64{uint64(l), idx})
+			}
+			return true
+		})
 	}
 	return out
 }
@@ -357,13 +395,19 @@ func (t *Tree) NodeImage(level int, index uint64) [NodeSize]byte {
 
 // RestoreNode installs a node image (shadow replay during recovery).
 func (t *Tree) RestoreNode(level int, index uint64, img [NodeSize]byte) {
-	n := DecodeNode(img)
-	t.volatile[nodeKey{level, index}] = &n
-	t.dirty[nodeKey{level, index}] = true
+	slot := t.volatile[level].Ptr(index)
+	if *slot == nil {
+		*slot = new(Node)
+	}
+	**slot = DecodeNode(img)
+	t.markDirty(level, index)
 }
 
 // DropVolatile models power failure.
 func (t *Tree) DropVolatile() {
-	t.volatile = make(map[nodeKey]*Node)
-	t.dirty = make(map[nodeKey]bool)
+	for l := 1; l < len(t.counts); l++ {
+		t.volatile[l].Reset()
+		t.dirty[l].Reset()
+	}
+	t.dirtyCount = 0
 }

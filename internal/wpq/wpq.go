@@ -82,6 +82,10 @@ func (e ObsEvent) String() string {
 // the observer's owner stamps time. Must be purely observational.
 type Observer func(ev ObsEvent, addr uint64, live int)
 
+// noTag marks a slot holding no volatile tag. Line addresses are
+// device offsets well below 2^64, so the all-ones value is free.
+const noTag = ^uint64(0)
+
 // Queue is a circular WPQ with a volatile tag array.
 type Queue struct {
 	slots     []Entry
@@ -89,7 +93,20 @@ type Queue struct {
 	nextFetch int // oldest un-cleared entry (paper's next_fetch_index)
 	live      int // valid && !cleared
 
-	tags       map[uint64]int // volatile tag array: line address -> slot
+	// fetchKey[i] is slots[i].Seq when the slot is fetchable (valid,
+	// un-cleared, MAC complete, not in flight) and MaxUint64 otherwise.
+	// FetchOldest runs several times per drained entry, and scanning a
+	// dense word per slot beats touching every ~100-byte Entry; the key
+	// is refreshed by the few mutators that change a fetchability bit.
+	fetchKey []uint64
+
+	// tagOf is the volatile tag array, indexed by slot: the line address
+	// whose tag the slot holds, or noTag. An address appears in at most
+	// one slot (inserting clears any stale holder), so a lookup is a
+	// linear scan — the queue has at most a few dozen slots, and
+	// scanning a dense word per slot is faster than the map hashing
+	// this replaced (three lookups per write on the hot path).
+	tagOf      []uint64
 	noCoalesce bool
 	seq        uint64
 
@@ -105,10 +122,16 @@ func New(entries int) *Queue {
 	if entries <= 0 {
 		panic("wpq: non-positive size")
 	}
-	return &Queue{
-		slots: make([]Entry, entries),
-		tags:  make(map[uint64]int, entries),
+	q := &Queue{
+		slots:    make([]Entry, entries),
+		fetchKey: make([]uint64, entries),
+		tagOf:    make([]uint64, entries),
 	}
+	for i := range q.fetchKey {
+		q.fetchKey[i] = ^uint64(0)
+		q.tagOf[i] = noTag
+	}
+	return q
 }
 
 // Size returns the number of slots.
@@ -143,8 +166,19 @@ func (q *Queue) CanCoalesce(addr uint64) bool {
 	if q.noCoalesce {
 		return false
 	}
-	s, ok := q.tags[addr]
+	s, ok := q.Lookup(addr)
 	return ok && q.slots[s].Valid && !q.slots[s].Cleared
+}
+
+// setTag points addr's tag at slot, clearing any stale holder so the
+// at-most-one-slot-per-address invariant survives re-allocation.
+func (q *Queue) setTag(addr uint64, slot int) {
+	for i := range q.tagOf {
+		if q.tagOf[i] == addr {
+			q.tagOf[i] = noTag
+		}
+	}
+	q.tagOf[slot] = addr
 }
 
 // MustWait reports whether a write to addr must stall to preserve
@@ -155,7 +189,7 @@ func (q *Queue) MustWait(addr uint64) bool {
 	if !q.noCoalesce {
 		return false
 	}
-	s, ok := q.tags[addr]
+	s, ok := q.Lookup(addr)
 	if !ok {
 		return false
 	}
@@ -165,8 +199,12 @@ func (q *Queue) MustWait(addr uint64) bool {
 
 // Lookup consults the volatile tag array for a live entry holding addr.
 func (q *Queue) Lookup(addr uint64) (slot int, ok bool) {
-	slot, ok = q.tags[addr]
-	return slot, ok
+	for i, a := range q.tagOf {
+		if a == addr {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // ReadHit records a read served from the WPQ (after the caller decrypts
@@ -186,7 +224,7 @@ func (q *Queue) SetCoalescing(enabled bool) { q.noCoalesce = !enabled }
 
 func (q *Queue) Allocate(addr uint64) (slot int, coalesced, ok bool) {
 	if q.CanCoalesce(addr) {
-		s := q.tags[addr]
+		s, _ := q.Lookup(addr)
 		q.coalesces++
 		q.inserts++
 		if q.obs != nil {
@@ -203,15 +241,16 @@ func (q *Queue) Allocate(addr uint64) (slot int, coalesced, ok bool) {
 			if q.slots[s].Valid {
 				// Reusing a cleared slot: retire its tag only if the
 				// address has not been re-allocated to another slot.
-				if old, live := q.tags[q.slots[s].Addr]; live && old == s {
-					delete(q.tags, q.slots[s].Addr)
+				if q.tagOf[s] == q.slots[s].Addr {
+					q.tagOf[s] = noTag
 				}
 			}
 			q.nextAlloc = (s + 1) % len(q.slots)
 			q.live++
 			q.inserts++
 			q.slots[s] = Entry{} // caller fills via Commit
-			q.tags[addr] = s
+			q.fetchKey[s] = ^uint64(0)
+			q.setTag(addr, s)
 			if q.obs != nil {
 				q.obs(EvInsert, addr, q.live)
 			}
@@ -233,7 +272,19 @@ func (q *Queue) Commit(slot int, e Entry) {
 	q.seq++
 	e.Seq = q.seq
 	q.slots[slot] = e
-	q.tags[e.Addr] = slot
+	q.refreshKey(slot)
+	q.setTag(e.Addr, slot)
+}
+
+// refreshKey recomputes fetchKey[slot] from the slot's flags. Every
+// mutation of a fetchability-relevant field routes through here.
+func (q *Queue) refreshKey(slot int) {
+	e := &q.slots[slot]
+	if e.Valid && !e.Cleared && !e.MACPending && !e.Fetched {
+		q.fetchKey[slot] = e.Seq
+	} else {
+		q.fetchKey[slot] = ^uint64(0)
+	}
 }
 
 // FetchOldest returns the slot index of the oldest (smallest Seq) live
@@ -242,13 +293,14 @@ func (q *Queue) Commit(slot int, e Entry) {
 // line occupies two entries (coalescing disabled): the newer value must
 // reach NVM last.
 func (q *Queue) FetchOldest() (slot int, ok bool) {
-	best := -1
-	for i := range q.slots {
-		e := &q.slots[i]
-		if e.Valid && !e.Cleared && !e.MACPending && !e.Fetched {
-			if best < 0 || e.Seq < q.slots[best].Seq {
-				best = i
-			}
+	// Seq stamps start at 1 and are unique, so MaxUint64 doubles as the
+	// "not fetchable" sentinel and the scan is a plain min over one dense
+	// word per slot. Ties are impossible; the strict < keeps the original
+	// first-smallest-Seq choice.
+	best, bestKey := -1, ^uint64(0)
+	for i, k := range q.fetchKey {
+		if k < bestKey {
+			best, bestKey = i, k
 		}
 	}
 	if best < 0 {
@@ -260,6 +312,7 @@ func (q *Queue) FetchOldest() (slot int, ok bool) {
 // MarkFetched flags slot as in-flight in the Ma-SU pipeline.
 func (q *Queue) MarkFetched(slot int) {
 	q.slots[slot].Fetched = true
+	q.fetchKey[slot] = ^uint64(0)
 	if q.obs != nil {
 		q.obs(EvFetch, q.slots[slot].Addr, q.live)
 	}
@@ -274,9 +327,10 @@ func (q *Queue) Clear(slot int) {
 		panic(fmt.Sprintf("wpq: clearing slot %d in state %+v", slot, *e))
 	}
 	e.Cleared = true
+	q.fetchKey[slot] = ^uint64(0)
 	q.live--
-	if s, ok := q.tags[e.Addr]; ok && s == slot {
-		delete(q.tags, e.Addr)
+	if q.tagOf[slot] == e.Addr {
+		q.tagOf[slot] = noTag
 	}
 	q.nextFetch = (slot + 1) % len(q.slots)
 	if q.obs != nil {
@@ -287,6 +341,7 @@ func (q *Queue) Clear(slot int) {
 // SetMACPending marks/unmarks a slot's deferred-MAC state (Post-WPQ).
 func (q *Queue) SetMACPending(slot int, pending bool) {
 	q.slots[slot].MACPending = pending
+	q.refreshKey(slot)
 }
 
 // LiveEntries returns copies of all valid, un-cleared entries in age
@@ -320,7 +375,8 @@ func (q *Queue) LiveSlotsBySeq() []int {
 func (q *Queue) Reset() {
 	for i := range q.slots {
 		q.slots[i] = Entry{}
+		q.fetchKey[i] = ^uint64(0)
+		q.tagOf[i] = noTag
 	}
-	q.tags = make(map[uint64]int, len(q.slots))
 	q.nextAlloc, q.nextFetch, q.live = 0, 0, 0
 }
