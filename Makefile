@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta mcore-smoke pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
 
 all: build test
 
@@ -59,6 +59,15 @@ ci:
 	$(GO) build -o /tmp/dolos-bench-ci ./cmd/dolos-bench
 	timeout 300 /tmp/dolos-bench-ci -exp all -txns 50 > /dev/null
 	$(GO) run ./cmd/dolos-profile -grid -txns 50 -o /tmp/dolos-grid-ci.json
+	$(MAKE) mcore-smoke
+
+# Multi-core determinism smoke under the race detector: a Cores>1 grid
+# run serially and at executor parallelism 4 must produce byte-identical
+# results and metrics snapshots (TestMCoreSmoke), plus the window-1 ≡
+# in-order and Cores=1 ≡ legacy differential pins. Runs in CI.
+mcore-smoke:
+	$(GO) test -race -run 'TestMCoreSmoke|TestCoresOneMatchesLegacy' ./internal/core
+	$(GO) test -race -run 'TestOoOWindowOneMatchesInOrder|TestMultiCoreDeterminism' ./internal/mcore
 
 # Regenerate BENCH_baseline.json: a small fixed-seed scheme×workload
 # grid of RunRecords. Commit the result so perf drifts show up in review.
@@ -68,11 +77,14 @@ bench-json:
 # Re-run the baseline grid against BENCH_baseline.json: fails if any
 # deterministic field (cycles, event counts, retry counters) diverges
 # from the committed trajectory, and reports the host-side throughput
-# delta (sim_events_per_sec geomean). The refreshed grid lands in
-# BENCH_pr5.json so the current optimisation level is committed next to
+# delta (sim_events_per_sec geomean). The refreshed grid — extended
+# with the multi-core contention records (-mcore), which append after
+# the legacy cells and so never perturb the comparison — lands in
+# BENCH_pr6.json so the current trajectory point is committed next to
 # the baseline it is measured against.
 bench-delta:
-	$(GO) run ./cmd/dolos-profile -grid -txns 200 -o BENCH_pr5.json -compare BENCH_baseline.json
+	$(GO) run ./cmd/dolos-profile -grid -txns 200 -o /tmp/dolos-delta.json -compare BENCH_baseline.json
+	$(GO) run ./cmd/dolos-profile -grid -mcore -txns 200 -o BENCH_pr6.json
 
 # CPU+heap profile of a serial grid run, ready for `go tool pprof`.
 pprof:

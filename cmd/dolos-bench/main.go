@@ -23,8 +23,15 @@ import (
 var experiments = []string{
 	"fig6", "fig12", "table2", "fig13", "fig14", "fig15", "fig16",
 	"table3", "recovery", "adr", "ablate-coalesce", "ablate-cc",
-	"ablate-backend", "ablate-osiris", "eadr", "writes", "tail", "variance", "validate",
+	"ablate-backend", "ablate-osiris", "eadr", "writes", "tail", "variance",
+	"contention", "validate",
 }
+
+// contention experiment knobs (set from flags in main).
+var (
+	contentionCores  []int
+	contentionWindow int
+)
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(experiments, ", ")+", or all")
@@ -33,7 +40,19 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	parallel := flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
+	coresFlag := flag.String("cores", "1,2,4,8", "comma-separated core counts for the contention experiment")
+	oooWindow := flag.Int("ooo-window", 0, "OoO issue window for the contention experiment (0 = in-order)")
 	flag.Parse()
+
+	for _, s := range strings.Split(*coresFlag, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "dolos-bench: bad -cores entry %q\n", s)
+			os.Exit(2)
+		}
+		contentionCores = append(contentionCores, n)
+	}
+	contentionWindow = *oooWindow
 
 	opts := core.Options{Transactions: *txns, Seed: *seed, Parallelism: *parallel}
 	if *workloads != "" {
@@ -172,6 +191,12 @@ func run(r *core.Runner, exp string) error {
 		emit(t)
 	case "variance":
 		t, err := r.SeedSweep(3)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "contention":
+		t, err := r.Contention("Hashmap", contentionCores, contentionWindow)
 		if err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ import (
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
 	"dolos/internal/masu"
+	"dolos/internal/mcore"
 	"dolos/internal/telemetry"
 	"dolos/internal/trace"
 	"dolos/internal/whisper"
@@ -57,6 +58,7 @@ func run() int {
 	gridOut := flag.String("o", "BENCH_baseline.json", "bench grid JSON output path")
 	parallel := flag.Int("parallel", 0, "concurrent grid simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	compare := flag.String("compare", "", "grid mode: verify deterministic fields bit-identical against this trajectory file and report the throughput delta (exit 1 on divergence)")
+	mcoreExt := flag.Bool("mcore", false, "grid mode: append multi-core contention records (shared-controller cells at 2 and 4 cores) after the legacy grid")
 	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU profile (go tool pprof) to this path")
 	memProfile := flag.String("memprofile", "", "write a host-side heap profile (after GC) to this path on exit")
 	flag.Parse()
@@ -85,7 +87,7 @@ func run() int {
 	}
 
 	if *grid {
-		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare); err != nil {
+		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare, *mcoreExt); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 			return 1
 		}
@@ -217,7 +219,7 @@ func writeMetrics(path string, v any) error {
 // field-by-field against that trajectory file: any deterministic-field
 // divergence is an error (the timing model changed), while the host-side
 // throughput fields are summarized as a speedup ratio.
-func runGrid(path string, txns, txSize, parallel int, comparePath string) error {
+func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreExt bool) error {
 	schemes := []controller.Scheme{
 		controller.PreWPQSecure,
 		controller.DolosFull,
@@ -286,6 +288,9 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string) error 
 		fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR\n",
 			c.workload, records[i].Scheme, records[i].Cycles, records[i].RetryPerKWR)
 	}
+	if mcoreExt {
+		records = append(records, mcoreRecords(txns, txSize)...)
+	}
 	if err := writeMetrics(path, records); err != nil {
 		return err
 	}
@@ -319,4 +324,47 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string) error 
 	}
 	fmt.Println("deterministic fields are bit-identical to the baseline")
 	return nil
+}
+
+// mcoreRecords runs the contention axis of the bench grid: the
+// security-before-WPQ baseline and Dolos Partial-WPQ at 2 and 4
+// Hashmap instances sharing one controller. Records are appended after
+// the legacy grid (never compared against a pre-mcore baseline, whose
+// record count would differ), extending the trajectory with the
+// multi-core shape: cores, ooo_window, per_core and the shared-WPQ
+// occupancy/fairness metrics.
+func mcoreRecords(txns, txSize int) []telemetry.RunRecord {
+	const gridSeed = 1
+	w, err := whisper.ByName("Hashmap")
+	if err != nil {
+		panic(err)
+	}
+	var out []telemetry.RunRecord
+	for _, n := range []int{2, 4} {
+		specs := make([]mcore.CoreSpec, n)
+		for i := range specs {
+			coreSeed := mcore.CoreSeed(gridSeed, i)
+			specs[i] = mcore.CoreSpec{
+				Workload: "Hashmap",
+				Seed:     coreSeed,
+				Trace: w.Generate(whisper.Params{
+					Transactions: txns, TxSize: txSize, Seed: coreSeed,
+					HeapBase: mcore.CoreHeapBase(i),
+				}),
+			}
+		}
+		for _, sch := range []controller.Scheme{controller.PreWPQSecure, controller.DolosPartial} {
+			cfg := controller.Config{Scheme: sch, Tree: masu.BMTEager, HardwareWPQ: 16}
+			cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
+			sys := mcore.NewSystem(mcore.Config{Ctrl: cfg, Window: 2}, specs)
+			start := time.Now()
+			res := sys.Run()
+			rec := cliutil.BuildRunRecord(res, masu.BMTEager, txSize, gridSeed,
+				sys.Eng.Processed(), time.Since(start), sys.Ctrl.Stats(), nil)
+			fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR  (%d cores)\n",
+				"Hashmap", rec.Scheme, rec.Cycles, rec.RetryPerKWR, n)
+			out = append(out, rec)
+		}
+	}
+	return out
 }

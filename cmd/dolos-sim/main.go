@@ -20,6 +20,8 @@ import (
 	"dolos/internal/cliutil"
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
+	"dolos/internal/masu"
+	"dolos/internal/mcore"
 	"dolos/internal/telemetry"
 	"dolos/internal/whisper"
 )
@@ -33,6 +35,8 @@ func main() {
 	wpqSize := flag.Int("wpq", 16, "hardware WPQ entries")
 	seed := flag.Int64("seed", 1, "workload seed")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable WPQ write coalescing")
+	cores := flag.Int("cores", 1, "workload instances contending for one shared controller")
+	oooWindow := flag.Int("ooo-window", 0, "out-of-order issue window (0 = in-order front-end)")
 	showStats := flag.Bool("stats", false, "dump controller counters")
 	jsonOut := flag.Bool("json", false, "emit the run result as JSON on stdout instead of text")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
@@ -54,7 +58,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
 		os.Exit(1)
 	}
-	tr := w.Generate(whisper.Params{Transactions: *txns, TxSize: *txSize, Seed: *seed})
 
 	cfg := controller.Config{
 		Scheme:            sch,
@@ -63,6 +66,13 @@ func main() {
 		DisableCoalescing: *noCoalesce,
 	}
 	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("sim")
+
+	if *cores > 1 {
+		runMulti(w, cfg, kind, *cores, *oooWindow, *txns, *txSize, *seed, *jsonOut, *showStats, *traceOut)
+		return
+	}
+
+	tr := w.Generate(whisper.Params{Transactions: *txns, TxSize: *txSize, Seed: *seed})
 	sys := cpu.NewSystem(cfg)
 	if *traceOut != "" {
 		// The probe is attached only on request: without -trace the run
@@ -70,7 +80,15 @@ func main() {
 		sys.SetProbe(telemetry.NewProbe(sys.Eng.Now))
 	}
 	start := time.Now()
-	res := sys.Run(tr)
+	var res cpu.Result
+	if *oooWindow > 0 {
+		fe := mcore.NewOoO(*oooWindow)
+		res = sys.RunWith(tr, fe)
+		res.OoOWindow = fe.Window()
+		res.Prefetches = fe.Prefetches()
+	} else {
+		res = sys.Run(tr)
+	}
 	wall := time.Since(start)
 
 	if *traceOut != "" {
@@ -118,6 +136,62 @@ func main() {
 		fmt.Printf("metadata caches: counter %.1f%%  MT %.1f%%\n",
 			hitRate(sys.Ctrl.MaSU().CounterCache().Hits(), sys.Ctrl.MaSU().CounterCache().Misses()),
 			hitRate(sys.Ctrl.MaSU().MTCache().Hits(), sys.Ctrl.MaSU().MTCache().Misses()))
+	}
+}
+
+// runMulti simulates n instances of the workload (per-core seeds,
+// disjoint heaps) contending for one shared controller through the
+// mcore arbiter, and prints the aggregate plus per-core results.
+func runMulti(w whisper.Workload, cfg controller.Config, kind masu.TreeKind,
+	n, window, txns, txSize int, seed int64, jsonOut, showStats bool, traceOut string) {
+	if traceOut != "" {
+		fmt.Fprintln(os.Stderr, "dolos-sim: -trace is not supported with -cores > 1")
+		os.Exit(2)
+	}
+	specs := make([]mcore.CoreSpec, n)
+	for i := range specs {
+		coreSeed := mcore.CoreSeed(seed, i)
+		specs[i] = mcore.CoreSpec{
+			Workload: w.Name(),
+			Seed:     coreSeed,
+			Trace: w.Generate(whisper.Params{
+				Transactions: txns, TxSize: txSize, Seed: coreSeed,
+				HeapBase: mcore.CoreHeapBase(i),
+			}),
+		}
+	}
+	sys := mcore.NewSystem(mcore.Config{Ctrl: cfg, Window: window}, specs)
+	start := time.Now()
+	res := sys.Run()
+	wall := time.Since(start)
+
+	if jsonOut {
+		rec := cliutil.BuildRunRecord(res, kind, txSize, seed, sys.Eng.Processed(), wall, sys.Ctrl.Stats(), nil)
+		if err := telemetry.WriteJSON(os.Stdout, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workload          %s × %d cores (OoO window %d)\n", res.Workload, res.Cores, res.OoOWindow)
+	fmt.Printf("scheme            %s (%s, %d-entry shared WPQ, %dB tx)\n",
+		res.Scheme, kind, cfg.HardwareWPQ, txSize)
+	fmt.Printf("cycles            %d (slowest core)\n", res.Cycles)
+	fmt.Printf("transactions      %d (all cores)\n", res.Transactions)
+	fmt.Printf("cycles/tx         %.0f\n", res.CyclesPerTx)
+	fmt.Printf("fence stalls      %d cycles (summed)\n", res.FenceStalls)
+	fmt.Printf("write requests    %d\n", res.WriteRequests)
+	fmt.Printf("retry events      %d (%.2f per KWR)\n", res.RetryEvents, res.RetryPerKWR)
+	fmt.Printf("prefetches        %d\n", res.Prefetches)
+	for _, pc := range res.PerCore {
+		fmt.Printf("core %d            %s seed %d: %d cycles, %d tx, %d grants, %d wait cycles\n",
+			pc.Core, pc.Workload, pc.Seed, pc.Cycles, pc.Transactions, pc.ArbGrants, pc.ArbWaitCycles)
+	}
+
+	if showStats {
+		fmt.Println("\ncontroller counters:")
+		fmt.Print(sys.Ctrl.Stats())
 	}
 }
 

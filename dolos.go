@@ -95,7 +95,14 @@ type Spec = core.Spec
 type Runner = core.Runner
 
 // Result summarizes one simulation (cycles, CPI, retry events, ...).
+// Multi-core runs (Spec.Cores > 1) additionally carry the core count,
+// OoO window, prefetch count and one CoreResult per core.
 type Result = cpu.Result
+
+// CoreResult is one core's share of a multi-core Result: its own
+// cycles and progress counters plus the shared-controller fairness
+// view (arbiter grants, cumulative wait cycles).
+type CoreResult = cpu.CoreResult
 
 // Table is a rendered experiment table.
 type Table = stats.Table

@@ -3,6 +3,7 @@ package dolos
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -96,7 +97,7 @@ func TestRunContextMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if viaRun != viaCtx {
+	if !reflect.DeepEqual(viaRun, viaCtx) {
 		t.Errorf("RunContext result differs from Run:\n%+v\nvs\n%+v", viaCtx, viaRun)
 	}
 }

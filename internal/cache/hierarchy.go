@@ -63,6 +63,13 @@ func (h *Hierarchy) LLC() *Cache { return h.llc }
 // MemReads returns how many reads reached the memory controller.
 func (h *Hierarchy) MemReads() uint64 { return h.memReads }
 
+// Contains reports whether addr's line is present at any level — a
+// side-effect-free probe (no LRU update), used by the prefetcher to
+// skip lines already on chip.
+func (h *Hierarchy) Contains(addr uint64) bool {
+	return h.l1.Contains(addr) || h.l2.Contains(addr) || h.llc.Contains(addr)
+}
+
 // handleVictim pushes an eviction from one level into the next; dirty LLC
 // victims leave the chip as non-persist writes.
 func (h *Hierarchy) fillInto(c *Cache, addr uint64, dirty bool, below func(Victim)) {

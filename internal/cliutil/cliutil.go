@@ -120,6 +120,21 @@ func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
 	if wall > 0 {
 		eps = float64(events) / wall.Seconds()
 	}
+	var perCore []telemetry.CoreRecord
+	for _, pc := range res.PerCore {
+		perCore = append(perCore, telemetry.CoreRecord{
+			Core:             pc.Core,
+			Workload:         pc.Workload,
+			Seed:             pc.Seed,
+			Cycles:           uint64(pc.Cycles),
+			Transactions:     pc.Transactions,
+			Ops:              pc.Ops,
+			FenceStallCycles: uint64(pc.FenceStalls),
+			AcceptedPersists: pc.AcceptedPersists,
+			ArbGrants:        pc.ArbGrants,
+			ArbWaitCycles:    pc.ArbWaitCycles,
+		})
+	}
 	return telemetry.RunRecord{
 		Scheme:           res.Scheme,
 		Workload:         res.Workload,
@@ -141,6 +156,10 @@ func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
 		WPQMeanOccupancy: res.WPQMeanOccupancy,
 		MedianTxCycles:   res.MedianTxCycles,
 		P99TxCycles:      res.P99TxCycles,
+		Cores:            res.Cores,
+		OoOWindow:        res.OoOWindow,
+		Prefetches:       res.Prefetches,
+		PerCore:          perCore,
 		WallSeconds:      wall.Seconds(),
 		EventsProcessed:  events,
 		EventsPerSecond:  eps,

@@ -87,3 +87,50 @@ func TestRunRecordSchemaPinned(t *testing.T) {
 		t.Errorf("identity fields = %+v", head)
 	}
 }
+
+// TestRunRecordSchemaMultiCore pins the extended field set of a
+// multi-core record: the single-core list above plus the mcore axes.
+// All four are omitempty, which is what keeps the single-core pin (and
+// the committed bench baseline) unchanged — this test is the proof the
+// multi-core shape and the per-core sub-record stay deliberate too.
+func TestRunRecordSchemaMultiCore(t *testing.T) {
+	r := core.NewRunner(core.Options{Transactions: 30, Seed: 1, Parallelism: 1})
+	spec := core.Spec{Scheme: controller.DolosPartial, Cores: 2, OoOWindow: 2}
+	rr, err := r.RunCell(context.Background(), "Hashmap", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := BuildRunRecord(rr.Result, spec.Tree, 1024, 1, rr.Events, rr.Wall, rr.Stats, nil)
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSON(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not a JSON object: %v", err)
+	}
+	for _, k := range []string{"cores", "ooo_window", "per_core"} {
+		if _, ok := decoded[k]; !ok {
+			t.Errorf("multi-core record missing %q", k)
+		}
+	}
+	// "prefetches" is omitempty and may legitimately be 0 for a trace
+	// with no confirmed strides; presence is not pinned.
+
+	var perCore []map[string]json.RawMessage
+	if err := json.Unmarshal(decoded["per_core"], &perCore); err != nil {
+		t.Fatalf("per_core is not an array of objects: %v", err)
+	}
+	if len(perCore) != 2 {
+		t.Fatalf("per_core has %d entries, want 2", len(perCore))
+	}
+	for _, k := range []string{
+		"core", "workload", "cycles", "transactions", "fence_stall_cycles",
+		"accepted_persists", "arb_grants", "arb_wait_cycles",
+	} {
+		if _, ok := perCore[1][k]; !ok {
+			t.Errorf("per_core entry missing %q", k)
+		}
+	}
+}

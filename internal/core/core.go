@@ -14,7 +14,9 @@ import (
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
 	"dolos/internal/masu"
+	"dolos/internal/mcore"
 	"dolos/internal/sim"
+	"dolos/internal/stats"
 	"dolos/internal/trace"
 	"dolos/internal/whisper"
 )
@@ -80,6 +82,17 @@ type Spec struct {
 	// OsirisPeriod overrides the counter persist period (0 = default 4;
 	// write-overhead vs recovery-window ablation).
 	OsirisPeriod uint64
+	// Cores runs N instances of the workload (per-core seeds, disjoint
+	// heaps) contending for one shared controller through the
+	// internal/mcore arbiter. 0 or 1 keeps the existing single-core
+	// path bit-for-bit.
+	Cores int
+	// OoOWindow engages the out-of-order front-end with the given issue
+	// window. 0 keeps the in-order front-end; 1 is the OoO front-end's
+	// in-order-equivalent setting (identical cycles, separate code
+	// path); >1 overlaps independent read misses and enables the
+	// stride prefetcher.
+	OoOWindow int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -188,11 +201,68 @@ func (r *Runner) Trace(workload string, txSize int) (*trace.Trace, error) {
 	return e.tr, e.err
 }
 
+// coreTrace returns the (cached) trace for one core of a multi-core
+// cell: the same workload with a per-core seed and a disjoint per-core
+// heap region. Core 0 shares the single-core trace (same seed, same
+// heap base), so a Cores=N sweep reuses the plain sweep's cache entry.
+func (r *Runner) coreTrace(canon string, txSize, core int) (*trace.Trace, error) {
+	if core == 0 {
+		return r.Trace(canon, txSize)
+	}
+	key := fmt.Sprintf("%s/%d/core%d", canon, txSize, core)
+	r.traces.mu.Lock()
+	e, ok := r.traces.m[key]
+	if !ok {
+		e = &traceEntry{}
+		r.traces.m[key] = e
+	}
+	r.traces.mu.Unlock()
+	e.once.Do(func() {
+		w, err := whisper.ByName(canon)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.tr = w.Generate(whisper.Params{
+			Transactions: r.opts.Transactions,
+			TxSize:       txSize,
+			Seed:         mcore.CoreSeed(r.opts.Seed, core),
+			HeapBase:     mcore.CoreHeapBase(core),
+		})
+	})
+	return e.tr, e.err
+}
+
 // Run simulates one workload under one configuration. It is
 // RunContext with context.Background(): an unbounded run.
 func (r *Runner) Run(workload string, spec Spec) (cpu.Result, error) {
 	res, _, err := r.runSystem(workload, spec)
 	return res, err
+}
+
+// machineRef is the quiesced machinery behind one run: exactly one of
+// the two system shapes is set, depending on the cell's Cores axis.
+type machineRef struct {
+	// Single is the single-core system (nil for multi-core cells).
+	Single *cpu.System
+	// Multi is the multi-core system (nil for single-core cells).
+	Multi *mcore.System
+}
+
+// Events returns the engine's dispatched-event count.
+func (m machineRef) Events() uint64 {
+	if m.Multi != nil {
+		return m.Multi.Eng.Processed()
+	}
+	return m.Single.Eng.Processed()
+}
+
+// Stats returns the controller's per-run stats set.
+func (m machineRef) Stats() *stats.Set {
+	if m.Multi != nil {
+		return m.Multi.Ctrl.Stats()
+	}
+	return m.Single.Ctrl.Stats()
 }
 
 // RunContext simulates one workload under one configuration, bounded
@@ -206,16 +276,15 @@ func (r *Runner) RunContext(ctx context.Context, workload string, spec Spec) (cp
 }
 
 // runSystem simulates one workload under one configuration and also
-// returns the quiesced system, for experiments that inspect controller
-// state (write amplification, crash/recovery ablations).
-func (r *Runner) runSystem(workload string, spec Spec) (cpu.Result, *cpu.System, error) {
+// returns the quiesced machinery, for experiments that inspect
+// controller state (write amplification, crash/recovery ablations).
+// The Cores and OoOWindow axes route through internal/mcore; a zero
+// (or 1-core, in-order) spec takes the original single-core path
+// unchanged, so legacy cells stay bit-for-bit identical.
+func (r *Runner) runSystem(workload string, spec Spec) (cpu.Result, machineRef, error) {
 	spec = spec.withDefaults()
 	if r.opts.PreRun != nil {
 		r.opts.PreRun(workload, spec)
-	}
-	tr, err := r.Trace(workload, spec.TxSize)
-	if err != nil {
-		return cpu.Result{}, nil, err
 	}
 	cfg := controller.Config{
 		Scheme:            spec.Scheme,
@@ -228,8 +297,41 @@ func (r *Runner) runSystem(workload string, spec Spec) (cpu.Result, *cpu.System,
 	}
 	copy(cfg.AESKey[:], "dolos-aes-key-16")
 	copy(cfg.MACKey[:], "dolos-mac-key-16")
+
+	if spec.Cores > 1 {
+		canon, err := whisper.Resolve(workload)
+		if err != nil {
+			return cpu.Result{}, machineRef{}, err
+		}
+		cores := make([]mcore.CoreSpec, spec.Cores)
+		for i := range cores {
+			tr, err := r.coreTrace(canon, spec.TxSize, i)
+			if err != nil {
+				return cpu.Result{}, machineRef{}, err
+			}
+			cores[i] = mcore.CoreSpec{
+				Workload: canon,
+				Seed:     mcore.CoreSeed(r.opts.Seed, i),
+				Trace:    tr,
+			}
+		}
+		sys := mcore.NewSystem(mcore.Config{Ctrl: cfg, Window: spec.OoOWindow}, cores)
+		return sys.Run(), machineRef{Multi: sys}, nil
+	}
+
+	tr, err := r.Trace(workload, spec.TxSize)
+	if err != nil {
+		return cpu.Result{}, machineRef{}, err
+	}
 	sys := cpu.NewSystem(cfg)
-	return sys.Run(tr), sys, nil
+	if spec.OoOWindow > 0 {
+		fe := mcore.NewOoO(spec.OoOWindow)
+		res := sys.RunWith(tr, fe)
+		res.OoOWindow = fe.Window()
+		res.Prefetches = fe.Prefetches()
+		return res, machineRef{Single: sys}, nil
+	}
+	return sys.Run(tr), machineRef{Single: sys}, nil
 }
 
 // Speedup returns baseline cycles divided by candidate cycles — the

@@ -119,15 +119,15 @@ func (r *Runner) RunCell(ctx context.Context, workload string, spec Spec) (RunRe
 		return RunResult{}, canceled(err)
 	}
 	start := time.Now()
-	res, sys, err := r.runSystem(workload, spec)
+	res, ref, err := r.runSystem(workload, spec)
 	if err != nil {
 		return RunResult{}, err
 	}
 	return RunResult{
 		Result: res,
-		Events: sys.Eng.Processed(),
+		Events: ref.Events(),
 		Wall:   time.Since(start),
-		Stats:  sys.Ctrl.Stats(),
+		Stats:  ref.Stats(),
 	}, nil
 }
 

@@ -452,12 +452,13 @@ func (r *Runner) AblateOsiris(workload string) (*stats.Table, error) {
 	points := make([]osirisPoint, len(OsirisPeriods))
 	err := r.forEach(len(OsirisPeriods), func(i int) error {
 		period := OsirisPeriods[i]
-		_, sys, err := r.runSystem(workload, Spec{
+		_, ref, err := r.runSystem(workload, Spec{
 			Scheme: controller.DolosPartial, Tree: masu.BMTEager, OsirisPeriod: period,
 		})
 		if err != nil {
 			return fmt.Errorf("osiris period %d: %w", period, err)
 		}
+		sys := ref.Single
 		// Normalize by every Ma-SU write (checkpoint load included), so
 		// period 1 is exactly one persist per write.
 		persists := float64(sys.Ctrl.MaSU().Counters().Persists())
@@ -545,11 +546,11 @@ func (r *Runner) WriteAmplification() (*stats.Table, error) {
 	}
 	amp := make([]float64, len(cells))
 	err := r.forEach(len(cells), func(i int) error {
-		res, sys, err := r.runSystem(cells[i].workload, Spec{Scheme: cells[i].scheme, Tree: masu.BMTEager})
+		res, ref, err := r.runSystem(cells[i].workload, Spec{Scheme: cells[i].scheme, Tree: masu.BMTEager})
 		if err != nil {
 			return fmt.Errorf("%s under %v: %w", cells[i].workload, cells[i].scheme, err)
 		}
-		nvmWrites := float64(sys.Ctrl.Stats().Counter("masu.nvm_writes").Value())
+		nvmWrites := float64(ref.Stats().Counter("masu.nvm_writes").Value())
 		amp[i] = nvmWrites / float64(res.WriteRequests)
 		return nil
 	})

@@ -52,6 +52,44 @@ type Result struct {
 	WPQReadHits uint64
 	// MemReads counts reads that reached the memory controller.
 	MemReads uint64
+	// Cores is the number of contending cores (0 for the single-core
+	// model, whose output predates the field and must stay byte-stable).
+	Cores int
+	// OoOWindow is the out-of-order front-end issue window (0 for the
+	// default in-order front-end).
+	OoOWindow int
+	// Prefetches counts stride-prefetch reads issued by the OoO
+	// front-end (always 0 for the in-order model and window 1).
+	Prefetches uint64
+	// PerCore carries per-core summaries for multi-core runs (nil
+	// otherwise).
+	PerCore []CoreResult
+}
+
+// CoreResult summarizes one core of a multi-core run. It lives in this
+// package (pure data, filled by internal/mcore) so Result stays the one
+// result type every layer above the simulator shares.
+type CoreResult struct {
+	// Core is the core index; Workload and Seed identify its instance.
+	Core     int
+	Workload string
+	Seed     int64
+	// Cycles is when this core's trace finished.
+	Cycles sim.Cycle
+	// Transactions and Ops count this core's executed work.
+	Transactions int
+	Ops          int
+	// FenceStalls is cycles this core spent blocked in sfence — under
+	// contention, mostly waiting behind a full shared WPQ.
+	FenceStalls sim.Cycle
+	// AcceptedPersists counts this core's persists accepted into the
+	// persistence domain.
+	AcceptedPersists uint64
+	// ArbGrants and ArbWaitCycles are the memory-controller arbiter's
+	// fairness accounting: requests granted to this core and total
+	// cycles its requests waited for the command port.
+	ArbGrants     uint64
+	ArbWaitCycles uint64
 }
 
 // System wires a core, the cache hierarchy and a secure memory
@@ -62,19 +100,12 @@ type System struct {
 	Ctrl *controller.Controller
 	Hier *cache.Hierarchy
 
-	// The mirror tracks each line address's last application-written
-	// plaintext. Values are pointers into the immutable trace (ops and
-	// init image are never mutated after generation), so tracking a
-	// write stores one word instead of copying 64 bytes. The trace's
-	// line-address range is known when Start loads it, so the common
-	// case is a dense table indexed by line offset — the mirror is
-	// updated on every write and consulted on every eviction, and those
-	// were the hottest map operations left after the metadata tables
-	// went dense. mirrorMap catches addresses outside the trace range
-	// (none in practice) and serves until Start sizes the table.
-	mirrorBase uint64
-	mirrorTab  []*[64]byte
-	mirrorMap  map[uint64]*[64]byte
+	// mirror tracks each line address's last application-written
+	// plaintext; see TraceMirror. The trace's line-address range is
+	// known when Start loads it, so the common case is a dense table
+	// indexed by line offset — the mirror is updated on every write and
+	// consulted on every eviction.
+	mirror *TraceMirror
 
 	// OnAccepted, when set, observes every persist acceptance (used by
 	// the crash driver to know which writes the platform has promised).
@@ -117,7 +148,7 @@ func NewSystem(cfg controller.Config) *System {
 	eng := sim.NewEngine()
 	s := &System{
 		Eng:         eng,
-		mirrorMap:   make(map[uint64]*[64]byte),
+		mirror:      NewTraceMirror(),
 		txLatencies: stats.NewHistogram("tx_latency"),
 		txReservoir: stats.NewReservoir("tx_latency", 0),
 	}
@@ -178,59 +209,10 @@ func (s *System) Mirror(addr uint64) ([64]byte, bool) {
 }
 
 // mirrorAt returns the mirror entry for addr's line (nil if untracked).
-func (s *System) mirrorAt(addr uint64) *[64]byte {
-	addr &^= 63
-	if i := (addr - s.mirrorBase) >> 6; i < uint64(len(s.mirrorTab)) {
-		return s.mirrorTab[i]
-	}
-	return s.mirrorMap[addr]
-}
+func (s *System) mirrorAt(addr uint64) *[64]byte { return s.mirror.At(addr) }
 
 // setMirror records p as addr's line contents.
-func (s *System) setMirror(addr uint64, p *[64]byte) {
-	addr &^= 63
-	if i := (addr - s.mirrorBase) >> 6; i < uint64(len(s.mirrorTab)) {
-		s.mirrorTab[i] = p
-		return
-	}
-	s.mirrorMap[addr] = p
-}
-
-// mirrorTabLimit caps the dense mirror at 1<<24 lines (a 128 MB pointer
-// table covering 1 GB of touched span); traces with a sparser footprint
-// fall back to the map.
-const mirrorTabLimit = 1 << 24
-
-// sizeMirror sizes the dense mirror table to the trace's touched line
-// range. Addresses outside it (none for a well-formed trace) fall back
-// to the map.
-func (s *System) sizeMirror(tr *trace.Trace) {
-	lo, hi := ^uint64(0), uint64(0)
-	track := func(a uint64) {
-		a &^= 63
-		if a < lo {
-			lo = a
-		}
-		if a > hi {
-			hi = a
-		}
-	}
-	for i := range tr.InitImage {
-		track(tr.InitImage[i].Addr)
-	}
-	for i := range tr.Ops {
-		if k := tr.Ops[i].Kind; k == trace.Write || k == trace.Flush || k == trace.Read {
-			track(tr.Ops[i].Addr)
-		}
-	}
-	if lo > hi {
-		return // no memory operations
-	}
-	if n := (hi-lo)>>6 + 1; n <= mirrorTabLimit {
-		s.mirrorBase = lo
-		s.mirrorTab = make([]*[64]byte, n)
-	}
-}
+func (s *System) setMirror(addr uint64, p *[64]byte) { s.mirror.Set(addr, p) }
 
 // Finished reports whether the trace has fully executed.
 func (s *System) Finished() bool { return s.finished }
@@ -240,17 +222,7 @@ func (s *System) Finished() bool { return s.finished }
 // checkpoint image (the fast-forwarded warm-up state) is loaded into the
 // secure memory functionally first, with no cycles charged.
 func (s *System) Start(tr *trace.Trace) {
-	if s.running {
-		panic("cpu: system already running a trace")
-	}
-	s.running = true
-
-	s.sizeMirror(tr)
-	for i := range tr.InitImage {
-		il := &tr.InitImage[i]
-		s.Ctrl.MaSU().ProcessWrite(il.Addr, il.Data, -1)
-		s.setMirror(il.Addr, &il.Data)
-	}
+	s.prepare(tr)
 
 	// One step/next closure pair serves the whole trace: exactly one op
 	// is in flight at a time, so the shared index advances strictly after
@@ -360,3 +332,91 @@ func (s *System) Collect(tr *trace.Trace) Result {
 
 // TxLatency returns the per-transaction latency histogram.
 func (s *System) TxLatency() *stats.Histogram { return s.txLatencies }
+
+// prepare marks the system running, sizes the mirror and loads the
+// trace's checkpoint image functionally (no cycles charged) — the
+// common prologue of Start and StartWith.
+func (s *System) prepare(tr *trace.Trace) {
+	if s.running {
+		panic("cpu: system already running a trace")
+	}
+	s.running = true
+
+	s.mirror.SizeFor(tr)
+	for i := range tr.InitImage {
+		il := &tr.InitImage[i]
+		s.Ctrl.MaSU().ProcessWrite(il.Addr, il.Data, -1)
+		s.setMirror(il.Addr, &il.Data)
+	}
+}
+
+// FrontEnd is a replaceable trace consumer: Launch schedules the
+// execution of tr on sys's engine, driving the hierarchy and controller
+// through the exported seam below and reporting progress back through
+// the Note*/Observe* methods so Collect works unchanged. The in-order
+// front-end in Start stays the default; internal/mcore's out-of-order
+// window plugs in here.
+type FrontEnd interface {
+	Launch(sys *System, tr *trace.Trace)
+}
+
+// StartWith is Start with a custom front-end: the checkpoint image is
+// loaded, then fe schedules trace execution on the engine.
+func (s *System) StartWith(tr *trace.Trace, fe FrontEnd) {
+	s.prepare(tr)
+	fe.Launch(s, tr)
+}
+
+// RunWith executes the trace to completion under a custom front-end.
+func (s *System) RunWith(tr *trace.Trace, fe FrontEnd) Result {
+	s.StartWith(tr, fe)
+	s.Eng.Run(0)
+	if !s.finished {
+		panic("cpu: trace execution deadlocked (fence never satisfied)")
+	}
+	return s.Collect(tr)
+}
+
+// SetMirror records p as addr's line contents (front-end seam).
+func (s *System) SetMirror(addr uint64, p *[64]byte) { s.setMirror(addr, p) }
+
+// CountOp counts one executed trace operation (front-end seam).
+func (s *System) CountOp() { s.opsExecuted++ }
+
+// ObserveTx records one committed transaction that began at start:
+// latency histograms, the quantile reservoir and the probe span — the
+// same accounting the in-order front-end performs at TxEnd.
+func (s *System) ObserveTx(start sim.Cycle) {
+	s.transactions++
+	lat := float64(s.Eng.Now() - start)
+	s.txLatencies.Observe(lat)
+	s.txReservoir.Observe(lat)
+	if s.probe != nil {
+		s.probe.Span(s.tCPU, "tx", start, s.Eng.Now())
+	}
+}
+
+// ObserveFenceStall records a completed sfence stall that began at
+// start (front-end seam; mirrors the in-order fence accounting).
+func (s *System) ObserveFenceStall(start sim.Cycle) {
+	s.fenceStalls += s.Eng.Now() - start
+	if s.probe != nil {
+		s.probe.Span(s.tCPU, "fence-stall", start, s.Eng.Now())
+	}
+}
+
+// NotifyAccepted invokes the OnAccepted hook if installed (front-end
+// seam: custom front-ends issue PersistWrite themselves, so they must
+// also report acceptances for the crash driver).
+func (s *System) NotifyAccepted(addr uint64, data [64]byte) {
+	if s.OnAccepted != nil {
+		s.OnAccepted(addr, data)
+	}
+}
+
+// FinishNow marks the trace fully executed at the current cycle
+// (front-end seam).
+func (s *System) FinishNow() {
+	s.endCycle = s.Eng.Now()
+	s.finished = true
+}

@@ -1,0 +1,84 @@
+package cpu
+
+import "dolos/internal/trace"
+
+// Mirror tracks, per line address, the plaintext the application last
+// wrote. It is the small seam behind which the single-core System and
+// the multi-core per-core tables share one implementation: values are
+// pointers into the immutable trace (ops and init image are never
+// mutated after generation), so tracking a write stores one word
+// instead of copying 64 bytes.
+type Mirror interface {
+	// At returns the mirror entry for addr's line (nil if untracked).
+	At(addr uint64) *[64]byte
+	// Set records p as addr's line contents.
+	Set(addr uint64, p *[64]byte)
+}
+
+// mirrorTabLimit caps the dense mirror at 1<<24 lines (a 128 MB pointer
+// table covering 1 GB of touched span); traces with a sparser footprint
+// fall back to the map.
+const mirrorTabLimit = 1 << 24
+
+// TraceMirror is the standard Mirror: a dense base-offset table sized to
+// one trace's touched line range — the hottest map operations left after
+// the metadata tables went dense — with a map fallback for addresses
+// outside that range (none in practice) and for use before SizeFor runs.
+type TraceMirror struct {
+	base uint64
+	tab  []*[64]byte
+	m    map[uint64]*[64]byte
+}
+
+// NewTraceMirror returns an empty mirror (map-only until SizeFor).
+func NewTraceMirror() *TraceMirror {
+	return &TraceMirror{m: make(map[uint64]*[64]byte)}
+}
+
+// SizeFor sizes the dense table to the trace's touched line range.
+func (m *TraceMirror) SizeFor(tr *trace.Trace) {
+	lo, hi := ^uint64(0), uint64(0)
+	track := func(a uint64) {
+		a &^= 63
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	for i := range tr.InitImage {
+		track(tr.InitImage[i].Addr)
+	}
+	for i := range tr.Ops {
+		if k := tr.Ops[i].Kind; k == trace.Write || k == trace.Flush || k == trace.Read {
+			track(tr.Ops[i].Addr)
+		}
+	}
+	if lo > hi {
+		return // no memory operations
+	}
+	if n := (hi-lo)>>6 + 1; n <= mirrorTabLimit {
+		m.base = lo
+		m.tab = make([]*[64]byte, n)
+	}
+}
+
+// At returns the mirror entry for addr's line (nil if untracked).
+func (m *TraceMirror) At(addr uint64) *[64]byte {
+	addr &^= 63
+	if i := (addr - m.base) >> 6; i < uint64(len(m.tab)) {
+		return m.tab[i]
+	}
+	return m.m[addr]
+}
+
+// Set records p as addr's line contents.
+func (m *TraceMirror) Set(addr uint64, p *[64]byte) {
+	addr &^= 63
+	if i := (addr - m.base) >> 6; i < uint64(len(m.tab)) {
+		m.tab[i] = p
+		return
+	}
+	m.m[addr] = p
+}

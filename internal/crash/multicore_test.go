@@ -1,0 +1,120 @@
+package crash
+
+import (
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/mcore"
+	"dolos/internal/sim"
+	"dolos/internal/whisper"
+	"dolos/internal/wpq"
+)
+
+// multiSpecs builds n workload instances with compact disjoint heaps
+// inside layout.Small's 64 MB data region (the default per-core
+// 256 MB stride only fits the full-size layout).
+func multiSpecs(t *testing.T, n int) []mcore.CoreSpec {
+	t.Helper()
+	workloads := []string{"Hashmap", "Btree", "Ctree"}
+	specs := make([]mcore.CoreSpec, n)
+	for i := 0; i < n; i++ {
+		name := workloads[i%len(workloads)]
+		w, err := whisper.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := mcore.CoreSeed(11, i)
+		specs[i] = mcore.CoreSpec{
+			Workload: name,
+			Seed:     seed,
+			Trace: w.Generate(whisper.Params{
+				Transactions: 25, Warmup: 15, TxSize: 512, Seed: seed,
+				HeapBase: 4096 + uint64(i)*(16<<20), HeapSize: 8 << 20,
+			}),
+		}
+	}
+	return specs
+}
+
+// TestMultiCoreCrashAtManyPoints cuts power mid-contention — N cores
+// mid-flush against one shared controller — and demands every core's
+// visible state recover: each accepted line reads back with verified
+// integrity as its accepted (or same-core newer) value.
+func TestMultiCoreCrashAtManyPoints(t *testing.T) {
+	for _, s := range []controller.Scheme{
+		controller.PreWPQSecure, controller.DolosFull,
+		controller.DolosPartial, controller.DolosPost,
+	} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			for _, at := range []sim.Cycle{2000, 40000, 150000, 500000} {
+				d := NewMultiDriver(
+					mcore.Config{Ctrl: testConfig(s), Window: 2}, multiSpecs(t, 3))
+				out, err := d.RunAndCrash(at, controller.AnubisRecovery)
+				if err != nil {
+					t.Fatalf("crash at %d: %v (outcome %+v)", at, err, out)
+				}
+				if out.AcceptedWrites > 0 && out.LinesAudited == 0 {
+					t.Fatalf("crash at %d: nothing audited", at)
+				}
+				sum := 0
+				for _, n := range out.PerCoreAccepted {
+					sum += n
+				}
+				if sum != out.AcceptedWrites {
+					t.Fatalf("per-core accepted sum %d != total %d", sum, out.AcceptedWrites)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiCoreCrashWithinADRBudget pins the multi-core drain to the
+// single-platform ADR reserve: the cores share one WPQ and one Mi-SU,
+// so the entries and MAC blocks flushed at the crash — summed across
+// whatever every core had in flight — must fit the budget provisioned
+// for the hardware WPQ alone. (controller.Crash errors on violation;
+// this re-checks the arithmetic explicitly from the report.)
+func TestMultiCoreCrashWithinADRBudget(t *testing.T) {
+	for _, s := range []controller.Scheme{controller.DolosPartial, controller.DolosPost} {
+		d := NewMultiDriver(mcore.Config{Ctrl: testConfig(s), Window: 2}, multiSpecs(t, 3))
+		out, err := d.RunAndCrash(120000, controller.AnubisRecovery)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		budget := controller.StandardADR(d.System().Ctrl.Config().HardwareWPQ)
+		flushed := out.Crash.Drain.EntriesWritten*wpq.EntryDataSize +
+			out.Crash.Drain.MACBlocksWritten*64
+		if flushed != out.Crash.BytesFlushed {
+			t.Fatalf("%v: drain accounting inconsistent: %d != %d", s, flushed, out.Crash.BytesFlushed)
+		}
+		if out.Crash.BytesFlushed > budget.FlushBytes {
+			t.Fatalf("%v: drain flushed %d B over the %d B ADR budget",
+				s, out.Crash.BytesFlushed, budget.FlushBytes)
+		}
+		if out.Crash.Drain.DeferredMACs > budget.MACOps {
+			t.Fatalf("%v: drain used %d MAC ops, budget %d",
+				s, out.Crash.Drain.DeferredMACs, budget.MACOps)
+		}
+	}
+}
+
+// TestMultiCoreCrashAfterCompletionIsClean runs all cores to completion
+// and crashes after quiesce: the WPQ must be empty and every core's
+// full write set durable.
+func TestMultiCoreCrashAfterCompletionIsClean(t *testing.T) {
+	d := NewMultiDriver(mcore.Config{Ctrl: testConfig(controller.DolosPartial), Window: 2},
+		multiSpecs(t, 2))
+	out, err := d.RunAndCrash(1<<40, controller.AnubisRecovery)
+	if err != nil {
+		t.Fatalf("post-completion crash: %v", err)
+	}
+	for _, c := range d.System().Cores {
+		if !c.Finished() {
+			t.Fatalf("core %d did not finish", c.ID())
+		}
+	}
+	if out.Crash.LiveEntries != 0 {
+		t.Fatalf("WPQ had %d live entries after quiesce", out.Crash.LiveEntries)
+	}
+}

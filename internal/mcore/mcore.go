@@ -1,0 +1,326 @@
+package mcore
+
+import (
+	"fmt"
+
+	"dolos/internal/cache"
+	"dolos/internal/controller"
+	"dolos/internal/cpu"
+	"dolos/internal/nvm"
+	"dolos/internal/sim"
+	"dolos/internal/stats"
+	"dolos/internal/trace"
+	"dolos/internal/wpq"
+)
+
+// CoreSeedStride separates per-core workload seeds; CoreHeapStride
+// separates per-core persistent heaps in the default 16 GB data region
+// (256 MB apart comfortably holds the default 48 MB heap, for up to 64
+// cores).
+const (
+	CoreSeedStride = 7919
+	CoreHeapStride = 256 << 20
+)
+
+// CoreSeed derives core i's workload seed from a base seed. Core 0
+// keeps the base seed, so its trace is identical to the single-core
+// trace for the same options.
+func CoreSeed(seed int64, core int) int64 { return seed + int64(core)*CoreSeedStride }
+
+// CoreHeapBase places core i's persistent heap in the default layout:
+// disjoint per-core regions so instances never alias lines. Core 0
+// keeps the single-core default base (4 KB into the data region).
+func CoreHeapBase(core int) uint64 { return 4096 + uint64(core)*CoreHeapStride }
+
+// CoreSpec describes one core's workload instance.
+type CoreSpec struct {
+	// Workload labels the instance (canonical workload name).
+	Workload string
+	// Seed is the instance's generator seed (recorded for audit).
+	Seed int64
+	// Trace is the instance's pre-generated operation stream. Its
+	// addresses must be disjoint from every other core's (see
+	// CoreHeapBase).
+	Trace *trace.Trace
+}
+
+// Config configures a multi-core system.
+type Config struct {
+	// Ctrl is the shared memory controller configuration: one WPQ, one
+	// counter cache, one set of security engines for all cores.
+	Ctrl controller.Config
+	// Window is every core's OoO issue window (values below 1 clamp to
+	// 1, the in-order-equivalent front-end).
+	Window int
+}
+
+// Core is one core of a multi-core system: a private L1/L2/LLC
+// hierarchy and line mirror around the shared controller.
+type Core struct {
+	// OnAccepted, when set, observes this core's persist acceptances
+	// (crash-driver seam, like cpu.System.OnAccepted).
+	OnAccepted func(addr uint64, data [64]byte)
+
+	id     int
+	sys    *System
+	spec   CoreSpec
+	hier   *cache.Hierarchy
+	mirror *cpu.TraceMirror
+	fe     *OoO
+
+	finished     bool
+	endCycle     sim.Cycle
+	ops          int
+	transactions int
+	fenceStalls  sim.Cycle
+	acceptedN    *stats.Counter
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Spec returns the core's workload instance description.
+func (c *Core) Spec() CoreSpec { return c.spec }
+
+// Hier returns the core's private cache hierarchy.
+func (c *Core) Hier() *cache.Hierarchy { return c.hier }
+
+// Finished reports whether the core's trace fully executed.
+func (c *Core) Finished() bool { return c.finished }
+
+// Mirror returns the plaintext the application last wrote to addr's
+// line on this core.
+func (c *Core) Mirror(addr uint64) ([64]byte, bool) {
+	if p := c.mirror.At(addr); p != nil {
+		return *p, true
+	}
+	return [64]byte{}, false
+}
+
+// coreBackend routes a core's hierarchy misses and evictions through
+// the shared arbiter.
+type coreBackend struct{ c *Core }
+
+func (b coreBackend) ReadLine(addr uint64, done func()) {
+	b.c.sys.arb.submit(request{core: b.c.id, kind: reqRead, addr: addr, done: done})
+}
+
+func (b coreBackend) EvictLine(addr uint64) {
+	var data [64]byte
+	if p := b.c.mirror.At(addr); p != nil {
+		data = *p
+	}
+	b.c.sys.arb.submit(request{core: b.c.id, kind: reqEvict, addr: addr, data: data})
+}
+
+// machine seam: the OoO front-end drives one core like it drives a
+// single-core system, with persists and misses detouring through the
+// arbiter.
+
+func (c *Core) engine() *sim.Engine { return c.sys.Eng }
+
+func (c *Core) readLine(addr uint64, done func()) { c.hier.Read(addr, done) }
+
+func (c *Core) writeLine(addr uint64) sim.Cycle { return c.hier.Write(addr) }
+
+func (c *Core) flushLine(addr uint64) bool { return c.hier.FlushLine(addr) }
+
+func (c *Core) persist(addr uint64, data *[64]byte, accepted func()) {
+	addr64, d := addr, *data
+	c.sys.arb.submit(request{core: c.id, kind: reqPersist, addr: addr64, data: d, done: func() {
+		c.acceptedN.Inc()
+		if c.OnAccepted != nil {
+			c.OnAccepted(addr64, d)
+		}
+		accepted()
+	}})
+}
+
+func (c *Core) setMirror(addr uint64, p *[64]byte) { c.mirror.Set(addr, p) }
+
+func (c *Core) cached(addr uint64) bool { return c.hier.Contains(addr) }
+
+func (c *Core) known(addr uint64) bool { return c.mirror.At(addr) != nil }
+
+func (c *Core) countOp() { c.ops++ }
+
+func (c *Core) observeTx(start sim.Cycle) {
+	c.transactions++
+	lat := float64(c.sys.Eng.Now() - start)
+	c.sys.txLat.Observe(lat)
+	c.sys.txRes.Observe(lat)
+}
+
+func (c *Core) observeFenceStall(start sim.Cycle) {
+	c.fenceStalls += c.sys.Eng.Now() - start
+}
+
+func (c *Core) finish() {
+	c.endCycle = c.sys.Eng.Now()
+	c.finished = true
+}
+
+// System is the multi-core machine: N cores with private hierarchies
+// and front-ends sharing one engine, one controller and one NVM device.
+type System struct {
+	Eng   *sim.Engine
+	Dev   *nvm.Device
+	Ctrl  *controller.Controller
+	Cores []*Core
+
+	cfg     Config
+	arb     *arbiter
+	txLat   *stats.Histogram
+	txRes   *stats.Reservoir
+	started bool
+}
+
+// NewSystem builds a multi-core machine: every CoreSpec becomes one
+// core contending for the shared controller. It also interns the
+// shared WPQ occupancy histogram ("wpq.occupancy") and per-core
+// fairness counters in the controller's stats set — lazily, here, so
+// single-core runs' snapshots stay byte-identical to the committed
+// bench baseline.
+func NewSystem(cfg Config, cores []CoreSpec) *System {
+	if len(cores) == 0 {
+		panic("mcore: need at least one core")
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	eng := sim.NewEngine()
+	dev := nvm.NewDevice(eng, deviceSize(cfg.Ctrl), 0)
+	ctrl := controller.New(eng, dev, cfg.Ctrl)
+	s := &System{
+		Eng:   eng,
+		Dev:   dev,
+		Ctrl:  ctrl,
+		cfg:   cfg,
+		txLat: stats.NewHistogram("tx_latency"),
+		txRes: stats.NewReservoir("tx_latency", 0),
+	}
+	hOcc := ctrl.Stats().Histogram("wpq.occupancy")
+	ctrl.Queue().SetObserver(func(_ wpq.ObsEvent, _ uint64, live int) {
+		hOcc.Observe(float64(live))
+	})
+	s.arb = newArbiter(eng, ctrl, len(cores))
+	for i, cs := range cores {
+		c := &Core{
+			id:        i,
+			sys:       s,
+			spec:      cs,
+			mirror:    cpu.NewTraceMirror(),
+			fe:        NewOoO(cfg.Window),
+			acceptedN: ctrl.Stats().Counter(fmt.Sprintf("mcore.core%d.accepted", i)),
+		}
+		c.hier = cache.NewHierarchy(eng, coreBackend{c})
+		s.Cores = append(s.Cores, c)
+	}
+	return s
+}
+
+func deviceSize(cfg controller.Config) uint64 {
+	if cfg.Layout.DeviceSize != 0 {
+		return cfg.Layout.DeviceSize
+	}
+	return 24 << 30 // layout.Default()
+}
+
+// Start loads every core's checkpoint image functionally (core order,
+// no cycles charged) and schedules all front-ends at the current cycle
+// — core order again, so the first-cycle interleave is deterministic.
+func (s *System) Start() {
+	if s.started {
+		panic("mcore: system already running")
+	}
+	s.started = true
+	for _, c := range s.Cores {
+		tr := c.spec.Trace
+		c.mirror.SizeFor(tr)
+		for i := range tr.InitImage {
+			il := &tr.InitImage[i]
+			s.Ctrl.MaSU().ProcessWrite(il.Addr, il.Data, -1)
+			c.mirror.Set(il.Addr, &il.Data)
+		}
+	}
+	for _, c := range s.Cores {
+		c.fe.launch(c, c.spec.Trace)
+	}
+}
+
+// Run executes every core's trace to completion and collects the
+// aggregate result.
+func (s *System) Run() cpu.Result {
+	s.Start()
+	s.Eng.Run(0)
+	for _, c := range s.Cores {
+		if !c.finished {
+			panic(fmt.Sprintf("mcore: core %d deadlocked (fence never satisfied)", c.id))
+		}
+	}
+	return s.Collect()
+}
+
+// Collect gathers the aggregate result plus per-core summaries.
+// Aggregate cycle-derived rates use the slowest core's end cycle (the
+// run finishes when the last core does).
+func (s *System) Collect() cpu.Result {
+	st := s.Ctrl.Stats()
+	res := cpu.Result{
+		Scheme:        s.Ctrl.Config().Scheme.String(),
+		Workload:      s.workloadLabel(),
+		Cores:         len(s.Cores),
+		OoOWindow:     s.cfg.Window,
+		WriteRequests: s.Ctrl.WriteRequests(),
+		RetryEvents:   s.Ctrl.RetryEvents(),
+		RetryPerKWR:   s.Ctrl.RetryPerKWR(),
+		WPQReadHits:   st.Counter("wpq.read_hits").Value(),
+		MemReads:      st.Counter("mem.reads").Value(),
+	}
+	for _, c := range s.Cores {
+		if c.endCycle > res.Cycles {
+			res.Cycles = c.endCycle
+		}
+		res.Transactions += c.transactions
+		res.Ops += c.ops
+		res.FenceStalls += c.fenceStalls
+		res.Prefetches += c.fe.Prefetches()
+		res.PerCore = append(res.PerCore, cpu.CoreResult{
+			Core:             c.id,
+			Workload:         c.spec.Workload,
+			Seed:             c.spec.Seed,
+			Cycles:           c.endCycle,
+			Transactions:     c.transactions,
+			Ops:              c.ops,
+			FenceStalls:      c.fenceStalls,
+			AcceptedPersists: c.acceptedN.Value(),
+			ArbGrants:        s.arb.grants[c.id].Value(),
+			ArbWaitCycles:    s.arb.waits[c.id].Value(),
+		})
+	}
+	if res.Transactions > 0 {
+		res.CyclesPerTx = float64(res.Cycles) / float64(res.Transactions)
+	}
+	if res.Ops > 0 {
+		res.CPI = float64(res.Cycles) / float64(res.Ops)
+	}
+	res.MeanInterarrival = st.Histogram("wpq.interarrival_cycles").Mean()
+	res.WPQMeanOccupancy = st.Histogram("wpq.occupancy_at_arrival").Mean()
+	if s.txRes.Count() > 0 {
+		res.MedianTxCycles = s.txRes.Median()
+		res.P99TxCycles = s.txRes.P99()
+	}
+	return res
+}
+
+// workloadLabel is the shared workload name, or "mixed" when cores run
+// different workloads.
+func (s *System) workloadLabel() string {
+	name := s.Cores[0].spec.Workload
+	for _, c := range s.Cores[1:] {
+		if c.spec.Workload != name {
+			return "mixed"
+		}
+	}
+	return name
+}

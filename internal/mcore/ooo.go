@@ -1,0 +1,266 @@
+// Package mcore extends the timing model above the memory controller in
+// two directions the in-order, single-core front-end cannot reach: an
+// out-of-order issue window that overlaps independent read misses (plus
+// a stride prefetcher), and a multi-core mode where N workload
+// instances contend for one memory controller, one counter cache and
+// one WPQ through a deterministic cycle-ordered arbiter.
+//
+// Both layers are strictly additive: the in-order model stays the
+// default, and the OoO front-end at window 1 reproduces the in-order
+// event schedule bit-for-bit (pinned by a differential test).
+package mcore
+
+import (
+	"fmt"
+
+	"dolos/internal/cpu"
+	"dolos/internal/sim"
+	"dolos/internal/trace"
+)
+
+// machine is one core's view of its memory system: the seam that lets
+// the OoO front-end drive either a single-core cpu.System or one core
+// of a multi-core System through the shared arbiter.
+type machine interface {
+	engine() *sim.Engine
+	readLine(addr uint64, done func())
+	writeLine(addr uint64) sim.Cycle
+	flushLine(addr uint64) bool
+	persist(addr uint64, data *[64]byte, accepted func())
+	setMirror(addr uint64, p *[64]byte)
+	cached(addr uint64) bool
+	known(addr uint64) bool
+	countOp()
+	observeTx(start sim.Cycle)
+	observeFenceStall(start sim.Cycle)
+	finish()
+}
+
+// maxPrefetchInflight bounds stride-prefetch reads in flight so the
+// prefetcher cannot starve demand traffic.
+const maxPrefetchInflight = 2
+
+// OoO is the out-of-order front-end: a bounded ROB/MLP window that
+// issues trace operations in program order but lets execution run past
+// an outstanding read miss until `window` misses are in flight. Reads
+// are the only asynchronous operations — stores, flushes and compute
+// still charge their costs on the issue path, and fence/clwb semantics
+// are unchanged (sfence blocks until every issued flush is accepted
+// into the persistence domain), so persist ordering is exactly the
+// in-order model's.
+//
+// With window 1 the gate "issue stalls while a read is outstanding"
+// degenerates to the in-order model: every operation's event schedule
+// is identical, so cycle counts reproduce bit-for-bit.
+type OoO struct {
+	window     int
+	prefetches uint64
+
+	m  machine
+	tr *trace.Trace
+	i  int
+
+	inflight    int  // outstanding demand reads
+	stalled     bool // issue blocked on a full read window
+	outstanding int  // flushes issued, not yet accepted
+	fenceWait   bool
+	fenceStart  sim.Cycle
+	txStart     sim.Cycle
+
+	// Pre-bound continuations: one closure pair serves the whole trace
+	// (the same zero-allocation shape as the in-order front-end).
+	stepFn     func()
+	readDoneFn func()
+	prefDoneFn func()
+
+	prefLast     uint64
+	prefStride   int64
+	prefInflight int
+}
+
+// NewOoO returns an OoO front-end with the given issue window (values
+// below 1 clamp to 1). The stride prefetcher is active only for
+// windows above 1, so window 1 stays exactly the in-order model.
+func NewOoO(window int) *OoO {
+	if window < 1 {
+		window = 1
+	}
+	return &OoO{window: window}
+}
+
+// Window returns the issue window.
+func (e *OoO) Window() int { return e.window }
+
+// Prefetches returns how many stride-prefetch reads were issued.
+func (e *OoO) Prefetches() uint64 { return e.prefetches }
+
+// Launch implements cpu.FrontEnd: it schedules execution of tr over a
+// single-core system (cpu.System.RunWith / StartWith drive this).
+func (e *OoO) Launch(sys *cpu.System, tr *trace.Trace) {
+	e.launch(&singlePort{sys: sys}, tr)
+}
+
+// launch binds the front-end to a machine and schedules the first step.
+func (e *OoO) launch(m machine, tr *trace.Trace) {
+	if e.m != nil {
+		panic("mcore: OoO front-end already launched")
+	}
+	e.m, e.tr = m, tr
+	e.stepFn = e.step
+	e.readDoneFn = e.readDone
+	e.prefDoneFn = e.prefetchDone
+	eng := m.engine()
+	eng.At(eng.Now(), e.stepFn)
+}
+
+// step issues trace operations until it must yield: a full read window,
+// an issue-path latency (compute/store/clwb), a parked fence, or the
+// end of the trace.
+func (e *OoO) step() {
+	eng := e.m.engine()
+	for {
+		if e.i >= len(e.tr.Ops) {
+			if e.inflight == 0 {
+				e.m.finish()
+			}
+			return // outstanding reads finish the trace in readDone
+		}
+		if e.inflight >= e.window {
+			e.stalled = true
+			return
+		}
+		op := &e.tr.Ops[e.i]
+		e.m.countOp()
+		switch op.Kind {
+		case trace.Compute:
+			e.i++
+			eng.After(op.Cycles, e.stepFn)
+			return
+		case trace.Read:
+			e.i++
+			e.inflight++
+			e.m.readLine(op.Addr, e.readDoneFn)
+			e.maybePrefetch(op.Addr)
+		case trace.Write:
+			e.i++
+			e.m.setMirror(op.Addr, &op.Data)
+			lat := e.m.writeLine(op.Addr)
+			eng.After(lat, e.stepFn)
+			return
+		case trace.Flush:
+			e.i++
+			e.m.setMirror(op.Addr, &op.Data)
+			if e.m.flushLine(op.Addr) {
+				e.outstanding++
+				e.m.persist(op.Addr, &op.Data, e.persistAccepted)
+			}
+			eng.After(2, e.stepFn) // clwb issue cost; completion is async
+			return
+		case trace.Fence:
+			if e.outstanding == 0 {
+				e.i++
+				eng.After(1, e.stepFn)
+				return
+			}
+			e.fenceWait = true
+			e.fenceStart = eng.Now()
+			return
+		case trace.TxBegin:
+			e.i++
+			e.txStart = eng.Now()
+		case trace.TxEnd:
+			e.i++
+			e.m.observeTx(e.txStart)
+		default:
+			panic(fmt.Sprintf("mcore: unknown op kind %v", op.Kind))
+		}
+	}
+}
+
+// readDone completes one demand read: resume a window-stalled issue
+// stage, or finish the trace once the tail reads drain.
+func (e *OoO) readDone() {
+	e.inflight--
+	if e.stalled {
+		e.stalled = false
+		e.step()
+		return
+	}
+	if e.i >= len(e.tr.Ops) && e.inflight == 0 {
+		e.m.finish()
+	}
+}
+
+// persistAccepted completes one flush's acceptance into the
+// persistence domain and resumes a parked fence when it was the last.
+func (e *OoO) persistAccepted() {
+	e.outstanding--
+	if e.outstanding == 0 && e.fenceWait {
+		e.fenceWait = false
+		e.m.observeFenceStall(e.fenceStart)
+		e.i++
+		e.step()
+	}
+}
+
+// maybePrefetch issues a next-line stride prefetch after two demand
+// reads with the same address delta. Prefetches fill the cache
+// hierarchy through the normal read path but are invisible to the
+// issue window; only mirror-known (application-written) lines are
+// prefetched, and lines already on chip are skipped.
+func (e *OoO) maybePrefetch(addr uint64) {
+	if e.window <= 1 {
+		return
+	}
+	last, confirmed := e.prefLast, e.prefStride
+	e.prefStride = int64(addr) - int64(last)
+	e.prefLast = addr
+	if last == 0 || e.prefStride == 0 || e.prefStride != confirmed {
+		return
+	}
+	next := uint64(int64(addr) + e.prefStride)
+	if e.prefInflight >= maxPrefetchInflight || e.m.cached(next) || !e.m.known(next) {
+		return
+	}
+	e.prefInflight++
+	e.prefetches++
+	e.m.readLine(next, e.prefDoneFn)
+}
+
+func (e *OoO) prefetchDone() { e.prefInflight-- }
+
+// singlePort adapts a single-core cpu.System to the machine seam.
+type singlePort struct{ sys *cpu.System }
+
+func (p *singlePort) engine() *sim.Engine { return p.sys.Eng }
+
+func (p *singlePort) readLine(addr uint64, done func()) { p.sys.Hier.Read(addr, done) }
+
+func (p *singlePort) writeLine(addr uint64) sim.Cycle { return p.sys.Hier.Write(addr) }
+
+func (p *singlePort) flushLine(addr uint64) bool { return p.sys.Hier.FlushLine(addr) }
+
+func (p *singlePort) persist(addr uint64, data *[64]byte, accepted func()) {
+	addr64, d := addr, *data
+	p.sys.Ctrl.PersistWrite(addr64, d, func() {
+		p.sys.NotifyAccepted(addr64, d)
+		accepted()
+	})
+}
+
+func (p *singlePort) setMirror(addr uint64, d *[64]byte) { p.sys.SetMirror(addr, d) }
+
+func (p *singlePort) cached(addr uint64) bool { return p.sys.Hier.Contains(addr) }
+
+func (p *singlePort) known(addr uint64) bool {
+	_, ok := p.sys.Mirror(addr)
+	return ok
+}
+
+func (p *singlePort) countOp() { p.sys.CountOp() }
+
+func (p *singlePort) observeTx(start sim.Cycle) { p.sys.ObserveTx(start) }
+
+func (p *singlePort) observeFenceStall(start sim.Cycle) { p.sys.ObserveFenceStall(start) }
+
+func (p *singlePort) finish() { p.sys.FinishNow() }

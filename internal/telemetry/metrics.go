@@ -112,6 +112,14 @@ type RunRecord struct {
 	MedianTxCycles   float64 `json:"median_tx_cycles"`
 	P99TxCycles      float64 `json:"p99_tx_cycles"`
 
+	// Multi-core / out-of-order axes (internal/mcore). All omitempty:
+	// single-core in-order records — including the committed bench
+	// baseline — are byte-identical with or without this block.
+	Cores      int          `json:"cores,omitempty"`
+	OoOWindow  int          `json:"ooo_window,omitempty"`
+	Prefetches uint64       `json:"prefetches,omitempty"`
+	PerCore    []CoreRecord `json:"per_core,omitempty"`
+
 	// Host-side throughput of the simulator itself (not part of the
 	// simulated model, so these never participate in bit-identity
 	// comparisons): wall-clock duration of the run and discrete events
@@ -121,6 +129,22 @@ type RunRecord struct {
 	EventsPerSecond float64 `json:"sim_events_per_sec,omitempty"`
 
 	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// CoreRecord is one core's share of a multi-core RunRecord: its own
+// cycle count and progress counters plus the shared-controller fairness
+// view (arbiter grants and cumulative wait cycles).
+type CoreRecord struct {
+	Core             int    `json:"core"`
+	Workload         string `json:"workload"`
+	Seed             int64  `json:"seed,omitempty"`
+	Cycles           uint64 `json:"cycles"`
+	Transactions     int    `json:"transactions"`
+	Ops              int    `json:"ops,omitempty"`
+	FenceStallCycles uint64 `json:"fence_stall_cycles"`
+	AcceptedPersists uint64 `json:"accepted_persists"`
+	ArbGrants        uint64 `json:"arb_grants"`
+	ArbWaitCycles    uint64 `json:"arb_wait_cycles"`
 }
 
 // WriteJSON encodes v as indented JSON with a trailing newline — the one
