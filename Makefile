@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta mcore-smoke pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta mcore-smoke fast-smoke pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
 
 all: build test
 
@@ -60,6 +60,7 @@ ci:
 	timeout 300 /tmp/dolos-bench-ci -exp all -txns 50 > /dev/null
 	$(GO) run ./cmd/dolos-profile -grid -txns 50 -o /tmp/dolos-grid-ci.json
 	$(MAKE) mcore-smoke
+	$(MAKE) fast-smoke
 
 # Multi-core determinism smoke under the race detector: a Cores>1 grid
 # run serially and at executor parallelism 4 must produce byte-identical
@@ -68,6 +69,17 @@ ci:
 mcore-smoke:
 	$(GO) test -race -run 'TestMCoreSmoke|TestCoresOneMatchesLegacy' ./internal/core
 	$(GO) test -race -run 'TestOoOWindowOneMatchesInOrder|TestMultiCoreDeterminism' ./internal/mcore
+
+# Fast-mode + parallel-DES smoke: the grid re-run with the latency-only
+# provider and with the pipelined shadow, each diffed in-run against the
+# functional serial records (one divergent deterministic field fails),
+# plus the exhaustive scheme×workload differential and the parallel-DES
+# equivalence proof under the race detector. Runs in CI.
+fast-smoke:
+	$(GO) run ./cmd/dolos-profile -grid -fast -txns 50 -o /tmp/dolos-fast-smoke.json
+	$(GO) test -race -run 'TestFastMode|TestParallelDES' ./internal/core
+	$(GO) test -run 'TestFastEngine|TestDispatchAllocFree' ./internal/crypt
+	$(GO) test -run 'TestFastMode|TestCrashRefused|TestNewDriverStrips' ./internal/attack ./internal/crash
 
 # Regenerate BENCH_baseline.json: a small fixed-seed scheme×workload
 # grid of RunRecords. Commit the result so perf drifts show up in review.
@@ -78,13 +90,18 @@ bench-json:
 # deterministic field (cycles, event counts, retry counters) diverges
 # from the committed trajectory, and reports the host-side throughput
 # delta (sim_events_per_sec geomean). The refreshed grid — extended
-# with the multi-core contention records (-mcore), which append after
-# the legacy cells and so never perturb the comparison — lands in
-# BENCH_pr6.json so the current trajectory point is committed next to
-# the baseline it is measured against.
+# with the multi-core contention records (-mcore) and the fast-mode /
+# parallel-DES re-runs (-fast), all of which append after the legacy
+# cells and so never perturb the comparison — lands in BENCH_pr7.json
+# so the current trajectory point is committed next to the baseline it
+# is measured against.
+# The trajectory run is pinned -parallel 1 so every record — functional,
+# fast and pdes alike — is measured serially on an otherwise-idle
+# machine: the printed fast/functional geomean is then an
+# identical-conditions comparison, not an artifact of worker contention.
 bench-delta:
 	$(GO) run ./cmd/dolos-profile -grid -txns 200 -o /tmp/dolos-delta.json -compare BENCH_baseline.json
-	$(GO) run ./cmd/dolos-profile -grid -mcore -txns 200 -o BENCH_pr6.json
+	$(GO) run ./cmd/dolos-profile -grid -mcore -fast -parallel 1 -txns 200 -o BENCH_pr7.json
 
 # CPU+heap profile of a serial grid run, ready for `go tool pprof`.
 pprof:

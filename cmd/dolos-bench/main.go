@@ -42,6 +42,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = serial); tables are identical at any setting")
 	coresFlag := flag.String("cores", "1,2,4,8", "comma-separated core counts for the contention experiment")
 	oooWindow := flag.Int("ooo-window", 0, "OoO issue window for the contention experiment (0 = in-order)")
+	fast := flag.Bool("fast", false, "latency-only crypto provider for every sweep cell (bit-identical tables, fraction of the wall-clock; crash/recovery experiments ignore it)")
 	flag.Parse()
 
 	for _, s := range strings.Split(*coresFlag, ",") {
@@ -54,7 +55,7 @@ func main() {
 	}
 	contentionWindow = *oooWindow
 
-	opts := core.Options{Transactions: *txns, Seed: *seed, Parallelism: *parallel}
+	opts := core.Options{Transactions: *txns, Seed: *seed, Parallelism: *parallel, FastMode: *fast}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +60,7 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "concurrent grid simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	compare := flag.String("compare", "", "grid mode: verify deterministic fields bit-identical against this trajectory file and report the throughput delta (exit 1 on divergence)")
 	mcoreExt := flag.Bool("mcore", false, "grid mode: append multi-core contention records (shared-controller cells at 2 and 4 cores) after the legacy grid")
+	fast := flag.Bool("fast", false, "single run: use the latency-only crypto provider; grid mode: append fast-mode and parallel-DES re-runs of the legacy cells, checked bit-identical in-run")
 	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU profile (go tool pprof) to this path")
 	memProfile := flag.String("memprofile", "", "write a host-side heap profile (after GC) to this path on exit")
 	flag.Parse()
@@ -87,7 +89,7 @@ func run() int {
 	}
 
 	if *grid {
-		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare, *mcoreExt); err != nil {
+		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare, *mcoreExt, *fast); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 			return 1
 		}
@@ -111,22 +113,31 @@ func run() int {
 	}
 	tr := w.Generate(whisper.Params{Transactions: *txns, TxSize: *txSize, Seed: *seed})
 
-	cfg := controller.Config{Scheme: sch, Tree: kind, HardwareWPQ: *wpqSize}
+	cfg := controller.Config{Scheme: sch, Tree: kind, HardwareWPQ: *wpqSize, FastMode: *fast}
 	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
-	sys := cpu.NewSystem(cfg)
-	probe := telemetry.NewProbe(sys.Eng.Now)
-	probe.SetEventLimit(*eventLimit)
-	sys.SetProbe(probe)
-
-	start := time.Now()
-	res := sys.Run(tr)
-	wall := time.Since(start)
+	var sys *cpu.System
+	var res cpu.Result
+	var wall time.Duration
+	var probe *telemetry.Probe
+	// The profile labels let `go tool pprof -tagfocus` split host CPU by
+	// crypto provider and DES parallelism, so a -cpuprofile of a mixed
+	// session attributes SHA-256 time to the runs that actually paid it.
+	pprof.Do(context.Background(), runLabels(cfg), func(context.Context) {
+		sys = cpu.NewSystem(cfg)
+		probe = telemetry.NewProbe(sys.Eng.Now)
+		probe.SetEventLimit(*eventLimit)
+		sys.SetProbe(probe)
+		start := time.Now()
+		res = sys.Run(tr)
+		wall = time.Since(start)
+	})
 
 	if err := writeTrace(*traceOut, probe); err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 		return 1
 	}
 	rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Eng.Processed(), wall, sys.Ctrl.Stats(), probe.Registry())
+	rec.Mode = cliutil.ModeLabel(cfg.FastMode, cfg.ParallelDES)
 	if err := writeMetrics(*metricsOut, rec); err != nil {
 		fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 		return 1
@@ -219,7 +230,13 @@ func writeMetrics(path string, v any) error {
 // field-by-field against that trajectory file: any deterministic-field
 // divergence is an error (the timing model changed), while the host-side
 // throughput fields are summarized as a speedup ratio.
-func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreExt bool) error {
+//
+// With fastExt the legacy cells are re-run twice more — once with the
+// latency-only provider (mode "fast") and once pipelined across two host
+// cores (mode "pdes") — and each re-run is diffed in-run against its
+// functional serial record: a single divergent deterministic field fails
+// the grid. The extension records append after the mcore block.
+func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreExt, fastExt bool) error {
 	schemes := []controller.Scheme{
 		controller.PreWPQSecure,
 		controller.DolosFull,
@@ -229,11 +246,6 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreE
 	workloads := []string{"Hashmap", "Btree"}
 	const gridSeed = 1
 
-	type gridCell struct {
-		workload string
-		tr       *trace.Trace
-		scheme   controller.Scheme
-	}
 	var cells []gridCell
 	for _, wl := range workloads {
 		w, err := whisper.ByName(wl)
@@ -274,11 +286,7 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreE
 				c := cells[i]
 				cfg := controller.Config{Scheme: c.scheme, Tree: masu.BMTEager, HardwareWPQ: 16}
 				cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
-				sys := cpu.NewSystem(cfg)
-				start := time.Now()
-				res := sys.Run(c.tr)
-				records[i] = cliutil.BuildRunRecord(res, masu.BMTEager, txSize, gridSeed,
-					sys.Eng.Processed(), time.Since(start), sys.Ctrl.Stats(), nil)
+				records[i] = runGridCell(cfg, c.tr, txSize)
 			}
 		}()
 	}
@@ -290,6 +298,13 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreE
 	}
 	if mcoreExt {
 		records = append(records, mcoreRecords(txns, txSize)...)
+	}
+	if fastExt {
+		ext, err := fastRecords(cells, records[:len(cells)], txSize)
+		if err != nil {
+			return err
+		}
+		records = append(records, ext...)
 	}
 	if err := writeMetrics(path, records); err != nil {
 		return err
@@ -324,6 +339,83 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreE
 	}
 	fmt.Println("deterministic fields are bit-identical to the baseline")
 	return nil
+}
+
+// gridCell is one scheme×workload cell of the bench grid, with the
+// workload's pre-generated trace (shared read-only between runs).
+type gridCell struct {
+	workload string
+	tr       *trace.Trace
+	scheme   controller.Scheme
+}
+
+// runLabels builds the pprof label set describing how cfg executes:
+// crypto=functional|fast (which provider computes pads and MACs) and
+// des=serial|parallel (whether a shadow stage rides a second core). The
+// pipeline consumer goroutine is spawned under pprof.Do, so it inherits
+// the same labels and its SHA-256 time stays attributed to the run.
+func runLabels(cfg controller.Config) pprof.LabelSet {
+	crypto := "functional"
+	if cfg.FastMode {
+		crypto = "fast"
+	}
+	des := "serial"
+	if cfg.ParallelDES && !cfg.FastMode {
+		des = "parallel"
+	}
+	return pprof.Labels("crypto", crypto, "des", des)
+}
+
+// runGridCell runs one bench cell under its pprof labels and returns the
+// record (Mode set from the config).
+func runGridCell(cfg controller.Config, tr *trace.Trace, txSize int) telemetry.RunRecord {
+	const gridSeed = 1
+	var rec telemetry.RunRecord
+	pprof.Do(context.Background(), runLabels(cfg), func(context.Context) {
+		sys := cpu.NewSystem(cfg)
+		start := time.Now()
+		res := sys.Run(tr)
+		rec = cliutil.BuildRunRecord(res, masu.BMTEager, txSize, gridSeed,
+			sys.Eng.Processed(), time.Since(start), sys.Ctrl.Stats(), nil)
+		rec.Mode = cliutil.ModeLabel(cfg.FastMode, cfg.ParallelDES)
+	})
+	return rec
+}
+
+// fastRecords is the -fast grid extension: every legacy cell re-run in
+// fast mode and again under parallel DES, each checked bit-identical to
+// its functional serial record before the grid is allowed to land. The
+// printed geomean is the headline fast-mode speedup (host throughput;
+// the simulated model is unchanged by construction, and the diff proves
+// it).
+func fastRecords(cells []gridCell, funcRecs []telemetry.RunRecord, txSize int) ([]telemetry.RunRecord, error) {
+	var out []telemetry.RunRecord
+	for _, mode := range []struct {
+		name       string
+		fast, pdes bool
+	}{{"fast", true, false}, {"pdes", false, true}} {
+		recs := make([]telemetry.RunRecord, len(cells))
+		for i, c := range cells {
+			cfg := controller.Config{Scheme: c.scheme, Tree: masu.BMTEager, HardwareWPQ: 16,
+				FastMode: mode.fast, ParallelDES: mode.pdes}
+			cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
+			recs[i] = runGridCell(cfg, c.tr, txSize)
+			fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR  (%s)\n",
+				c.workload, recs[i].Scheme, recs[i].Cycles, recs[i].RetryPerKWR, mode.name)
+		}
+		delta := cliutil.CompareBenchRecords(recs, funcRecs)
+		if !delta.Identical() {
+			for _, d := range delta.Diffs {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			return nil, fmt.Errorf("%s mode diverged from the functional serial grid (%d diffs)",
+				mode.name, len(delta.Diffs))
+		}
+		fmt.Printf("%s mode: bit-identical to functional serial, %.2fx sim_events_per_sec (geomean)\n",
+			mode.name, delta.EPSRatio)
+		out = append(out, recs...)
+	}
+	return out, nil
 }
 
 // mcoreRecords runs the contention axis of the bench grid: the

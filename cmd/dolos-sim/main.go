@@ -40,6 +40,8 @@ func main() {
 	showStats := flag.Bool("stats", false, "dump controller counters")
 	jsonOut := flag.Bool("json", false, "emit the run result as JSON on stdout instead of text")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
+	fast := flag.Bool("fast", false, "latency-only crypto provider (bit-identical timing, no real AES/SHA-256)")
+	pdes := flag.Bool("pdes", false, "parallel DES: pipeline functional crypto onto a second host core (ignored with -fast)")
 	flag.Parse()
 
 	sch, err := cliutil.ParseScheme(*scheme)
@@ -64,6 +66,8 @@ func main() {
 		Tree:              kind,
 		HardwareWPQ:       *wpqSize,
 		DisableCoalescing: *noCoalesce,
+		FastMode:          *fast,
+		ParallelDES:       *pdes,
 	}
 	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("sim")
 
@@ -104,6 +108,7 @@ func main() {
 			reg = p.Registry()
 		}
 		rec := cliutil.BuildRunRecord(res, kind, *txSize, *seed, sys.Eng.Processed(), wall, sys.Ctrl.Stats(), reg)
+		rec.Mode = cliutil.ModeLabel(cfg.FastMode, cfg.ParallelDES)
 		if err := telemetry.WriteJSON(os.Stdout, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
 			os.Exit(1)
@@ -167,6 +172,7 @@ func runMulti(w whisper.Workload, cfg controller.Config, kind masu.TreeKind,
 
 	if jsonOut {
 		rec := cliutil.BuildRunRecord(res, kind, txSize, seed, sys.Eng.Processed(), wall, sys.Ctrl.Stats(), nil)
+		rec.Mode = cliutil.ModeLabel(cfg.FastMode, cfg.ParallelDES)
 		if err := telemetry.WriteJSON(os.Stdout, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-sim: %v\n", err)
 			os.Exit(1)

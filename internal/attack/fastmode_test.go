@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+
+	"dolos/internal/crypt"
+	"dolos/internal/layout"
+	"dolos/internal/masu"
+	"dolos/internal/nvm"
+)
+
+// newFastVictim is newVictim with the latency-only provider: the image
+// an adversary would get if someone mistakenly ran a security experiment
+// in fast mode. Its MACs are address/counter mixes, not keyed hashes, so
+// every integrity surface must refuse to run rather than report a
+// meaningless verdict.
+func newFastVictim(t *testing.T) *masu.Unit {
+	t.Helper()
+	lay := layout.Small()
+	dev := nvm.NewDevice(nil, lay.DeviceSize, 0)
+	u := masu.New(masu.BMTEager, crypt.NewFastEngine(), dev, lay, 0)
+	var p [64]byte
+	for j := range p {
+		p[j] = byte(j)
+	}
+	u.ProcessWrite(0x1000, p, -1)
+	return u
+}
+
+// TestFastModeRefusesIntegrityChecks: CheckLine, both recovery paths and
+// the full audit must all return masu.ErrFastMode on a fast-mode unit —
+// a fake MAC that "verifies" would silently void every attack test in
+// this package.
+func TestFastModeRefusesIntegrityChecks(t *testing.T) {
+	u := newFastVictim(t)
+	if err := u.CheckLine(0x1000); !errors.Is(err, masu.ErrFastMode) {
+		t.Errorf("CheckLine on fast-mode unit: err = %v, want ErrFastMode", err)
+	}
+	u.CrashVolatile()
+	if _, err := u.RecoverAnubis(); !errors.Is(err, masu.ErrFastMode) {
+		t.Errorf("RecoverAnubis on fast-mode unit: err = %v, want ErrFastMode", err)
+	}
+	if _, err := u.RecoverOsiris(); !errors.Is(err, masu.ErrFastMode) {
+		t.Errorf("RecoverOsiris on fast-mode unit: err = %v, want ErrFastMode", err)
+	}
+	if _, err := u.Audit(); !errors.Is(err, masu.ErrFastMode) {
+		t.Errorf("Audit on fast-mode unit: err = %v, want ErrFastMode", err)
+	}
+}
+
+// TestFunctionalVictimStillAudits is the control: the same sequence on
+// the functional engine succeeds, so the guard is provider-sensitivity,
+// not a broken code path.
+func TestFunctionalVictimStillAudits(t *testing.T) {
+	u, _, _ := newVictim(t)
+	if err := u.CheckLine(0x1000); err != nil {
+		t.Errorf("CheckLine on functional unit: %v", err)
+	}
+	if _, err := u.Audit(); err != nil {
+		t.Errorf("Audit on functional unit: %v", err)
+	}
+}

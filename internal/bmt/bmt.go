@@ -52,7 +52,7 @@ func (m UpdateMode) String() string {
 // are persisted to an NVM region on demand; the root register is modeled
 // as persistent (battery-backed processor register, as in AGIT).
 type Tree struct {
-	eng      *crypt.Engine
+	eng      crypt.Dispatch
 	dev      *nvm.Device
 	nodeBase uint64
 	leaves   uint64
@@ -79,12 +79,12 @@ type Tree struct {
 // New creates a tree over `leaves` 64-byte leaf blocks, storing interior
 // nodes at nodeBase in dev. leafImage must return the current image of a
 // leaf; it is captured for verification and rebuild.
-func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tree {
+func New(eng crypt.Provider, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tree {
 	if leaves == 0 {
 		panic("bmt: zero leaves")
 	}
 	t := &Tree{
-		eng:      eng,
+		eng:      crypt.AsDispatch(eng),
 		dev:      dev,
 		nodeBase: nodeBase,
 		leaves:   leaves,

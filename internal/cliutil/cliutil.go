@@ -167,6 +167,20 @@ func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
 	}
 }
 
+// ModeLabel names how a run executed for RunRecord.Mode: "fast" for the
+// latency-only provider, "pdes" for the pipelined functional shadow,
+// empty for the default functional serial simulator. FastMode wins when
+// both are set, mirroring controller.Config.
+func ModeLabel(fastMode, parallelDES bool) string {
+	switch {
+	case fastMode:
+		return "fast"
+	case parallelDES:
+		return "pdes"
+	}
+	return ""
+}
+
 // LoadBenchRecords reads a bench-grid trajectory file (a JSON array of
 // RunRecords, as written by dolos-profile -grid).
 func LoadBenchRecords(path string) ([]telemetry.RunRecord, error) {
@@ -208,8 +222,10 @@ func (d BenchDelta) Identical() bool { return len(d.Diffs) == 0 }
 // hostFields are the RunRecord JSON fields measured on the host rather
 // than in the simulated model; they differ run to run by design and are
 // excluded from bit-identity comparison (events_processed stays in: the
-// engine's dispatch count is deterministic).
-var hostFields = []string{"wall_seconds", "sim_events_per_sec"}
+// engine's dispatch count is deterministic). mode is a label of how the
+// host executed the run — fast-mode and parallel-DES records must match
+// their functional serial baseline on every other field.
+var hostFields = []string{"mode", "wall_seconds", "sim_events_per_sec"}
 
 // CompareBenchRecords compares two bench grids field-by-field. Records
 // pair by position (the grid assembles records in enumeration order);

@@ -125,6 +125,23 @@ type Config struct {
 	// back-ends — the knob for the "Dolos composes with any back-end
 	// optimization" ablation.
 	MaSUInterval sim.Cycle
+	// FastMode swaps the functional crypto provider for the latency-only
+	// one (crypt.FastEngine): no AES, no SHA-256, identical timing.
+	// Every deterministic field of a run is bit-identical to functional
+	// mode — the model charges latency from cost counts and addresses,
+	// never from crypto bytes — but NVM contents are fake, so Crash,
+	// Recover and the audit paths refuse to run (see masu.ErrFastMode).
+	FastMode bool
+	// ParallelDES pipelines one run across two stages: the event loop
+	// executes with the latency-only provider (the timing stage) while a
+	// functional twin of the Ma-SU/Mi-SU/device replays the journaled
+	// security ops on a second goroutine, at most ShadowWindow ops
+	// behind. Timing output is bit-identical to both serial modes;
+	// functional state is available from ShadowMaSU/ShadowDevice after
+	// Quiesce. Ignored when FastMode is also set (there is no functional
+	// work to offload). Crash/recovery experiments must use the serial
+	// functional configuration.
+	ParallelDES bool
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +180,7 @@ type Controller struct {
 	ma *masu.Unit
 	mi *misu.Unit // Dolos schemes only
 	bq *wpq.Queue // baseline/ideal schemes: plain WPQ (timing + drain)
+	sh *shadow    // parallel-DES functional stage (nil when serial)
 	st *stats.Set
 
 	secUnit *sim.PipeServer // PreWPQSecure: the security pipeline
@@ -219,7 +237,15 @@ type Controller struct {
 // The device must span cfg.Layout.DeviceSize.
 func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
 	cfg = cfg.withDefaults()
-	engine := crypt.NewEngine(cfg.AESKey, cfg.MACKey)
+	// The crypto seam: fast and parallel-DES runs drive the event loop
+	// with the latency-only provider (a parallel run's functional work
+	// happens on the shadow stage instead, see shadow.go).
+	var engine crypt.Provider
+	if cfg.FastMode || cfg.ParallelDES {
+		engine = crypt.NewFastEngine()
+	} else {
+		engine = crypt.NewEngine(cfg.AESKey, cfg.MACKey)
+	}
 	// Initiation intervals: a new write can enter a security pipeline
 	// every MAC stage. Post-WPQ's insert path has no MAC at all.
 	miII := crypt.MACLatency
@@ -274,8 +300,17 @@ func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
 	if cfg.DisableCoalescing {
 		c.queue().SetCoalescing(false)
 	}
+	if cfg.ParallelDES && !cfg.FastMode {
+		c.sh = newShadow(cfg)
+	}
 	return c
 }
+
+// Functional reports whether the controller's primary units compute
+// real cryptographic state inline (serial functional mode). Fast and
+// parallel-DES runs return false — a parallel run's functional state
+// lives on the shadow stage instead.
+func (c *Controller) Functional() bool { return c.ma.Functional() }
 
 // Stats returns the controller's statistics registry.
 func (c *Controller) Stats() *stats.Set { return c.st }

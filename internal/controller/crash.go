@@ -51,6 +51,9 @@ type CrashReport struct {
 // drained to NVM on the ADR reserve, and the budget is audited. After
 // Crash the controller accepts no further requests until Recover.
 func (c *Controller) Crash() (CrashReport, error) {
+	if !c.ma.Functional() {
+		return CrashReport{}, fmt.Errorf("controller: Crash on a FastMode/ParallelDES configuration: %w", masu.ErrFastMode)
+	}
 	c.crashed = true
 	c.epoch++
 	var rep CrashReport
@@ -103,6 +106,9 @@ type RecoverReport struct {
 // the Ma-SU. On success the controller accepts requests again.
 func (c *Controller) Recover(mode RecoveryMode) (RecoverReport, error) {
 	var rep RecoverReport
+	if !c.ma.Functional() {
+		return rep, fmt.Errorf("controller: Recover on a FastMode/ParallelDES configuration: %w", masu.ErrFastMode)
+	}
 	var err error
 	switch mode {
 	case AnubisRecovery:

@@ -51,11 +51,17 @@ func (c *Controller) ReadLine(addr uint64, done func()) {
 	})
 }
 
-// readThroughMaSU performs the functional verified read.
+// readThroughMaSU performs the verified read (functional in serial
+// functional mode; in fast/parallel modes the same code path runs on
+// latency-only values, and a parallel run's shadow stage re-verifies
+// with real crypto).
 func (c *Controller) readThroughMaSU(addr uint64) (masu.Cost, error) {
-	_, cost, err := c.ma.ReadLine(addr)
+	plain, cost, err := c.ma.ReadLine(addr)
 	c.cReadCounterMiss.Add(uint64(cost.CounterMisses))
 	c.cReadTreeMiss.Add(uint64(cost.TreeMisses))
+	if err == nil {
+		c.journalRead(addr, &plain)
+	}
 	return cost, err
 }
 

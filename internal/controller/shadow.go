@@ -1,0 +1,193 @@
+package controller
+
+import (
+	"fmt"
+
+	"dolos/internal/crypt"
+	"dolos/internal/masu"
+	"dolos/internal/misu"
+	"dolos/internal/nvm"
+	"dolos/internal/sim"
+)
+
+// ShadowWindow is the conservative lookahead depth of a parallel-DES
+// run: the timing stage may run at most this many functional ops ahead
+// of the shadow stage before blocking. Deep enough to ride out a
+// SHA-256-heavy burst (a page re-encryption is 32 writes), small enough
+// that the in-flight journal stays cache-resident (~80 B per op).
+const ShadowWindow = 1024
+
+// shadowOpKind enumerates the journal of functional work. The set is
+// exactly the mutation surface of the Ma-SU, Mi-SU and WPQ on the
+// benign path (crash/recovery are barred from parallel runs), so
+// replaying the journal in order reconstructs the identical functional
+// state a serial run builds inline.
+type shadowOpKind uint8
+
+const (
+	// shadowWrite replays ma.ProcessWrite(addr, data, slot).
+	shadowWrite shadowOpKind = iota
+	// shadowRead replays ma.ReadLine(addr), which must verify and
+	// decrypt to data — a built-in divergence check on every read.
+	shadowRead
+	// shadowProtect replays mi.Protect(addr, data), which must pick slot.
+	shadowProtect
+	// shadowDeferredMAC replays mi.CompleteDeferredMAC(slot).
+	shadowDeferredMAC
+	// shadowMarkFetched replays queue.MarkFetched(slot).
+	shadowMarkFetched
+	// shadowClear replays queue.Clear(slot).
+	shadowClear
+)
+
+// shadowOp is one journal entry. Plain data, no closures: the pipeline
+// channel moves 80 bytes per op and allocates nothing.
+type shadowOp struct {
+	kind shadowOpKind
+	slot int32
+	addr uint64
+	data [64]byte
+}
+
+// shadow is the functional stage of a parallel-DES run: a twin Ma-SU,
+// Mi-SU and NVM device built with the real crypto engine, fed the
+// journal through a lookahead-bounded pipeline and applied on its own
+// goroutine. The timing stage (the event loop, running the latency-only
+// provider) never reads shadow state — by the fast-mode invariant it
+// never needs a crypto byte — so the two stages only synchronize at the
+// window bound and the end-of-run barrier.
+type shadow struct {
+	pipe   *sim.Pipeline[shadowOp]
+	ma     *masu.Unit
+	mi     *misu.Unit // Dolos schemes only
+	dev    *nvm.Device
+	closed bool
+}
+
+// newShadow builds the functional twin for cfg (already defaulted) and
+// starts its pipeline consumer.
+func newShadow(cfg Config) *shadow {
+	sh := &shadow{}
+	eng := crypt.NewEngine(cfg.AESKey, cfg.MACKey)
+	sh.dev = nvm.NewDevice(nil, cfg.Layout.DeviceSize, 0)
+	sh.ma = masu.NewWithParams(cfg.Tree, eng, sh.dev, cfg.Layout, masu.Params{
+		OsirisPeriod:      cfg.OsirisPeriod,
+		CounterCacheBytes: cfg.CounterCacheBytes,
+		MTCacheBytes:      cfg.MTCacheBytes,
+	})
+	if cfg.Scheme.IsDolos() {
+		sh.mi = misu.New(cfg.Scheme.MiSUDesign(), eng, sh.dev, cfg.Layout.DrainBase, cfg.UsableWPQ())
+		if cfg.DisableCoalescing {
+			sh.mi.Queue().SetCoalescing(false)
+		}
+	}
+	sh.pipe = sim.NewPipeline(ShadowWindow, sh.apply)
+	return sh
+}
+
+// apply executes one journal entry on the shadow units. It runs on the
+// pipeline's consumer goroutine, which owns all shadow state. Any
+// integrity error or disagreement with the timing stage is a model bug
+// and panics — equivalence is asserted continuously, not just at the
+// end-of-run comparison.
+func (sh *shadow) apply(op shadowOp) {
+	switch op.kind {
+	case shadowWrite:
+		sh.ma.ProcessWrite(op.addr, op.data, int(op.slot))
+	case shadowRead:
+		plain, _, err := sh.ma.ReadLine(op.addr)
+		if err != nil {
+			panic("controller: parallel-DES shadow read failed verification: " + err.Error())
+		}
+		if plain != op.data {
+			panic(fmt.Sprintf("controller: parallel-DES divergence: shadow decrypt of %#x differs from timing stage", op.addr))
+		}
+	case shadowProtect:
+		if slot := sh.mi.Protect(op.addr, op.data); slot != int(op.slot) {
+			panic(fmt.Sprintf("controller: parallel-DES divergence: shadow Mi-SU slot %d, timing stage slot %d", slot, op.slot))
+		}
+	case shadowDeferredMAC:
+		sh.mi.CompleteDeferredMAC(int(op.slot))
+	case shadowMarkFetched:
+		sh.mi.Queue().MarkFetched(int(op.slot))
+	case shadowClear:
+		sh.mi.Queue().Clear(int(op.slot))
+	}
+}
+
+// journalWrite records a Ma-SU ProcessWrite for shadow replay.
+func (c *Controller) journalWrite(addr uint64, data *[64]byte, slot int) {
+	if c.sh != nil {
+		c.sh.pipe.Submit(shadowOp{kind: shadowWrite, slot: int32(slot), addr: addr, data: *data})
+	}
+}
+
+// journalRead records a verified Ma-SU read (with the plaintext the
+// timing stage observed, for the divergence check).
+func (c *Controller) journalRead(addr uint64, plain *[64]byte) {
+	if c.sh != nil {
+		c.sh.pipe.Submit(shadowOp{kind: shadowRead, addr: addr, data: *plain})
+	}
+}
+
+// journalProtect records a Mi-SU insert with the slot the timing stage
+// allocated.
+func (c *Controller) journalProtect(addr uint64, data *[64]byte, slot int) {
+	if c.sh != nil {
+		c.sh.pipe.Submit(shadowOp{kind: shadowProtect, slot: int32(slot), addr: addr, data: *data})
+	}
+}
+
+// journalSlot records a slot-only op (deferred MAC, fetch, clear).
+func (c *Controller) journalSlot(kind shadowOpKind, slot int) {
+	if c.sh != nil {
+		c.sh.pipe.Submit(shadowOp{kind: kind, slot: int32(slot)})
+	}
+}
+
+// Quiesce drains and stops the parallel-DES shadow stage, blocking
+// until every journaled op has been applied — the event-horizon barrier
+// at the end of a run. No-op (and safe to call repeatedly) for serial
+// runs. Shadow state read after Quiesce is the exact functional state a
+// serial functional run of the same trace produces.
+func (c *Controller) Quiesce() {
+	if c.sh != nil && !c.sh.closed {
+		c.sh.closed = true
+		c.sh.pipe.Close()
+	}
+}
+
+// ShadowMaSU returns the functional twin Ma-SU of a parallel-DES run
+// (nil otherwise). Call Quiesce first.
+func (c *Controller) ShadowMaSU() *masu.Unit {
+	if c.sh == nil {
+		return nil
+	}
+	return c.sh.ma
+}
+
+// ShadowMiSU returns the functional twin Mi-SU of a parallel-DES run
+// (nil otherwise, and nil for non-Dolos schemes). Call Quiesce first.
+func (c *Controller) ShadowMiSU() *misu.Unit {
+	if c.sh == nil {
+		return nil
+	}
+	return c.sh.mi
+}
+
+// ShadowDevice returns the functional twin NVM device of a parallel-DES
+// run (nil otherwise). Call Quiesce first.
+func (c *Controller) ShadowDevice() *nvm.Device {
+	if c.sh == nil {
+		return nil
+	}
+	return c.sh.dev
+}
+
+// LoadInitLine installs one checkpoint-image line functionally, with no
+// cycles charged — the Start-time prologue, routed through the
+// controller so a parallel-DES shadow replays it too.
+func (c *Controller) LoadInitLine(addr uint64, data [64]byte) {
+	c.ma.ProcessWrite(addr, data, -1)
+	c.journalWrite(addr, &data, -1)
+}

@@ -89,6 +89,7 @@ func (c *Controller) insertEADR(w waiter) {
 		c.eng.After(1, w.accepted)
 	}
 	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
+	c.journalWrite(w.addr, &w.data, -1)
 	c.chargeWriteCost(cost)
 	epoch := c.epoch
 	c.secUnit.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
@@ -183,6 +184,7 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 			return
 		}
 		slot := c.mi.Protect(w.addr, w.data)
+		c.journalProtect(w.addr, &w.data, slot)
 		c.insertTime[slot] = c.eng.Now()
 		c.cInserted.Inc()
 		if w.accepted != nil {
@@ -196,6 +198,7 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 					return
 				}
 				c.mi.CompleteDeferredMAC(slot)
+				c.journalSlot(shadowDeferredMAC, slot)
 				c.wakeWaiters()
 				// The entry only became fetchable now that its MAC is
 				// in place; re-arm the Ma-SU.
@@ -247,9 +250,11 @@ func (c *Controller) pumpMaSU() {
 			return
 		}
 		c.mi.Queue().MarkFetched(slot)
+		c.journalSlot(shadowMarkFetched, slot)
 		fetchSeq := c.mi.Queue().Entry(slot).Seq
 		addr, plain := c.mi.DecryptSlot(slot)
 		cost := c.ma.ProcessWrite(addr, plain, slot)
+		c.journalWrite(addr, &plain, slot)
 		c.chargeWriteCost(cost)
 		c.maSU.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
 			if c.staleAt(epoch) {
@@ -273,6 +278,7 @@ func (c *Controller) pumpMaSU() {
 					// coalesced value (different Seq) stays live and
 					// will be re-fetched.
 					c.mi.Queue().Clear(slot)
+					c.journalSlot(shadowClear, slot)
 				}
 				c.wakeWaiters()
 				c.pumpMaSU()
@@ -312,6 +318,7 @@ func (c *Controller) insertPreWPQ(w waiter) {
 	// generation, data MAC and the eager tree update all happen before
 	// the write may enter the persistence domain.
 	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
+	c.journalWrite(w.addr, &w.data, -1)
 	c.chargeWriteCost(cost)
 	service := crypt.AESLatency + sim.Cycle(cost.SerialMACs)*crypt.MACLatency +
 		sim.Cycle(cost.CounterMisses+cost.TreeMisses)*600 +
@@ -379,6 +386,7 @@ func (c *Controller) insertIdeal(w waiter, wake bool) {
 	// Security is applied with zero charged latency (the infeasible
 	// reference point): functional state stays exact.
 	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
+	c.journalWrite(w.addr, &w.data, -1)
 	c.chargeWriteCost(cost)
 	if w.accepted != nil {
 		c.eng.After(1, w.accepted)

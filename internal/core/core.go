@@ -51,6 +51,11 @@ type Options struct {
 	// the workload or spec: a stalled cell still produces byte-identical
 	// results.
 	PreRun func(workload string, spec Spec)
+	// FastMode makes every run in the batch use the latency-only crypto
+	// provider (see Spec.FastMode) unless a cell asks otherwise. Every
+	// deterministic result field is bit-identical to functional mode;
+	// crash/recovery and attack experiments refuse it.
+	FastMode bool
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +98,24 @@ type Spec struct {
 	// path); >1 overlaps independent read misses and enables the
 	// stride prefetcher.
 	OoOWindow int
+	// FastMode swaps the functional crypto engine (AES-CTR pads,
+	// SHA-256 MACs) for a latency-only provider. All simulated timing
+	// derives from event counts and latency constants, never from
+	// crypto byte values, so every deterministic result field is
+	// bit-identical to a functional run (pinned by TestFastMode* in
+	// this package) at a fraction of the host CPU cost. Crash,
+	// recovery and attack experiments require functional crypto and
+	// return masu.ErrFastMode / misu.ErrFastMode if asked to run on a
+	// fast-mode system.
+	FastMode bool
+	// ParallelDES pipelines one run across two host cores: the event
+	// loop runs with the latency-only provider while a shadow twin of
+	// the security units replays the journaled functional work (real
+	// AES/SHA-256) a bounded lookahead window behind. Deterministic
+	// results are identical to a serial functional run, and the shadow
+	// continuously asserts byte-equivalence. Ignored when FastMode is
+	// also set (nothing functional left to offload).
+	ParallelDES bool
 }
 
 func (s Spec) withDefaults() Spec {
@@ -157,6 +180,20 @@ func (r *Runner) Options() Options { return r.opts }
 // simulation.
 func (r *Runner) WithContext(ctx context.Context) *Runner {
 	return &Runner{opts: r.opts, ctx: ctx, traces: r.traces}
+}
+
+// functional returns a view of the runner with the batch-level FastMode
+// default cleared (sharing options, context and trace cache otherwise).
+// Crash/recovery experiments run through this view: they exist to prove
+// real MACs and ECC survive power loss, and the masu/misu guards refuse
+// the latency-only provider outright.
+func (r *Runner) functional() *Runner {
+	if !r.opts.FastMode {
+		return r
+	}
+	o := r.opts
+	o.FastMode = false
+	return &Runner{opts: o, ctx: r.ctx, traces: r.traces}
 }
 
 // context returns the runner's bounding context (Background when unset).
@@ -294,6 +331,8 @@ func (r *Runner) runSystem(workload string, spec Spec) (cpu.Result, machineRef, 
 		CounterCacheBytes: spec.CounterCacheBytes,
 		MaSUInterval:      sim.Cycle(spec.MaSUInterval),
 		OsirisPeriod:      spec.OsirisPeriod,
+		FastMode:          spec.FastMode || r.opts.FastMode,
+		ParallelDES:       spec.ParallelDES,
 	}
 	copy(cfg.AESKey[:], "dolos-aes-key-16")
 	copy(cfg.MACKey[:], "dolos-mac-key-16")

@@ -450,9 +450,12 @@ func (r *Runner) AblateOsiris(workload string) (*stats.Table, error) {
 		probes   float64
 	}
 	points := make([]osirisPoint, len(OsirisPeriods))
+	// This sweep crashes and recovers each cell, so it always runs the
+	// functional provider regardless of the batch FastMode default.
+	fr := r.functional()
 	err := r.forEach(len(OsirisPeriods), func(i int) error {
 		period := OsirisPeriods[i]
-		_, ref, err := r.runSystem(workload, Spec{
+		_, ref, err := fr.runSystem(workload, Spec{
 			Scheme: controller.DolosPartial, Tree: masu.BMTEager, OsirisPeriod: period,
 		})
 		if err != nil {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dolos/internal/cliutil"
+	"dolos/internal/controller"
+	"dolos/internal/masu"
+	"dolos/internal/telemetry"
+	"dolos/internal/whisper"
+)
+
+// allSchemes is every controller scheme the façade exposes; the fast-mode
+// contract has to hold for each one, not just the Dolos family.
+var allSchemes = []controller.Scheme{
+	controller.NonSecureADR,
+	controller.PreWPQSecure,
+	controller.DolosFull,
+	controller.DolosPartial,
+	controller.DolosPost,
+	controller.EADRSecure,
+}
+
+// record runs one cell through the runner and freezes it as a RunRecord
+// with wall time zeroed, so the comparison below sees every deterministic
+// field (cycles, counters, histograms, event counts) and nothing host-side.
+func record(t *testing.T, r *Runner, workload string, spec Spec) telemetry.RunRecord {
+	t.Helper()
+	res, m, err := r.runSystem(workload, spec)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", workload, spec.Scheme, err)
+	}
+	rec := cliutil.BuildRunRecord(res, spec.Tree, spec.TxSize, r.Options().Seed,
+		m.Events(), 0, m.Stats(), nil)
+	rec.Mode = cliutil.ModeLabel(spec.FastMode, spec.ParallelDES)
+	return rec
+}
+
+// diffRecords compares two records over every deterministic field and
+// reports the divergences (mode and host throughput excluded).
+func diffRecords(fast, functional telemetry.RunRecord) []string {
+	d := cliutil.CompareBenchRecords(
+		[]telemetry.RunRecord{fast}, []telemetry.RunRecord{functional})
+	return d.Diffs
+}
+
+// TestFastModeBitIdentical is the exhaustive differential proof behind
+// the fast-mode seam: every scheme × workload cell, simulated once with
+// the functional crypto engine and once with the latency-only provider,
+// must produce a bit-identical RunRecord — cycles, retry counters,
+// metadata-cache misses, event counts, histogram summaries, everything
+// deterministic. This is what licenses using fast mode for perf work:
+// the simulated model cannot tell the providers apart.
+func TestFastModeBitIdentical(t *testing.T) {
+	r := NewRunner(Options{Transactions: 100})
+	for _, wl := range whisper.Names() {
+		for _, sch := range allSchemes {
+			spec := Spec{Scheme: sch, Tree: masu.BMTEager}
+			functional := record(t, r, wl, spec)
+			spec.FastMode = true
+			fast := record(t, r, wl, spec)
+			if diffs := diffRecords(fast, functional); len(diffs) > 0 {
+				t.Errorf("%s/%s: fast mode diverged:\n  %s",
+					wl, sch, strings.Join(diffs, "\n  "))
+			}
+		}
+	}
+}
+
+// TestFastModeBitIdenticalLazyTree covers the second integrity backend:
+// the lazy ToC path exercises reencryptPage and the per-page ECC fold,
+// which the eager grid never reaches.
+func TestFastModeBitIdenticalLazyTree(t *testing.T) {
+	r := NewRunner(Options{Transactions: 100})
+	for _, sch := range allSchemes {
+		spec := Spec{Scheme: sch, Tree: masu.ToCLazy}
+		functional := record(t, r, "Hashmap", spec)
+		spec.FastMode = true
+		fast := record(t, r, "Hashmap", spec)
+		if diffs := diffRecords(fast, functional); len(diffs) > 0 {
+			t.Errorf("Hashmap/%s (lazy): fast mode diverged:\n  %s",
+				sch, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
+// TestFastModeOptionsDefault: Options.FastMode is the batch-level switch
+// (the runner applies it to every cell), and it composes with per-cell
+// specs exactly like Spec.FastMode — same records, same bit-identity.
+func TestFastModeOptionsDefault(t *testing.T) {
+	slow := NewRunner(Options{Transactions: 100})
+	fast := NewRunner(Options{Transactions: 100, FastMode: true})
+	spec := Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager}
+	functional := record(t, slow, "Btree", spec)
+	batched := record(t, fast, "Btree", spec)
+	if diffs := diffRecords(batched, functional); len(diffs) > 0 {
+		t.Errorf("Options.FastMode diverged from functional:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestFastModeMultiCore extends the proof across the mcore arbiter: a
+// 2-core contended cell must also be provider-blind.
+func TestFastModeMultiCore(t *testing.T) {
+	r := NewRunner(Options{Transactions: 60})
+	spec := Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, Cores: 2, OoOWindow: 2}
+	functional := record(t, r, "Hashmap", spec)
+	spec.FastMode = true
+	fast := record(t, r, "Hashmap", spec)
+	if diffs := diffRecords(fast, functional); len(diffs) > 0 {
+		t.Errorf("2-core fast mode diverged:\n  %s", strings.Join(diffs, "\n  "))
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dolos/internal/cliutil"
+	"dolos/internal/controller"
+	"dolos/internal/cpu"
+	"dolos/internal/masu"
+	"dolos/internal/sim"
+	"dolos/internal/telemetry"
+	"dolos/internal/whisper"
+)
+
+// dispatchHash folds every dispatched event cycle into a rolling hash —
+// the same order-sensitive fingerprint PR 2 used to prove the de-boxed
+// heap dispatch-order-equivalent. Two runs with equal hashes dispatched
+// the same number of events at the same cycles in the same order.
+type dispatchHash struct{ h uint64 }
+
+func (d *dispatchHash) observe(at sim.Cycle) {
+	x := d.h ^ uint64(at)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	d.h = x
+}
+
+// runInstrumented executes one trace on a fresh system for cfg with the
+// dispatch hook installed, returning the record, the dispatch-order hash
+// and the quiesced system (for device snapshots).
+func runInstrumented(t *testing.T, cfg controller.Config, workload string, txns int) (telemetry.RunRecord, uint64, *cpu.System) {
+	t.Helper()
+	w, err := whisper.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Generate(whisper.Params{Transactions: txns, TxSize: 1024, Seed: 1})
+	sys := cpu.NewSystem(cfg)
+	var h dispatchHash
+	sys.Eng.SetHook(h.observe)
+	res := sys.Run(tr)
+	rec := cliutil.BuildRunRecord(res, cfg.Tree, 1024, 1, sys.Eng.Processed(), 0, sys.Ctrl.Stats(), nil)
+	rec.Mode = cliutil.ModeLabel(cfg.FastMode, cfg.ParallelDES)
+	return rec, h.h, sys
+}
+
+// TestParallelDESMatchesSerial is the equivalence proof for the
+// pipelined simulator: for every scheme, a parallel-DES run must
+//
+//  1. produce a bit-identical RunRecord (the timing stage, running the
+//     latency-only provider, dispatches the same model),
+//  2. dispatch the same events at the same cycles in the same order
+//     (rolling hash over the engine's dispatch hook), and
+//  3. leave the shadow NVM device byte-identical to the device a serial
+//     functional run writes inline — data lines, counters, tree nodes,
+//     MACs and the shadow-table region all at once, via full snapshot
+//     comparison.
+//
+// Run under -race in `make fast-smoke`: the submit/apply channel
+// discipline of the lookahead pipeline is exercised on every cell.
+func TestParallelDESMatchesSerial(t *testing.T) {
+	const txns = 80
+	for _, sch := range allSchemes {
+		for _, wl := range []string{"Hashmap", "Btree"} {
+			base := controller.Config{Scheme: sch, Tree: masu.BMTEager, HardwareWPQ: 16}
+			copy(base.AESKey[:], "pdes-aes-key-016")
+			copy(base.MACKey[:], "pdes-mac-key-016")
+
+			serialRec, serialHash, serialSys := runInstrumented(t, base, wl, txns)
+
+			par := base
+			par.ParallelDES = true
+			parRec, parHash, parSys := runInstrumented(t, par, wl, txns)
+
+			label := wl + "/" + sch.String()
+			d := cliutil.CompareBenchRecords(
+				[]telemetry.RunRecord{parRec}, []telemetry.RunRecord{serialRec})
+			if !d.Identical() {
+				t.Errorf("%s: parallel-DES record diverged:\n  %s",
+					label, strings.Join(d.Diffs, "\n  "))
+			}
+			if serialHash != parHash {
+				t.Errorf("%s: dispatch-order hash %#x (parallel) != %#x (serial)",
+					label, parHash, serialHash)
+			}
+			shadow := parSys.Ctrl.ShadowDevice()
+			if shadow == nil {
+				t.Fatalf("%s: parallel run has no shadow device", label)
+			}
+			if !reflect.DeepEqual(serialSys.Dev.Snapshot(), shadow.Snapshot()) {
+				t.Errorf("%s: shadow NVM state differs from the serial functional device", label)
+			}
+		}
+	}
+}
+
+// TestParallelDESQuiesceIdempotent: Run already quiesces the shadow;
+// explicit re-quiesce (as Collect-style callers may do) must be a no-op
+// rather than a double close.
+func TestParallelDESQuiesceIdempotent(t *testing.T) {
+	cfg := controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, ParallelDES: true}
+	copy(cfg.AESKey[:], "pdes-aes-key-016")
+	copy(cfg.MACKey[:], "pdes-mac-key-016")
+	_, _, sys := runInstrumented(t, cfg, "Hashmap", 20)
+	sys.Ctrl.Quiesce()
+	sys.Ctrl.Quiesce()
+	if sys.Ctrl.Functional() {
+		t.Error("parallel-DES primary units claim to be functional")
+	}
+}
+
+// TestFastModeWinsOverParallel pins the documented precedence: with both
+// flags set the run is plain fast mode — no shadow stage is built.
+func TestFastModeWinsOverParallel(t *testing.T) {
+	cfg := controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager,
+		FastMode: true, ParallelDES: true}
+	_, _, sys := runInstrumented(t, cfg, "Hashmap", 20)
+	if sys.Ctrl.ShadowDevice() != nil {
+		t.Error("FastMode+ParallelDES built a shadow stage; FastMode should win")
+	}
+}

@@ -196,6 +196,9 @@ func (s *System) Run(tr *trace.Trace) Result {
 	if !s.finished {
 		panic("cpu: trace execution deadlocked (fence never satisfied)")
 	}
+	// Event horizon: a parallel-DES shadow stage drains here, so the
+	// functional state is complete before anyone inspects the result.
+	s.Ctrl.Quiesce()
 	return s.Collect(tr)
 }
 
@@ -345,7 +348,7 @@ func (s *System) prepare(tr *trace.Trace) {
 	s.mirror.SizeFor(tr)
 	for i := range tr.InitImage {
 		il := &tr.InitImage[i]
-		s.Ctrl.MaSU().ProcessWrite(il.Addr, il.Data, -1)
+		s.Ctrl.LoadInitLine(il.Addr, il.Data)
 		s.setMirror(il.Addr, &il.Data)
 	}
 }
@@ -374,6 +377,7 @@ func (s *System) RunWith(tr *trace.Trace, fe FrontEnd) Result {
 	if !s.finished {
 		panic("cpu: trace execution deadlocked (fence never satisfied)")
 	}
+	s.Ctrl.Quiesce()
 	return s.Collect(tr)
 }
 

@@ -60,7 +60,14 @@ type Driver struct {
 }
 
 // NewDriver builds a system for cfg with acceptance tracking installed.
+// Crash experiments exist to prove that real MACs and real ECC survive
+// power loss, so a latency-only or pipelined configuration is a caller
+// bug, not a degraded mode: the constructor strips both flags and builds
+// the system functional and serial. The controller's own Crash/Recover
+// guards (masu.ErrFastMode) back this up at the API layer.
 func NewDriver(cfg controller.Config) *Driver {
+	cfg.FastMode = false
+	cfg.ParallelDES = false
 	d := &Driver{
 		sys:      cpu.NewSystem(cfg),
 		accepted: make(map[uint64][64]byte),

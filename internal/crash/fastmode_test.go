@@ -1,0 +1,71 @@
+package crash
+
+import (
+	"errors"
+	"testing"
+
+	"dolos/internal/controller"
+	"dolos/internal/cpu"
+	"dolos/internal/masu"
+	"dolos/internal/whisper"
+)
+
+// TestNewDriverStripsFastMode: the crash driver exists to prove real
+// MACs survive power loss, so a config that asks for the latency-only
+// provider or the pipelined shadow is silently normalized back to
+// functional serial — a crash experiment must never run on faked crypto,
+// and must never race a mid-flight shadow stage.
+func TestNewDriverStripsFastMode(t *testing.T) {
+	cfg := controller.Config{
+		Scheme: controller.DolosPartial, Tree: masu.BMTEager,
+		FastMode: true, ParallelDES: true,
+	}
+	copy(cfg.AESKey[:], "crash-aes-key-16")
+	copy(cfg.MACKey[:], "crash-mac-key-16")
+	d := NewDriver(cfg)
+	if !d.System().Ctrl.Functional() {
+		t.Fatal("NewDriver kept the latency-only provider")
+	}
+	if d.System().Ctrl.ShadowDevice() != nil {
+		t.Fatal("NewDriver built a parallel-DES shadow stage")
+	}
+	w, err := whisper.ByName("Hashmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Generate(whisper.Params{Transactions: 30, TxSize: 1024, Seed: 1})
+	out, err := d.RunAndCrash(tr, 200000, controller.AnubisRecovery)
+	if err != nil {
+		t.Fatalf("crash experiment on normalized driver: %v", err)
+	}
+	if out.LinesAudited == 0 {
+		t.Fatal("normalized crash run audited no lines")
+	}
+}
+
+// TestCrashRefusedOnFastSystem: outside the driver, the controller API
+// itself refuses to crash or recover a fast-mode machine, with an error
+// that names the guard (masu.ErrFastMode) so the misuse is diagnosable.
+func TestCrashRefusedOnFastSystem(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		cfg  controller.Config
+	}{
+		{"fast", controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, FastMode: true}},
+		{"pdes", controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, ParallelDES: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := mode.cfg
+			copy(cfg.AESKey[:], "crash-aes-key-16")
+			copy(cfg.MACKey[:], "crash-mac-key-16")
+			sys := cpu.NewSystem(cfg)
+			sys.Ctrl.Quiesce()
+			if _, err := sys.Ctrl.Crash(); !errors.Is(err, masu.ErrFastMode) {
+				t.Errorf("Crash on %s system: err = %v, want ErrFastMode", mode.name, err)
+			}
+			if _, err := sys.Ctrl.Recover(controller.AnubisRecovery); !errors.Is(err, masu.ErrFastMode) {
+				t.Errorf("Recover on %s system: err = %v, want ErrFastMode", mode.name, err)
+			}
+		})
+	}
+}

@@ -36,6 +36,53 @@ const MACSize = 8
 // Pad is a 64-byte one-time encryption pad for one memory block.
 type Pad [BlockSize]byte
 
+// Provider is the crypto seam between the security units and the
+// primitive implementations. Two implementations exist:
+//
+//   - *Engine — the functional provider: real AES-CTR pads, real
+//     truncated-SHA-256 MACs. Crash, recovery and attack experiments
+//     require it, because they read the bytes back and verify them.
+//   - *FastEngine — the latency-only provider for perf-mode runs:
+//     identity "encryption" and constant-time fold MACs. Timing in the
+//     model is charged from the Table 1 latency constants and cost
+//     counts, never from crypto byte values, so every deterministic
+//     field of a run is bit-identical between providers while the
+//     SHA-256/AES host cost disappears.
+//
+// Functional reports which side of that split an implementation is on;
+// security-sensitive paths (recovery, audits) refuse to run when it
+// returns false.
+type Provider interface {
+	// Functional reports whether pads, MACs and ECC are real
+	// cryptographic values (true) or latency-only fakes (false).
+	Functional() bool
+	// GeneratePad produces the 64-byte CTR-mode pad for iv.
+	GeneratePad(iv IV) Pad
+	// GeneratePadInto writes the pad for iv into *pad without
+	// allocating.
+	GeneratePadInto(pad *Pad, iv IV)
+	// EncryptLine encrypts a 64-byte plaintext line with the pad for iv.
+	EncryptLine(plain [BlockSize]byte, iv IV) [BlockSize]byte
+	// EncryptLineTo encrypts *src into *dst (they may alias).
+	EncryptLineTo(dst, src *[BlockSize]byte, iv IV)
+	// DecryptLine decrypts a 64-byte ciphertext line with the pad for iv.
+	DecryptLine(ct [BlockSize]byte, iv IV) [BlockSize]byte
+	// DecryptLineTo decrypts *src into *dst (they may alias).
+	DecryptLineTo(dst, src *[BlockSize]byte, iv IV)
+	// LineMAC computes the 8-byte MAC over (ciphertext, address, counter).
+	LineMAC(ct *[BlockSize]byte, addr, counter uint64) MAC
+	// NodeMAC computes the 8-byte MAC over a node payload plus position.
+	NodeMAC(payload []byte, position uint64) MAC
+	// LineECC computes the 4-byte Osiris-style check over a plaintext line.
+	LineECC(plain *[BlockSize]byte) uint32
+}
+
+// Both engines satisfy the seam.
+var (
+	_ Provider = (*Engine)(nil)
+	_ Provider = (*FastEngine)(nil)
+)
+
 // MAC is an 8-byte truncated message authentication code.
 type MAC [MACSize]byte
 
@@ -204,6 +251,13 @@ func (e *Engine) NodeMAC(payload []byte, position uint64) MAC {
 	copy(m[:], sum[:MACSize])
 	return m
 }
+
+// Functional reports that this engine computes real cryptographic values.
+func (e *Engine) Functional() bool { return true }
+
+// LineECC computes the Osiris check through the provider seam; it is
+// exactly the package-level ECC.
+func (e *Engine) LineECC(plain *[BlockSize]byte) uint32 { return ECC(plain) }
 
 // ECC computes the 4-byte Osiris-style sanity check over a plaintext line.
 // The real Osiris reuses the memory ECC bits; we model them as a small

@@ -15,6 +15,7 @@ package masu
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"dolos/internal/bmt"
@@ -149,7 +150,7 @@ type shadowEntry struct {
 // Unit is the Major Security Unit.
 type Unit struct {
 	kind TreeKind
-	eng  *crypt.Engine
+	eng  crypt.Dispatch
 	dev  *nvm.Device
 	lay  layout.Map
 
@@ -207,12 +208,12 @@ type Params struct {
 
 // New builds a Ma-SU over the device using the given address map.
 // osirisPeriod 0 selects the default.
-func New(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout.Map, osirisPeriod uint64) *Unit {
+func New(kind TreeKind, eng crypt.Provider, dev *nvm.Device, lay layout.Map, osirisPeriod uint64) *Unit {
 	return NewWithParams(kind, eng, dev, lay, Params{OsirisPeriod: osirisPeriod})
 }
 
 // NewWithParams builds a Ma-SU with explicit tuning parameters.
-func NewWithParams(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout.Map, p Params) *Unit {
+func NewWithParams(kind TreeKind, eng crypt.Provider, dev *nvm.Device, lay layout.Map, p Params) *Unit {
 	ccBytes := p.CounterCacheBytes
 	if ccBytes == 0 {
 		ccBytes = CounterCacheSize
@@ -223,7 +224,7 @@ func NewWithParams(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout
 	}
 	u := &Unit{
 		kind:         kind,
-		eng:          eng,
+		eng:          crypt.AsDispatch(eng),
 		dev:          dev,
 		lay:          lay,
 		counters:     ctr.NewStore(dev, lay.CounterBase, lay.DataBase, lay.DataSpan, p.OsirisPeriod),
@@ -245,6 +246,17 @@ func NewWithParams(kind TreeKind, eng *crypt.Engine, dev *nvm.Device, lay layout
 
 // Kind returns the integrity backend in use.
 func (u *Unit) Kind() TreeKind { return u.kind }
+
+// ErrFastMode reports a security-sensitive operation attempted on a
+// latency-only crypto provider: recovery and audit paths verify real
+// MACs and ECC, which fast mode fakes, so running them would vacuously
+// pass (or spuriously fail) instead of checking anything.
+var ErrFastMode = errors.New("masu: requires the functional crypto provider (fast mode computes latency-only MACs/ECC)")
+
+// Functional reports whether the unit's crypto provider computes real
+// cryptographic values — the precondition for RecoverAnubis,
+// RecoverOsiris, Audit and CheckLine.
+func (u *Unit) Functional() bool { return u.eng.Functional() }
 
 // SetWriteHook installs (or with nil removes) the per-write cost
 // observer, invoked at the end of every ProcessWrite.
@@ -398,7 +410,7 @@ func (u *Unit) PrepareWrite(addr uint64, plain [64]byte, wpqSlot int) (*Op, Cost
 	op.Plain = plain
 	op.Counter = prev.Counter
 	op.Overflow = prev.Overflow
-	op.ECC = crypt.ECC(&op.Plain)
+	op.ECC = u.eng.LineECC(&op.Plain)
 	op.WPQSlot = wpqSlot
 	iv := crypt.MakeIV(addr/nvm.PageSize, uint16(addr%nvm.PageSize/64), prev.Counter)
 	u.eng.EncryptLineTo(&op.Cipher, &op.Plain, iv)
@@ -541,7 +553,7 @@ func (u *Unit) reencryptPage(addr uint64) Cost {
 			*wp = true
 			u.writtenCount++
 			var eccBytes [4]byte
-			binary.LittleEndian.PutUint32(eccBytes[:], crypt.ECC(&plain))
+			binary.LittleEndian.PutUint32(eccBytes[:], u.eng.LineECC(&plain))
 			u.dev.Write(u.lay.ECCAddr(a), eccBytes[:])
 		}
 		ivNew := crypt.MakeIV(a/nvm.PageSize, uint16(a%nvm.PageSize/64), newCtr)

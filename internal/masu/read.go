@@ -80,6 +80,9 @@ func (u *Unit) ReadLine(addr uint64) ([64]byte, Cost, error) {
 // current counter without touching the metadata caches — a pure audit
 // probe (scrubbing, debugging, post-recovery sweeps).
 func (u *Unit) CheckLine(addr uint64) error {
+	if !u.eng.Functional() {
+		return ErrFastMode
+	}
 	addr &^= 63
 	counter := u.counters.Counter(addr)
 	if counter == 0 {

@@ -45,6 +45,9 @@ type RecoveryReport struct {
 // state surfaces as an error here.
 func (u *Unit) RecoverAnubis() (RecoveryReport, error) {
 	var rep RecoveryReport
+	if !u.eng.Functional() {
+		return rep, ErrFastMode
+	}
 
 	// Restore the metadata caches from the shadow region first, so the
 	// counter/tree state is consistent with the root register...
@@ -96,6 +99,9 @@ func (u *Unit) RecoverAnubis() (RecoveryReport, error) {
 // meaningful for the BMT backend (as in the Osiris/Triad-NVM lineage).
 func (u *Unit) RecoverOsiris() (RecoveryReport, error) {
 	var rep RecoveryReport
+	if !u.eng.Functional() {
+		return rep, ErrFastMode
+	}
 	if u.kind != BMTEager {
 		return rep, fmt.Errorf("masu: Osiris recovery requires the BMT backend")
 	}
@@ -114,7 +120,7 @@ func (u *Unit) RecoverOsiris() (RecoveryReport, error) {
 		_, tried, ok := u.counters.RecoverLine(a, func(cand uint64) bool {
 			iv := crypt.MakeIV(a/nvm.PageSize, uint16(a%nvm.PageSize/64), cand)
 			plain := u.eng.DecryptLine(ct, iv)
-			return crypt.ECC(&plain) == wantECC
+			return u.eng.LineECC(&plain) == wantECC
 		})
 		rep.OsirisProbes += tried
 		if !ok {
@@ -221,6 +227,9 @@ func (u *Unit) rebuildLineCounters() {
 // final step of a recovery.
 func (u *Unit) Audit() (int, error) {
 	var rep RecoveryReport
+	if !u.eng.Functional() {
+		return 0, ErrFastMode
+	}
 	if err := u.auditWrittenLines(&rep); err != nil {
 		return rep.LinesVerified, err
 	}

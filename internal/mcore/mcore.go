@@ -239,7 +239,7 @@ func (s *System) Start() {
 		c.mirror.SizeFor(tr)
 		for i := range tr.InitImage {
 			il := &tr.InitImage[i]
-			s.Ctrl.MaSU().ProcessWrite(il.Addr, il.Data, -1)
+			s.Ctrl.LoadInitLine(il.Addr, il.Data)
 			c.mirror.Set(il.Addr, &il.Data)
 		}
 	}
@@ -258,6 +258,7 @@ func (s *System) Run() cpu.Result {
 			panic(fmt.Sprintf("mcore: core %d deadlocked (fence never satisfied)", c.id))
 		}
 	}
+	s.Ctrl.Quiesce()
 	return s.Collect()
 }
 

@@ -24,6 +24,7 @@ package misu
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"dolos/internal/crypt"
@@ -118,7 +119,7 @@ type RecoveredWrite struct {
 // Unit is one Mi-SU instance bound to a WPQ.
 type Unit struct {
 	design Design
-	eng    *crypt.Engine
+	eng    crypt.Dispatch
 	queue  *wpq.Queue
 	dev    *nvm.Device
 	base   uint64 // NVM drain region
@@ -143,10 +144,10 @@ type Unit struct {
 // New creates a Mi-SU of the given design over a fresh WPQ with `entries`
 // usable slots, draining to the NVM region at base. The region must hold
 // DrainRegionBytes(entries).
-func New(design Design, eng *crypt.Engine, dev *nvm.Device, base uint64, entries int) *Unit {
+func New(design Design, eng crypt.Provider, dev *nvm.Device, base uint64, entries int) *Unit {
 	u := &Unit{
 		design: design,
-		eng:    eng,
+		eng:    crypt.AsDispatch(eng),
 		queue:  wpq.New(entries),
 		dev:    dev,
 		base:   base,
@@ -178,6 +179,11 @@ func DrainRegionBytes(entries int) uint64 {
 	macBlocks := (entries + 7) / 8
 	return drainHeaderSize + uint64(entries)*wpq.EntryDataSize + uint64(macBlocks)*64
 }
+
+// ErrFastMode reports a recovery attempted on a latency-only crypto
+// provider: the drained image's MACs are fakes, so verifying them
+// checks nothing.
+var ErrFastMode = errors.New("misu: recovery requires the functional crypto provider (fast mode computes latency-only MACs)")
 
 // Design returns the unit's design.
 func (u *Unit) Design() Design { return u.design }
@@ -423,6 +429,9 @@ func (e *RecoveryError) Error() string {
 // success the counter register advances past this epoch and fresh pads
 // are generated (Section 4.3, Recovery scheme).
 func (u *Unit) Recover() ([]RecoveredWrite, error) {
+	if !u.eng.Functional() {
+		return nil, ErrFastMode
+	}
 	var hdr [drainHeaderSize]byte
 	u.dev.Read(u.base, hdr[:])
 	bitmap := binary.LittleEndian.Uint64(hdr[:])

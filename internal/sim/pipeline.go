@@ -1,0 +1,151 @@
+package sim
+
+// batchCap is how many ops travel per channel hand-off. Channel sends
+// cost ~100-200ns in futex wake-ups when the consumer parks; at the
+// journal rates a parallel run produces (millions of ops per simulated
+// second) a per-op channel would burn more host time than the crypto it
+// offloads. Batching amortizes the hand-off 64× while keeping the
+// producer-side latency to first application bounded by one batch.
+const batchCap = 64
+
+// Pipeline is the conservative-lookahead channel between the two stages
+// of a parallel single-trace simulation: the timing stage (the
+// discrete-event loop, single producer) and a functional stage (single
+// consumer goroutine applying ops in submission order).
+//
+// The window is the lookahead bound: the producer may run at most
+// ~`window` un-applied ops ahead of the consumer before Submit blocks —
+// the epoch barrier at the minimum cross-stage event horizon, enforced
+// continuously by channel capacity rather than by stop-the-world
+// phases. Because there is exactly one producer and the consumer
+// applies batches strictly in channel order (and ops in order within a
+// batch), the consumer observes the identical op sequence a serial run
+// would execute inline; dispatch order on the timing stage is untouched
+// (it never waits on results, only on window space).
+//
+// Memory model: Submit/Barrier/Close must be called from one goroutine.
+// Batch buffers hand off through the ops channel and return through the
+// free list, so each side only touches a buffer it has received —
+// every applied op has a happens-before edge from its submission, and
+// Barrier/Close return only after the consumer acknowledges, so state
+// the apply function wrote is safe to read after either returns.
+type Pipeline[T any] struct {
+	batch []T        // producer-side accumulator (flushed at batchSize)
+	size  int        // effective batch size (min(batchCap, window))
+	ops   chan []T   // batches in flight, oldest first
+	free  chan []T   // recycled buffers flowing back to the producer
+	bar   chan chan struct{}
+	done  chan struct{}
+}
+
+// NewPipeline starts the consumer goroutine. window is the approximate
+// maximum number of submitted-but-unapplied ops (minimum 1); apply runs
+// on the consumer goroutine for every op, in submission order.
+func NewPipeline[T any](window int, apply func(T)) *Pipeline[T] {
+	if window < 1 {
+		window = 1
+	}
+	size := batchCap
+	if size > window {
+		size = window
+	}
+	depth := window / size
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pipeline[T]{
+		size: size,
+		ops:  make(chan []T, depth),
+		free: make(chan []T, depth+1),
+		bar:  make(chan chan struct{}),
+		done: make(chan struct{}),
+	}
+	go p.consume(apply)
+	return p
+}
+
+func (p *Pipeline[T]) consume(apply func(T)) {
+	defer close(p.done)
+	recycle := func(b []T) {
+		select {
+		case p.free <- b[:0]:
+		default: // free list full; let the GC have it
+		}
+	}
+	for {
+		select {
+		case b, ok := <-p.ops:
+			if !ok {
+				return
+			}
+			for _, op := range b {
+				apply(op)
+			}
+			recycle(b)
+		case ack := <-p.bar:
+			// The producer is blocked in Barrier, so the ops channel is
+			// quiescent: drain everything already submitted, then ack.
+		drain:
+			for {
+				select {
+				case b, ok := <-p.ops:
+					if !ok {
+						close(ack)
+						return
+					}
+					for _, op := range b {
+						apply(op)
+					}
+					recycle(b)
+				default:
+					break drain
+				}
+			}
+			close(ack)
+		}
+	}
+}
+
+// Submit hands one op to the consumer, blocking while the lookahead
+// window is full. Ops accumulate into a batch that flushes every
+// batchCap submissions (and at Barrier/Close), so an op may wait at the
+// producer for up to one batch before the consumer sees it.
+func (p *Pipeline[T]) Submit(op T) {
+	if p.batch == nil {
+		select {
+		case p.batch = <-p.free:
+		default:
+			p.batch = make([]T, 0, p.size)
+		}
+	}
+	p.batch = append(p.batch, op)
+	if len(p.batch) >= p.size {
+		p.flush()
+	}
+}
+
+// flush sends the accumulated batch, blocking while the window is full.
+func (p *Pipeline[T]) flush() {
+	if len(p.batch) == 0 {
+		return
+	}
+	p.ops <- p.batch
+	p.batch = nil
+}
+
+// Barrier blocks until every op submitted so far has been applied.
+func (p *Pipeline[T]) Barrier() {
+	p.flush()
+	ack := make(chan struct{})
+	p.bar <- ack
+	<-ack
+}
+
+// Close applies every remaining op, stops the consumer goroutine and
+// returns. The pipeline is finished afterwards: Submit panics and
+// Barrier must not be called (callers gate on their own closed flag).
+func (p *Pipeline[T]) Close() {
+	p.flush()
+	close(p.ops)
+	<-p.done
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// TestPipelineOrder proves the consumer applies ops in exact submission
+// order across window stalls, barriers and the final close — the
+// property the parallel-DES equivalence argument rests on (the shadow
+// stage sees the identical call sequence a serial run executes inline).
+func TestPipelineOrder(t *testing.T) {
+	const n = 100000
+	var got []int
+	p := NewPipeline(64, func(v int) { got = append(got, v) })
+	for i := 0; i < n; i++ {
+		p.Submit(i)
+		if i%1000 == 999 {
+			p.Barrier()
+			// Everything submitted so far must have been applied.
+			if len(got) != i+1 {
+				t.Fatalf("after barrier at %d: applied %d ops", i, len(got))
+			}
+		}
+	}
+	p.Close()
+	if len(got) != n {
+		t.Fatalf("applied %d ops, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("op %d applied out of order (got %d)", i, v)
+		}
+	}
+}
+
+// TestPipelineWindowOne degenerates to fully synchronous hand-off.
+func TestPipelineWindowOne(t *testing.T) {
+	sum := 0
+	p := NewPipeline(0, func(v int) { sum += v }) // clamps to window 1
+	for i := 1; i <= 100; i++ {
+		p.Submit(i)
+	}
+	p.Close()
+	if sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum)
+	}
+}
+
+// TestPipelineBarrierIdempotent: consecutive barriers with no ops in
+// between are cheap no-ops, and submission may resume after a barrier.
+func TestPipelineBarrierIdempotent(t *testing.T) {
+	count := 0
+	p := NewPipeline(8, func(struct{}) { count++ })
+	p.Barrier()
+	p.Barrier()
+	p.Submit(struct{}{})
+	p.Barrier()
+	p.Barrier()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	p.Submit(struct{}{})
+	p.Close()
+	if count != 2 {
+		t.Fatalf("count = %d after close, want 2", count)
+	}
+}

@@ -123,7 +123,11 @@ type RunRecord struct {
 	// Host-side throughput of the simulator itself (not part of the
 	// simulated model, so these never participate in bit-identity
 	// comparisons): wall-clock duration of the run and discrete events
-	// dispatched by the engine, from which events/second derives.
+	// dispatched by the engine, from which events/second derives. Mode
+	// labels how the simulator executed ("fast", "pdes"; empty =
+	// functional serial) — a host-side property too, since every
+	// deterministic field is bit-identical across modes.
+	Mode            string  `json:"mode,omitempty"`
 	WallSeconds     float64 `json:"wall_seconds,omitempty"`
 	EventsProcessed uint64  `json:"events_processed,omitempty"`
 	EventsPerSecond float64 `json:"sim_events_per_sec,omitempty"`

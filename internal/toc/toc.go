@@ -68,7 +68,7 @@ func DecodeNode(img [NodeSize]byte) Node {
 // version register is persistent in-processor state; everything else
 // lives in the volatile overlay until persisted.
 type Tree struct {
-	eng      *crypt.Engine
+	eng      crypt.Dispatch
 	dev      *nvm.Device
 	nodeBase uint64
 	leaves   uint64
@@ -89,12 +89,12 @@ type Tree struct {
 
 // New creates a ToC over `leaves` leaf blocks with interior nodes stored
 // at nodeBase in dev.
-func New(eng *crypt.Engine, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tree {
+func New(eng crypt.Provider, dev *nvm.Device, nodeBase uint64, leaves uint64) *Tree {
 	if leaves == 0 {
 		panic("toc: zero leaves")
 	}
 	t := &Tree{
-		eng:      eng,
+		eng:      crypt.AsDispatch(eng),
 		dev:      dev,
 		nodeBase: nodeBase,
 		leaves:   leaves,
