@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta mcore-smoke fast-smoke pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta mcore-smoke fast-smoke scheme-smoke pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
 
 all: build test
 
@@ -61,6 +61,7 @@ ci:
 	$(GO) run ./cmd/dolos-profile -grid -txns 50 -o /tmp/dolos-grid-ci.json
 	$(MAKE) mcore-smoke
 	$(MAKE) fast-smoke
+	$(MAKE) scheme-smoke
 
 # Multi-core determinism smoke under the race detector: a Cores>1 grid
 # run serially and at executor parallelism 4 must produce byte-identical
@@ -81,6 +82,18 @@ fast-smoke:
 	$(GO) test -run 'TestFastEngine|TestDispatchAllocFree' ./internal/crypt
 	$(GO) test -run 'TestFastMode|TestCrashRefused|TestNewDriverStrips' ./internal/attack ./internal/crash
 
+# Scheme-registry smoke: every registered scheme (Dolos designs and the
+# related-work competitors — Triad-NVM, SuperMem, Phoenix, STUM) runs,
+# crashes mid-flight, recovers and passes the durability audit; the
+# recovery/runtime trade-off ordering pins hold; the CLI alias tables
+# stay derived from the registry; and the registry-driven bench grids
+# have one row per entry. Runs in CI.
+scheme-smoke:
+	$(GO) test -run 'TestSchemeSmokeRegistry|TestRelatedSchemesCrashRecovery|TestRecoveryRuntimeTradeoffOrdering|TestCrashThenAttackMatrix' ./internal/crash
+	$(GO) test -run 'TestSchemeSetsMatchRegistry|TestParseScheme' ./internal/cliutil
+	$(GO) test -run 'TestSchemeGridsCoverRegistry' ./internal/core
+	$(GO) run ./cmd/dolos-bench -exp schemes -txns 50 -fast > /dev/null
+
 # Regenerate BENCH_baseline.json: a small fixed-seed scheme×workload
 # grid of RunRecords. Commit the result so perf drifts show up in review.
 bench-json:
@@ -90,18 +103,19 @@ bench-json:
 # deterministic field (cycles, event counts, retry counters) diverges
 # from the committed trajectory, and reports the host-side throughput
 # delta (sim_events_per_sec geomean). The refreshed grid — extended
-# with the multi-core contention records (-mcore) and the fast-mode /
-# parallel-DES re-runs (-fast), all of which append after the legacy
-# cells and so never perturb the comparison — lands in BENCH_pr7.json
-# so the current trajectory point is committed next to the baseline it
-# is measured against.
+# with the related-work scheme records (-related, carrying the
+# recovery_cycles axis), the multi-core contention records (-mcore) and
+# the fast-mode / parallel-DES re-runs (-fast), all of which append
+# after the legacy cells and so never perturb the comparison — lands in
+# BENCH_pr8.json so the current trajectory point is committed next to
+# the baseline it is measured against.
 # The trajectory run is pinned -parallel 1 so every record — functional,
 # fast and pdes alike — is measured serially on an otherwise-idle
 # machine: the printed fast/functional geomean is then an
 # identical-conditions comparison, not an artifact of worker contention.
 bench-delta:
 	$(GO) run ./cmd/dolos-profile -grid -txns 200 -o /tmp/dolos-delta.json -compare BENCH_baseline.json
-	$(GO) run ./cmd/dolos-profile -grid -mcore -fast -parallel 1 -txns 200 -o BENCH_pr7.json
+	$(GO) run ./cmd/dolos-profile -grid -related -mcore -fast -parallel 1 -txns 200 -o BENCH_pr8.json
 
 # CPU+heap profile of a serial grid run, ready for `go tool pprof`.
 pprof:

@@ -24,7 +24,7 @@ var experiments = []string{
 	"fig6", "fig12", "table2", "fig13", "fig14", "fig15", "fig16",
 	"table3", "recovery", "adr", "ablate-coalesce", "ablate-cc",
 	"ablate-backend", "ablate-osiris", "eadr", "writes", "tail", "variance",
-	"contention", "validate",
+	"contention", "schemes", "validate",
 }
 
 // contention experiment knobs (set from flags in main).
@@ -198,6 +198,19 @@ func run(r *core.Runner, exp string) error {
 		emit(t)
 	case "contention":
 		t, err := r.Contention("Hashmap", contentionCores, contentionWindow)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "schemes":
+		// Related-work comparison over the whole scheme registry:
+		// single-core runtime + recovery axis, then the contended grid.
+		t, err := r.SchemeComparison()
+		if err != nil {
+			return err
+		}
+		emit(t)
+		t, err = r.SchemeContention("Hashmap", 2, contentionWindow)
 		if err != nil {
 			return err
 		}

@@ -32,6 +32,7 @@ import (
 	"dolos/internal/cpu"
 	"dolos/internal/masu"
 	"dolos/internal/mcore"
+	schemereg "dolos/internal/scheme"
 	"dolos/internal/telemetry"
 	"dolos/internal/trace"
 	"dolos/internal/whisper"
@@ -60,6 +61,7 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "concurrent grid simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	compare := flag.String("compare", "", "grid mode: verify deterministic fields bit-identical against this trajectory file and report the throughput delta (exit 1 on divergence)")
 	mcoreExt := flag.Bool("mcore", false, "grid mode: append multi-core contention records (shared-controller cells at 2 and 4 cores) after the legacy grid")
+	relatedExt := flag.Bool("related", false, "grid mode: append related-work scheme records (Triad-NVM, SuperMem, Phoenix, STUM with recovery_cycles) after the legacy grid")
 	fast := flag.Bool("fast", false, "single run: use the latency-only crypto provider; grid mode: append fast-mode and parallel-DES re-runs of the legacy cells, checked bit-identical in-run")
 	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU profile (go tool pprof) to this path")
 	memProfile := flag.String("memprofile", "", "write a host-side heap profile (after GC) to this path on exit")
@@ -89,7 +91,7 @@ func run() int {
 	}
 
 	if *grid {
-		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare, *mcoreExt, *fast); err != nil {
+		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare, *relatedExt, *mcoreExt, *fast); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 			return 1
 		}
@@ -236,7 +238,7 @@ func writeMetrics(path string, v any) error {
 // cores (mode "pdes") — and each re-run is diffed in-run against its
 // functional serial record: a single divergent deterministic field fails
 // the grid. The extension records append after the mcore block.
-func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreExt, fastExt bool) error {
+func runGrid(path string, txns, txSize, parallel int, comparePath string, relatedExt, mcoreExt, fastExt bool) error {
 	schemes := []controller.Scheme{
 		controller.PreWPQSecure,
 		controller.DolosFull,
@@ -295,6 +297,9 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, mcoreE
 	for i, c := range cells {
 		fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR\n",
 			c.workload, records[i].Scheme, records[i].Cycles, records[i].RetryPerKWR)
+	}
+	if relatedExt {
+		records = append(records, relatedRecords(txns, txSize)...)
 	}
 	if mcoreExt {
 		records = append(records, mcoreRecords(txns, txSize)...)
@@ -375,11 +380,41 @@ func runGridCell(cfg controller.Config, tr *trace.Trace, txSize int) telemetry.R
 		sys := cpu.NewSystem(cfg)
 		start := time.Now()
 		res := sys.Run(tr)
-		rec = cliutil.BuildRunRecord(res, masu.BMTEager, txSize, gridSeed,
+		rec = cliutil.BuildRunRecord(res, cfg.EffectiveTree(), txSize, gridSeed,
 			sys.Eng.Processed(), time.Since(start), sys.Ctrl.Stats(), nil)
 		rec.Mode = cliutil.ModeLabel(cfg.FastMode, cfg.ParallelDES)
 	})
 	return rec
+}
+
+// relatedRecords is the -related grid extension: the related-work
+// schemes (every registry entry that models a recovery procedure) over
+// the legacy grid's workloads, one single-core record each, carrying
+// the recovery_cycles axis. Appended after the legacy cells so a
+// pre-extension baseline still compares clean; the tree label reports
+// the backend the scheme actually forces (Phoenix pins the lazy ToC).
+func relatedRecords(txns, txSize int) []telemetry.RunRecord {
+	const gridSeed = 1
+	var out []telemetry.RunRecord
+	for _, wl := range []string{"Hashmap", "Btree"} {
+		w, err := whisper.ByName(wl)
+		if err != nil {
+			panic(err)
+		}
+		tr := w.Generate(whisper.Params{Transactions: txns, TxSize: txSize, Seed: gridSeed})
+		for _, e := range schemereg.All() {
+			if !e.Pipeline.ReportsRecovery {
+				continue
+			}
+			cfg := controller.Config{Scheme: e.ID, Tree: masu.BMTEager, HardwareWPQ: 16}
+			cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
+			rec := runGridCell(cfg, tr, txSize)
+			fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR  (%d recovery cyc)\n",
+				wl, rec.Scheme, rec.Cycles, rec.RetryPerKWR, rec.RecoveryCycles)
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // fastRecords is the -fast grid extension: every legacy cell re-run in

@@ -70,6 +70,9 @@ func main() {
 		ParallelDES:       *pdes,
 	}
 	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("sim")
+	// Some schemes pin the integrity backend (Phoenix is the lazy ToC by
+	// definition); report the one the controller actually simulates.
+	kind = cfg.EffectiveTree()
 
 	if *cores > 1 {
 		runMulti(w, cfg, kind, *cores, *oooWindow, *txns, *txSize, *seed, *jsonOut, *showStats, *traceOut)

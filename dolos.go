@@ -63,6 +63,26 @@ const (
 	EADRSecure = controller.EADRSecure
 )
 
+// Related-work schemes (internal/scheme registry): the persistent-
+// security competitors the paper's related-work section positions Dolos
+// against, runnable through the same Runner and bench grids. Each
+// additionally reports a recovery-cycle estimate (Result.RecoveryCycles)
+// — the axis the runtime/recovery trade-off is measured on.
+const (
+	// TriadNVM persists the counters and the first N BMT levels
+	// (Triad-NVM, ISCA 2019); Spec.TriadLevels tunes N (default 1).
+	TriadNVM = controller.TriadNVM
+	// SuperMem is a write-through counter cache with cross-bank
+	// coalescing (SuperMem, MICRO 2019) — Triad with N = 0.
+	SuperMem = controller.SuperMem
+	// Phoenix keeps the counter tree persistently secure via shadow
+	// updates over the lazy ToC backend (Phoenix, 2019).
+	Phoenix = controller.Phoenix
+	// STUM streamlines BMT updates by skipping shared-ancestor MACs on
+	// consecutive persists (STUM-style coalescing).
+	STUM = controller.STUM
+)
+
 // TreeKind selects the Ma-SU integrity backend.
 type TreeKind = masu.TreeKind
 

@@ -9,83 +9,42 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
 	"dolos/internal/masu"
+	"dolos/internal/scheme"
 	"dolos/internal/stats"
 	"dolos/internal/telemetry"
 )
 
-// schemeNames maps CLI names to controller schemes.
-var schemeNames = map[string]controller.Scheme{
-	"ideal":         controller.NonSecureADR,
-	"baseline":      controller.PreWPQSecure,
-	"dolos-full":    controller.DolosFull,
-	"dolos-partial": controller.DolosPartial,
-	"dolos-post":    controller.DolosPost,
-	"eadr":          controller.EADRSecure,
-}
+// SchemeNames returns the accepted scheme flag values, sorted. Derived
+// from the central registry: a scheme registered in internal/scheme
+// automatically appears in every CLI and the service API.
+func SchemeNames() []string { return scheme.Names() }
 
-// SchemeNames returns the accepted scheme flag values, sorted.
-func SchemeNames() []string {
-	out := make([]string, 0, len(schemeNames))
-	for n := range schemeNames {
-		out = append(out, n)
+// AllSchemes returns every registered scheme ID in registry (ID) order —
+// the one enumeration the grids, smoke suites and differential tests
+// iterate so new registry entries are covered without hand-listing.
+func AllSchemes() []controller.Scheme {
+	entries := scheme.All()
+	out := make([]controller.Scheme, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.ID)
 	}
-	sort.Strings(out)
 	return out
 }
 
-// normalizeScheme canonicalizes a scheme spelling: lowercase with
-// separators removed, so "dolos-partial", "DolosPartial" and
-// "Dolos-Partial-WPQ" all resolve identically.
-func normalizeScheme(name string) string {
-	var b strings.Builder
-	for _, r := range strings.ToLower(name) {
-		if r != '-' && r != '_' && r != ' ' {
-			b.WriteRune(r)
-		}
-	}
-	return b.String()
-}
-
-// schemeAliases maps normalized spellings to schemes: the CLI names, the
-// Go identifiers (controller.DolosPartial) and the paper's figure labels
-// (Dolos-Partial-WPQ) are all accepted.
-var schemeAliases = func() map[string]controller.Scheme {
-	m := make(map[string]controller.Scheme)
-	for name, s := range schemeNames {
-		m[normalizeScheme(name)] = s
-	}
-	for _, s := range []controller.Scheme{
-		controller.NonSecureADR, controller.PreWPQSecure, controller.DolosFull,
-		controller.DolosPartial, controller.DolosPost, controller.EADRSecure,
-	} {
-		m[normalizeScheme(s.String())] = s // figure label, e.g. dolospartialwpq
-	}
-	// Go identifiers not already covered by the figure labels.
-	m["nonsecureadr"] = controller.NonSecureADR
-	m["prewpqsecure"] = controller.PreWPQSecure
-	m["dolosfull"] = controller.DolosFull
-	m["dolospartial"] = controller.DolosPartial
-	m["dolospost"] = controller.DolosPost
-	m["eadrsecure"] = controller.EADRSecure
-	return m
-}()
-
 // ParseScheme resolves a CLI scheme name. Besides the flag names it
 // accepts the Go identifiers and the paper's figure labels in any
-// hyphenation or case.
+// hyphenation or case (the registry's alias table).
 func ParseScheme(name string) (controller.Scheme, error) {
-	s, ok := schemeAliases[normalizeScheme(name)]
-	if !ok {
-		return 0, fmt.Errorf("unknown scheme %q (want one of %s)",
-			name, strings.Join(SchemeNames(), ", "))
+	e, err := scheme.Parse(name)
+	if err != nil {
+		return 0, err
 	}
-	return s, nil
+	return e.ID, nil
 }
 
 // ParseTree resolves a CLI integrity-backend name ("eager" or "lazy").
@@ -156,6 +115,7 @@ func BuildRunRecord(res cpu.Result, tree masu.TreeKind, txSize int, seed int64,
 		WPQMeanOccupancy: res.WPQMeanOccupancy,
 		MedianTxCycles:   res.MedianTxCycles,
 		P99TxCycles:      res.P99TxCycles,
+		RecoveryCycles:   res.RecoveryCycles,
 		Cores:            res.Cores,
 		OoOWindow:        res.OoOWindow,
 		Prefetches:       res.Prefetches,

@@ -6,6 +6,7 @@ import (
 
 	"dolos/internal/controller"
 	"dolos/internal/masu"
+	"dolos/internal/scheme"
 	"dolos/internal/telemetry"
 )
 
@@ -17,6 +18,10 @@ func TestParseScheme(t *testing.T) {
 		"dolos-partial": controller.DolosPartial,
 		"dolos-post":    controller.DolosPost,
 		"eadr":          controller.EADRSecure,
+		"triad-nvm":     controller.TriadNVM,
+		"supermem":      controller.SuperMem,
+		"phoenix":       controller.Phoenix,
+		"stum":          controller.STUM,
 	} {
 		got, err := ParseScheme(name)
 		if err != nil || got != want {
@@ -69,12 +74,50 @@ func TestParseTree(t *testing.T) {
 
 func TestSchemeNamesSorted(t *testing.T) {
 	names := SchemeNames()
-	if len(names) != 6 {
-		t.Fatalf("names = %v", names)
+	if len(names) != len(scheme.All()) {
+		t.Fatalf("names = %v, registry has %d entries", names, len(scheme.All()))
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i] < names[i-1] {
 			t.Fatalf("unsorted: %v", names)
+		}
+	}
+}
+
+// TestSchemeSetsMatchRegistry is the one-source-of-truth check: the CLI
+// names, the AllSchemes enumeration and the registry must agree exactly,
+// and every name must round-trip through ParseScheme (which the service
+// API also uses) back to its registry ID.
+func TestSchemeSetsMatchRegistry(t *testing.T) {
+	byName := make(map[string]controller.Scheme)
+	for _, e := range scheme.All() {
+		byName[e.Name] = e.ID
+	}
+	names := SchemeNames()
+	if len(names) != len(byName) {
+		t.Fatalf("SchemeNames %v does not cover the registry %v", names, byName)
+	}
+	for _, n := range names {
+		want, ok := byName[n]
+		if !ok {
+			t.Fatalf("CLI name %q not in the registry", n)
+		}
+		got, err := ParseScheme(n)
+		if err != nil || got != want {
+			t.Fatalf("ParseScheme(%q) = %v, %v; want %v", n, got, err, want)
+		}
+		// The figure label is also accepted and resolves identically.
+		if got2, err := ParseScheme(want.String()); err != nil || got2 != want {
+			t.Fatalf("ParseScheme(label %q) = %v, %v", want.String(), got2, err)
+		}
+	}
+	ids := AllSchemes()
+	if len(ids) != len(scheme.All()) {
+		t.Fatalf("AllSchemes returned %d of %d registry entries", len(ids), len(scheme.All()))
+	}
+	for i, e := range scheme.All() {
+		if ids[i] != e.ID {
+			t.Fatalf("AllSchemes[%d] = %v, want %v", i, ids[i], e.ID)
 		}
 	}
 }

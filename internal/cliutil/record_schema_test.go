@@ -88,6 +88,37 @@ func TestRunRecordSchemaPinned(t *testing.T) {
 	}
 }
 
+// TestRunRecordSchemaRecoveryAxis: recovery_cycles is omitempty — absent
+// from every legacy record (which is what keeps the schema pin above and
+// the committed bench baseline unchanged) and present, non-zero and
+// deterministic for a related-work scheme that models recovery.
+func TestRunRecordSchemaRecoveryAxis(t *testing.T) {
+	r := core.NewRunner(core.Options{Transactions: 60, Seed: 1, Parallelism: 1})
+	spec := core.Spec{Scheme: controller.TriadNVM}
+	rr, err := r.RunCell(context.Background(), "Hashmap", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := BuildRunRecord(rr.Result, spec.Tree, 1024, 1, rr.Events, rr.Wall, rr.Stats, nil)
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSON(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		RecoveryCycles uint64 `json:"recovery_cycles"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.RecoveryCycles == 0 {
+		t.Fatalf("recovery_cycles missing or zero for %v", spec.Scheme)
+	}
+	if decoded.RecoveryCycles != rec.RecoveryCycles {
+		t.Fatalf("recovery_cycles %d != record %d", decoded.RecoveryCycles, rec.RecoveryCycles)
+	}
+}
+
 // TestRunRecordSchemaMultiCore pins the extended field set of a
 // multi-core record: the single-core list above plus the mcore axes.
 // All four are omitempty, which is what keeps the single-core pin (and

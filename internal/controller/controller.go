@@ -22,81 +22,37 @@
 package controller
 
 import (
-	"fmt"
-
 	"dolos/internal/crypt"
 	"dolos/internal/layout"
 	"dolos/internal/masu"
 	"dolos/internal/misu"
 	"dolos/internal/nvm"
+	"dolos/internal/scheme"
 	"dolos/internal/sim"
 	"dolos/internal/stats"
 	"dolos/internal/telemetry"
 	"dolos/internal/wpq"
 )
 
-// Scheme identifies a secure-memory controller configuration.
-type Scheme int
+// Scheme identifies a secure-memory controller configuration. The type
+// now lives in internal/scheme (the central registry that also carries
+// each scheme's security pipeline); the alias and re-exported constants
+// keep every existing call site source-compatible and the values
+// bit-identical.
+type Scheme = scheme.ID
 
 const (
-	// NonSecureADR is the infeasible ideal: persist first, secure later
-	// at zero run-time cost.
-	NonSecureADR Scheme = iota
-	// PreWPQSecure is the baseline: security before the WPQ.
-	PreWPQSecure
-	// DolosFull is Dolos with the Full-WPQ Mi-SU.
-	DolosFull
-	// DolosPartial is Dolos with the Partial-WPQ Mi-SU.
-	DolosPartial
-	// DolosPost is Dolos with the Post-WPQ Mi-SU.
-	DolosPost
-	// EADRSecure models the extended-ADR platform the paper's
-	// introduction weighs Dolos against: the entire cache hierarchy is
-	// inside the persistence domain, so a store is persistent the moment
-	// it retires and flushes/fences cost nothing. Security work happens
-	// on eviction, off every critical path. The catch is platform cost —
-	// eADR needs "non-standard extensions, high costs, and
-	// environment-unfriendly batteries"; Dolos' point is approaching
-	// this bound within the standard ADR budget.
-	EADRSecure
+	NonSecureADR = scheme.NonSecureADR
+	PreWPQSecure = scheme.PreWPQSecure
+	DolosFull    = scheme.DolosFull
+	DolosPartial = scheme.DolosPartial
+	DolosPost    = scheme.DolosPost
+	EADRSecure   = scheme.EADRSecure
+	TriadNVM     = scheme.TriadNVM
+	SuperMem     = scheme.SuperMem
+	Phoenix      = scheme.Phoenix
+	STUM         = scheme.STUM
 )
-
-// String returns the scheme name as used in the paper's figures.
-func (s Scheme) String() string {
-	switch s {
-	case NonSecureADR:
-		return "NonSecure-ADR"
-	case PreWPQSecure:
-		return "Pre-WPQ-Secure"
-	case DolosFull:
-		return "Dolos-Full-WPQ"
-	case DolosPartial:
-		return "Dolos-Partial-WPQ"
-	case DolosPost:
-		return "Dolos-Post-WPQ"
-	case EADRSecure:
-		return "eADR-Secure"
-	}
-	return fmt.Sprintf("Scheme(%d)", int(s))
-}
-
-// IsDolos reports whether the scheme uses the split Mi-SU/Ma-SU design.
-func (s Scheme) IsDolos() bool {
-	return s == DolosFull || s == DolosPartial || s == DolosPost
-}
-
-// MiSUDesign maps a Dolos scheme to its Mi-SU design.
-func (s Scheme) MiSUDesign() misu.Design {
-	switch s {
-	case DolosFull:
-		return misu.FullWPQ
-	case DolosPartial:
-		return misu.PartialWPQ
-	case DolosPost:
-		return misu.PostWPQ
-	}
-	panic("controller: not a Dolos scheme")
-}
 
 // Config parameterizes a controller.
 type Config struct {
@@ -120,6 +76,11 @@ type Config struct {
 	// cache capacities (0 = defaults; cache-size ablations).
 	CounterCacheBytes uint64
 	MTCacheBytes      uint64
+	// TriadLevels overrides Triad-NVM's persisted tree-level count N
+	// (0 = the scheme's default of 1). N >= the tree height models full
+	// tree persistence — the slow-runtime/instant-recovery end of the
+	// tradeoff. Ignored by schemes without partial tree persistence.
+	TriadLevels int
 	// MaSUInterval overrides the Ma-SU pipeline initiation interval
 	// (0 = one write per MAC stage). Larger values model weaker memory
 	// back-ends — the knob for the "Dolos composes with any back-end
@@ -151,7 +112,33 @@ func (c Config) withDefaults() Config {
 	if c.Layout == (layout.Map{}) {
 		c.Layout = layout.Default()
 	}
+	// Reconstruction-style schemes need the eager BMT; Phoenix is by
+	// definition the lazy ToC. Legacy schemes leave the choice free.
+	if p := scheme.PipelineOf(c.Scheme); p.HasForceTree {
+		c.Tree = p.ForceTree
+	}
 	return c
+}
+
+// masuParams resolves the Ma-SU tuning parameters, including the
+// scheme's metadata-persistence policy. Shared by the primary unit and
+// the parallel-DES shadow twin so both run the same pipeline.
+func (c Config) masuParams() masu.Params {
+	return masu.Params{
+		OsirisPeriod:      c.OsirisPeriod,
+		CounterCacheBytes: c.CounterCacheBytes,
+		MTCacheBytes:      c.MTCacheBytes,
+		Policy:            scheme.PipelineOf(c.Scheme).PolicyFor(c.TriadLevels),
+	}
+}
+
+// EffectiveTree returns the integrity backend the controller will
+// actually run: the configured one, unless the scheme's pipeline pins a
+// backend (Phoenix is the lazy ToC by definition; reconstruction-style
+// schemes need the eager BMT). Display and record labels use this so
+// they describe the simulated configuration, not the flag.
+func (c Config) EffectiveTree() masu.TreeKind {
+	return c.withDefaults().Tree
 }
 
 // UsableWPQ returns the WPQ entries available for writes under the
@@ -173,9 +160,10 @@ type waiter struct {
 
 // Controller is a secure NVM memory controller instance.
 type Controller struct {
-	cfg Config
-	eng *sim.Engine
-	dev *nvm.Device
+	cfg  Config
+	pipe scheme.Pipeline // the scheme's security pipeline (registry-derived)
+	eng  *sim.Engine
+	dev  *nvm.Device
 
 	ma *masu.Unit
 	mi *misu.Unit // Dolos schemes only
@@ -257,14 +245,11 @@ func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
 		maII = crypt.MACLatency
 	}
 	c := &Controller{
-		cfg: cfg,
-		eng: eng,
-		dev: dev,
-		ma: masu.NewWithParams(cfg.Tree, engine, dev, cfg.Layout, masu.Params{
-			OsirisPeriod:      cfg.OsirisPeriod,
-			CounterCacheBytes: cfg.CounterCacheBytes,
-			MTCacheBytes:      cfg.MTCacheBytes,
-		}),
+		cfg:        cfg,
+		pipe:       scheme.PipelineOf(cfg.Scheme),
+		eng:        eng,
+		dev:        dev,
+		ma:         masu.NewWithParams(cfg.Tree, engine, dev, cfg.Layout, cfg.masuParams()),
 		st:         stats.NewSet(),
 		secUnit:    sim.NewPipeServer(eng, "security-unit", maII),
 		miSU:       sim.NewPipeServer(eng, "mi-su", miII),

@@ -5,6 +5,7 @@ import (
 
 	"dolos/internal/masu"
 	"dolos/internal/misu"
+	"dolos/internal/scheme"
 	"dolos/internal/wpq"
 )
 
@@ -98,6 +99,25 @@ type RecoverReport struct {
 	WPQReplayed int
 	// MaSU is the metadata recovery report.
 	MaSU masu.RecoveryReport
+	// RecoveryCycles is the modeled boot-time cost for schemes that
+	// report the recovery axis (zero otherwise; see RecoveryEstimate).
+	RecoveryCycles uint64
+}
+
+// RecoveryEstimate returns the scheme's modeled boot-time recovery cost
+// in cycles — the Triad-NVM/SuperMem recovery-vs-runtime axis. Zero for
+// legacy schemes (which do not report the axis, keeping their records
+// bit-identical to the seed). Derived only from address sets and shadow
+// occupancy, so it is identical in fast and functional mode and can be
+// sampled without crashing.
+func (c *Controller) RecoveryEstimate() uint64 {
+	if !c.pipe.ReportsRecovery {
+		return 0
+	}
+	if c.pipe.Recovery == scheme.RecoverReconstruct {
+		return c.ma.ReconstructEstimate()
+	}
+	return c.ma.AnubisEstimate()
 }
 
 // Recover restores the system after Crash: Ma-SU metadata first (so the
@@ -109,12 +129,19 @@ func (c *Controller) Recover(mode RecoveryMode) (RecoverReport, error) {
 	if !c.ma.Functional() {
 		return rep, fmt.Errorf("controller: Recover on a FastMode/ParallelDES configuration: %w", masu.ErrFastMode)
 	}
+	rep.RecoveryCycles = c.RecoveryEstimate()
 	var err error
-	switch mode {
-	case AnubisRecovery:
-		rep.MaSU, err = c.ma.RecoverAnubis()
-	case OsirisRecovery:
-		rep.MaSU, err = c.ma.RecoverOsiris()
+	if c.pipe.Recovery == scheme.RecoverReconstruct {
+		// Reconstruction schemes have no shadow region and no probing
+		// fallback: the requested mode is irrelevant.
+		rep.MaSU, err = c.ma.RecoverReconstruct()
+	} else {
+		switch mode {
+		case AnubisRecovery:
+			rep.MaSU, err = c.ma.RecoverAnubis()
+		case OsirisRecovery:
+			rep.MaSU, err = c.ma.RecoverOsiris()
+		}
 	}
 	if err != nil {
 		return rep, err

@@ -70,11 +70,7 @@ func newShadow(cfg Config) *shadow {
 	sh := &shadow{}
 	eng := crypt.NewEngine(cfg.AESKey, cfg.MACKey)
 	sh.dev = nvm.NewDevice(nil, cfg.Layout.DeviceSize, 0)
-	sh.ma = masu.NewWithParams(cfg.Tree, eng, sh.dev, cfg.Layout, masu.Params{
-		OsirisPeriod:      cfg.OsirisPeriod,
-		CounterCacheBytes: cfg.CounterCacheBytes,
-		MTCacheBytes:      cfg.MTCacheBytes,
-	})
+	sh.ma = masu.NewWithParams(cfg.Tree, eng, sh.dev, cfg.Layout, cfg.masuParams())
 	if cfg.Scheme.IsDolos() {
 		sh.mi = misu.New(cfg.Scheme.MiSUDesign(), eng, sh.dev, cfg.Layout.DrainBase, cfg.UsableWPQ())
 		if cfg.DisableCoalescing {

@@ -3,6 +3,7 @@ package controller
 import (
 	"dolos/internal/crypt"
 	"dolos/internal/masu"
+	"dolos/internal/scheme"
 	"dolos/internal/sim"
 	"dolos/internal/wpq"
 )
@@ -65,12 +66,16 @@ func (c *Controller) tryInsert(w waiter, wake bool) {
 	if c.crashed {
 		return
 	}
-	switch {
-	case c.cfg.Scheme.IsDolos():
+	// Dispatch on the scheme's registered pre-persist pipeline: the
+	// related-work schemes (Triad-NVM, SuperMem, Phoenix, STUM) share
+	// the baseline's insert path and differentiate through the Ma-SU
+	// policy behind it.
+	switch c.pipe.Insert {
+	case scheme.InsertDolosSplit:
 		c.insertDolos(w, wake)
-	case c.cfg.Scheme == PreWPQSecure:
+	case scheme.InsertPreWPQ:
 		c.insertPreWPQ(w)
-	case c.cfg.Scheme == EADRSecure:
+	case scheme.InsertEADR:
 		c.insertEADR(w)
 	default:
 		c.insertIdeal(w, wake)

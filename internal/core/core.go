@@ -87,6 +87,10 @@ type Spec struct {
 	// OsirisPeriod overrides the counter persist period (0 = default 4;
 	// write-overhead vs recovery-window ablation).
 	OsirisPeriod uint64
+	// TriadLevels overrides Triad-NVM's persisted BMT level count N
+	// (0 = the scheme default of 1; >= the tree height models full tree
+	// persistence). Ignored by other schemes.
+	TriadLevels int
 	// Cores runs N instances of the workload (per-core seeds, disjoint
 	// heaps) contending for one shared controller through the
 	// internal/mcore arbiter. 0 or 1 keeps the existing single-core
@@ -126,6 +130,14 @@ func (s Spec) withDefaults() Spec {
 		s.HardwareWPQ = 16
 	}
 	return s
+}
+
+// EffectiveTree returns the integrity backend the spec will actually
+// simulate: the requested one unless the scheme pins a backend (Phoenix
+// forces the lazy ToC; reconstruction schemes force the eager BMT).
+// Record/display labels use this so they describe the simulated run.
+func (s Spec) EffectiveTree() masu.TreeKind {
+	return controller.Config{Scheme: s.Scheme, Tree: s.Tree}.EffectiveTree()
 }
 
 // traceEntry is one single-flight slot of the trace cache: the first
@@ -331,6 +343,7 @@ func (r *Runner) runSystem(workload string, spec Spec) (cpu.Result, machineRef, 
 		CounterCacheBytes: spec.CounterCacheBytes,
 		MaSUInterval:      sim.Cycle(spec.MaSUInterval),
 		OsirisPeriod:      spec.OsirisPeriod,
+		TriadLevels:       spec.TriadLevels,
 		FastMode:          spec.FastMode || r.opts.FastMode,
 		ParallelDES:       spec.ParallelDES,
 	}

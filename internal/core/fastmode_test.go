@@ -11,16 +11,10 @@ import (
 	"dolos/internal/whisper"
 )
 
-// allSchemes is every controller scheme the façade exposes; the fast-mode
-// contract has to hold for each one, not just the Dolos family.
-var allSchemes = []controller.Scheme{
-	controller.NonSecureADR,
-	controller.PreWPQSecure,
-	controller.DolosFull,
-	controller.DolosPartial,
-	controller.DolosPost,
-	controller.EADRSecure,
-}
+// allSchemes is every scheme in the registry — the Dolos family and the
+// related-work competitors alike; the fast-mode contract has to hold
+// for each one, and a new registry entry joins this suite automatically.
+var allSchemes = cliutil.AllSchemes()
 
 // record runs one cell through the runner and freezes it as a RunRecord
 // with wall time zeroed, so the comparison below sees every deterministic

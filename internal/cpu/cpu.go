@@ -61,6 +61,10 @@ type Result struct {
 	// Prefetches counts stride-prefetch reads issued by the OoO
 	// front-end (always 0 for the in-order model and window 1).
 	Prefetches uint64
+	// RecoveryCycles is the modeled boot-time recovery cost for schemes
+	// that report the recovery axis (Triad-NVM, SuperMem, Phoenix,
+	// STUM); 0 for legacy schemes, keeping their records byte-stable.
+	RecoveryCycles uint64
 	// PerCore carries per-core summaries for multi-core runs (nil
 	// otherwise).
 	PerCore []CoreResult
@@ -318,6 +322,7 @@ func (s *System) Collect(tr *trace.Trace) Result {
 		WPQReadHits:   st.Counter("wpq.read_hits").Value(),
 		MemReads:      st.Counter("mem.reads").Value(),
 	}
+	res.RecoveryCycles = s.Ctrl.RecoveryEstimate()
 	if s.transactions > 0 {
 		res.CyclesPerTx = float64(s.endCycle) / float64(s.transactions)
 	}

@@ -30,7 +30,11 @@ func TestCrashThenAttackMatrix(t *testing.T) {
 		{"counter-region", func(a *attack.Adversary) { a.FlipBit(lay.CounterBase+64+3, 4) }},
 	}
 
-	for _, scheme := range []controller.Scheme{controller.DolosPartial, controller.PreWPQSecure} {
+	// Two Dolos designs plus every related-work scheme: the adversary
+	// must be rejected (or neutralized) regardless of pipeline.
+	schemes := append([]controller.Scheme{controller.DolosPartial, controller.PreWPQSecure},
+		relatedSchemes()...)
+	for _, scheme := range schemes {
 		for _, k := range kinds {
 			scheme, k := scheme, k
 			t.Run(scheme.String()+"/"+k.name, func(t *testing.T) {

@@ -188,6 +188,19 @@ type Unit struct {
 
 	redo redoLog
 
+	// policy is the metadata-persistence policy (zero = original
+	// behavior; see policy.go).
+	policy Policy
+	// prevLeaf/havePrev track the previous write's counter-block leaf
+	// for STUM's streamlined update coalescing.
+	prevLeaf uint64
+	havePrev bool
+	// lastWTLeaf/haveWTLeaf track the last write-through counter persist
+	// for SuperMem's cross-bank coalescing; coalescedCtr counts merges.
+	lastWTLeaf   uint64
+	haveWTLeaf   bool
+	coalescedCtr uint64
+
 	writes, reads uint64
 
 	// onWrite, when non-nil, observes each completed write with its cost
@@ -204,6 +217,9 @@ type Params struct {
 	CounterCacheBytes uint64
 	// MTCacheBytes overrides the MT-cache capacity (0 = 256 KB).
 	MTCacheBytes uint64
+	// Policy selects the metadata-persistence policy (zero value = the
+	// original write-back + full-shadow behavior; see policy.go).
+	Policy Policy
 }
 
 // New builds a Ma-SU over the device using the given address map.
@@ -224,6 +240,7 @@ func NewWithParams(kind TreeKind, eng crypt.Provider, dev *nvm.Device, lay layou
 	}
 	u := &Unit{
 		kind:         kind,
+		policy:       p.Policy,
 		eng:          crypt.AsDispatch(eng),
 		dev:          dev,
 		lay:          lay,
@@ -328,6 +345,11 @@ func (u *Unit) tocLeafMACAddr(leaf uint64) uint64 {
 // and handles dirty victim persistence.
 func (u *Unit) touchCounter(addr uint64, write bool, cost *Cost) {
 	blockAddr := u.counters.BlockNVMAddr(addr)
+	if u.policy.CounterWriteThrough {
+		// Write-through: the NVM copy is updated at apply time, so the
+		// cached line is never dirty and eviction needs no writeback.
+		write = false
+	}
 	hit, victim, evicted := u.counterCache.Access(blockAddr, write)
 	if !hit {
 		cost.CounterMisses++
@@ -340,6 +362,12 @@ func (u *Unit) touchCounter(addr uint64, write bool, cost *Cost) {
 // touchTreeNode charges an MT-cache access for a tree-node NVM address.
 func (u *Unit) touchTreeNode(nodeAddr uint64, level int, index uint64, write bool, cost *Cost) {
 	u.setNodeRef(nodeAddr, level, index)
+	if u.policy.PartialTreePersistence {
+		// Persisted levels are written through at apply time; volatile
+		// levels are simply dropped on eviction. Either way the cached
+		// line is never dirty.
+		write = false
+	}
 	hit, victim, evicted := u.mtCache.Access(nodeAddr, write)
 	if !hit {
 		cost.TreeMisses++
@@ -443,7 +471,8 @@ func (u *Unit) PrepareWrite(addr uint64, plain [64]byte, wpqSlot int) (*Op, Cost
 		op.ToCNodes, op.ToCLeafMAC, op.ToCRootVer = u.tocTree.AppendUpdate(op.ToCNodes[:0], leaf, &op.LeafImage)
 		cost.TotalMACs += len(op.ToCNodes) + 1
 	}
-	cost.SerialMACs = u.kind.SerialMACs()
+	cost.SerialMACs = u.serialMACsFor(leaf)
+	u.prevLeaf, u.havePrev = leaf, true
 
 	u.redo.ready = true
 	return op, cost
@@ -456,9 +485,20 @@ func (u *Unit) ApplyWrite(op *Op) Cost {
 	var cost Cost
 
 	// Counter store: install the staged block image (idempotent, so redo
-	// replay after a crash is safe). Overflow forces a persist.
-	u.counters.ApplyBlock(op.LeafIndex, &op.LeafBlock, op.Overflow)
-	u.shadowWrite(u.counters.BlockNVMAddr(op.Addr), op.LeafImage, &cost)
+	// replay after a crash is safe). Overflow forces a persist; a
+	// write-through policy forces one on every write and skips the
+	// shadow entry (the NVM copy IS the recovery source).
+	u.counters.ApplyBlock(op.LeafIndex, &op.LeafBlock, op.Overflow || u.policy.CounterWriteThrough)
+	if u.policy.CounterWriteThrough {
+		if u.policy.CoalesceCounterWrites && u.haveWTLeaf && u.lastWTLeaf == op.LeafIndex {
+			u.coalescedCtr++ // merged with the in-flight write to the same block
+		} else {
+			cost.NVMWrites++
+		}
+		u.lastWTLeaf, u.haveWTLeaf = op.LeafIndex, true
+	} else {
+		u.shadowWrite(u.counters.BlockNVMAddr(op.Addr), op.LeafImage, &cost)
+	}
 
 	// Integrity tree.
 	switch u.kind {
@@ -467,7 +507,16 @@ func (u *Unit) ApplyWrite(op *Op) Cost {
 		for _, up := range op.BMTNodes {
 			nodeAddr := u.bmtTree.NodeNVMAddr(up.Level, up.Index)
 			u.touchTreeNode(nodeAddr, up.Level, up.Index, true, &cost)
-			u.shadowWrite(nodeAddr, up.Image, &cost)
+			if u.policy.PartialTreePersistence {
+				// Triad-NVM: write the first N levels through to NVM;
+				// higher levels stay volatile (rebuilt at recovery).
+				if up.Level <= u.persistLevels() {
+					u.bmtTree.PersistNode(up.Level, up.Index)
+					cost.NVMWrites++
+				}
+			} else {
+				u.shadowWrite(nodeAddr, up.Image, &cost)
+			}
 		}
 	case ToCLazy:
 		u.tocTree.InstallUpdate(op.ToCNodes, op.ToCRootVer)

@@ -278,6 +278,7 @@ func (s *System) Collect() cpu.Result {
 		WPQReadHits:   st.Counter("wpq.read_hits").Value(),
 		MemReads:      st.Counter("mem.reads").Value(),
 	}
+	res.RecoveryCycles = s.Ctrl.RecoveryEstimate()
 	for _, c := range s.Cores {
 		if c.endCycle > res.Cycles {
 			res.Cycles = c.endCycle

@@ -1,0 +1,70 @@
+package scheme
+
+import "dolos/internal/masu"
+
+// InsertPath selects the pre-persist pipeline a write traverses between
+// the core's persist request and WPQ acceptance.
+type InsertPath int
+
+const (
+	// InsertIdeal accepts into the WPQ immediately; security is applied
+	// functionally at drain time with no run-time cost (NonSecure-ADR).
+	InsertIdeal InsertPath = iota
+	// InsertPreWPQ pays the full security latency — counter fetch,
+	// encryption, serialized MAC/tree updates — before WPQ entry. The
+	// baseline and all related-work schemes use this path; their Policy
+	// changes what "serialized tree updates" costs and persists.
+	InsertPreWPQ
+	// InsertDolosSplit is the Dolos design: a cheap Mi-SU at insertion,
+	// the conventional Ma-SU after eviction, off the critical path.
+	InsertDolosSplit
+	// InsertEADR accepts at retire time (the whole hierarchy is in the
+	// persistence domain); security happens on eviction.
+	InsertEADR
+)
+
+// RecoveryStyle selects the post-crash boot path.
+type RecoveryStyle int
+
+const (
+	// RecoverShadow replays shadow-region (Anubis) or probed (Osiris)
+	// metadata — the controller honors the mode the caller requests.
+	RecoverShadow RecoveryStyle = iota
+	// RecoverReconstruct rebuilds the volatile tree levels bottom-up
+	// from persisted counters before serving (Triad-NVM, SuperMem);
+	// the requested mode is irrelevant and ignored.
+	RecoverReconstruct
+)
+
+// Pipeline is a scheme's declarative security pipeline: the pre-persist
+// insert path, the post-persist metadata policy applied by the Ma-SU,
+// and the recovery style. The zero value is the ideal scheme.
+type Pipeline struct {
+	// Insert is the pre-persist path.
+	Insert InsertPath
+	// Policy tunes the Ma-SU's metadata persistence behind the WPQ.
+	// The zero value is the repo's original behavior.
+	Policy masu.Policy
+	// ForceTree pins the integrity backend when HasForceTree is set:
+	// reconstruction-style schemes need the eager BMT, Phoenix is by
+	// definition the lazy ToC.
+	ForceTree    masu.TreeKind
+	HasForceTree bool
+	// Recovery selects the boot path after a crash.
+	Recovery RecoveryStyle
+	// ReportsRecovery marks schemes whose modeled recovery time is a
+	// measured axis (recovery_cycles in RunRecords). Legacy schemes
+	// leave it off so their records stay bit-identical to the seed.
+	ReportsRecovery bool
+}
+
+// PolicyFor resolves the pipeline's Ma-SU policy for a concrete
+// configuration: triadLevels > 0 overrides the default persisted-level
+// count of a partial-tree-persistence scheme (Triad-NVM's N knob).
+func (p Pipeline) PolicyFor(triadLevels int) masu.Policy {
+	pol := p.Policy
+	if pol.PartialTreePersistence && triadLevels > 0 {
+		pol.TreePersistLevels = triadLevels
+	}
+	return pol
+}

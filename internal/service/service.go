@@ -480,7 +480,7 @@ func (s *Server) compute(job *Job) ([]byte, error) {
 
 	records := make([]telemetry.RunRecord, len(results))
 	for i, rr := range results {
-		records[i] = cliutil.BuildRunRecord(rr.Result, cells[i].Spec.Tree,
+		records[i] = cliutil.BuildRunRecord(rr.Result, cells[i].Spec.EffectiveTree(),
 			cells[i].Spec.TxSize, job.req.Seed, rr.Events, rr.Wall, rr.Stats, nil)
 	}
 	var buf bytes.Buffer

@@ -111,6 +111,11 @@ type RunRecord struct {
 	WPQMeanOccupancy float64 `json:"wpq_mean_occupancy"`
 	MedianTxCycles   float64 `json:"median_tx_cycles"`
 	P99TxCycles      float64 `json:"p99_tx_cycles"`
+	// RecoveryCycles is the modeled boot-time recovery cost — the
+	// related-work schemes' measured axis. omitempty: legacy schemes
+	// report 0, so their records (and the committed bench baselines)
+	// stay byte-identical.
+	RecoveryCycles uint64 `json:"recovery_cycles,omitempty"`
 
 	// Multi-core / out-of-order axes (internal/mcore). All omitempty:
 	// single-core in-order records — including the committed bench
