@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta mcore-smoke fast-smoke scheme-smoke pprof ci profile reproduce validate serve load-smoke chaos-smoke clean
+.PHONY: all build test test-short vet fmt bench bench-par bench-smoke bench-json bench-delta mcore-smoke fast-smoke scheme-smoke pprof ci profile reproduce validate serve load-smoke chaos-smoke cluster-smoke clean
 
 all: build test
 
@@ -62,6 +62,7 @@ ci:
 	$(MAKE) mcore-smoke
 	$(MAKE) fast-smoke
 	$(MAKE) scheme-smoke
+	$(MAKE) cluster-smoke
 
 # Multi-core determinism smoke under the race detector: a Cores>1 grid
 # run serially and at executor parallelism 4 must produce byte-identical
@@ -161,6 +162,15 @@ chaos-smoke:
 		-txns 100 -faults -min-hits 1 -max-errors 0; rc=$$?; \
 	kill -TERM $$pid; wait $$pid || rc=$$?; \
 	exit $$rc
+
+# Cluster smoke: a 3-node dolos-serve ring with durable stores; a grid
+# is submitted to one node, another node is SIGKILLed mid-grid, and the
+# run asserts completion with every cell, SSE replay from Last-Event-ID,
+# the killed node rejoining on its old store, and a zero-error
+# dolos-load -stream pass with first-cell percentiles (DESIGN.md §16).
+# Runs in CI.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 clean:
 	$(GO) clean ./...

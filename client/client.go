@@ -299,6 +299,9 @@ func (c *Client) runAttempts(ctx context.Context, body []byte) (*RunResult, erro
 // Submit posts the request and returns the job envelope (status
 // "done" on a submission-time cache hit, otherwise "queued"), retrying
 // 429/503/transport errors per the policy.
+//
+// Deprecated: Submit drives the /v1 shim surface; use V2().SubmitGrid,
+// which adds tenant attribution and cell progress.
 func (c *Client) Submit(ctx context.Context, req Request) (*Job, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -360,6 +363,8 @@ func (c *Client) postOnce(ctx context.Context, body []byte) (*Job, error) {
 }
 
 // Status fetches a job's envelope. A 404 matches ErrJobNotFound.
+//
+// Deprecated: Status drives the /v1 shim surface; use V2().Status.
 func (c *Client) Status(ctx context.Context, id string) (*Job, error) {
 	b, resp, err := c.get(ctx, "/v1/jobs/"+id)
 	if err != nil {
@@ -378,6 +383,9 @@ func (c *Client) Status(ctx context.Context, id string) (*Job, error) {
 // Result fetches a settled job's RunRecord bytes. A job still in
 // flight matches ErrJobNotDone (use WaitResult to poll), a failed job
 // ErrJobFailed, an unknown id ErrJobNotFound.
+//
+// Deprecated: Result drives the /v1 shim surface; use V2().Result, or
+// V2().Stream for per-cell results as they finish.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	b, resp, err := c.get(ctx, "/v1/jobs/"+id+"/result")
 	if err != nil {
@@ -397,6 +405,9 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 
 // WaitResult polls a job until it settles and returns its result
 // bytes: the id-based counterpart of Run for jobs submitted elsewhere.
+//
+// Deprecated: WaitResult polls the /v1 shim surface; use V2().Stream,
+// which pushes cells as they finish instead of polling.
 func (c *Client) WaitResult(ctx context.Context, id string) ([]byte, error) {
 	res, err := c.wait(ctx, &Job{ID: id})
 	if err != nil {

@@ -50,6 +50,10 @@ type StatusError struct {
 	Code       int
 	Message    string
 	RetryAfter time.Duration
+	// APICode is the server's stable machine-readable error code from
+	// the versioned envelope ("queue_full", "quota_exceeded", ...).
+	// Empty when the server predates the envelope.
+	APICode string
 }
 
 func (e *StatusError) Error() string {
@@ -74,16 +78,29 @@ func (e *StatusError) Unwrap() error {
 func statusError(resp *http.Response, body []byte) *StatusError {
 	msg := strings.TrimSpace(string(body))
 	var envelope struct {
-		Error string `json:"error"`
+		Code       string `json:"code"`
+		Message    string `json:"message"`
+		RetryAfter int64  `json:"retry_after"`
+		Error      string `json:"error"` // legacy pre-envelope key
 	}
-	if err := json.Unmarshal(body, &envelope); err == nil && envelope.Error != "" {
-		msg = envelope.Error
-	}
-	return &StatusError{
+	se := &StatusError{
 		Code:       resp.StatusCode,
-		Message:    msg,
 		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 	}
+	if err := json.Unmarshal(body, &envelope); err == nil {
+		switch {
+		case envelope.Message != "":
+			msg = envelope.Message
+		case envelope.Error != "":
+			msg = envelope.Error
+		}
+		se.APICode = envelope.Code
+		if se.RetryAfter == 0 && envelope.RetryAfter > 0 {
+			se.RetryAfter = time.Duration(envelope.RetryAfter) * time.Second
+		}
+	}
+	se.Message = msg
+	return se
 }
 
 // parseRetryAfter decodes a Retry-After header: delay-seconds or an

@@ -23,8 +23,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -37,6 +39,8 @@ import (
 
 type result struct {
 	latency time.Duration
+	ttfc    time.Duration // streaming: time to first cell
+	cells   int           // streaming: cells delivered
 	cached  bool
 	err     error
 }
@@ -56,6 +60,9 @@ func main() {
 	maxErrors := flag.Int("max-errors", -1, "fail if more than this many requests errored (-1 = no check)")
 	faults := flag.Bool("faults", false,
 		"the server has fault injection armed: fail unless the client retried or resubmitted at least once")
+	stream := flag.Bool("stream", false,
+		"submit full grids via POST /v2/jobs and consume per-cell SSE streams; reports time-to-first-cell percentiles")
+	tenant := flag.String("tenant", "", "tenant identity sent as X-Dolos-Tenant on /v2 submissions")
 	flag.Parse()
 
 	if err := waitHealthy(*addr, *wait); err != nil {
@@ -65,17 +72,30 @@ func main() {
 
 	// One single-cell request per workload×scheme combination; clients
 	// rotate through them, so every combination after its first
-	// submission should be served from the result cache.
+	// submission should be served from the result cache. Streaming mode
+	// instead submits the whole grid in one request — that is what
+	// exercises per-cell delivery.
 	var reqs []client.Request
-	for _, wl := range strings.Split(*workloads, ",") {
+	if *stream {
+		req := client.Request{Transactions: *txns, TxSize: *txSize, Seed: *seed}
+		for _, wl := range strings.Split(*workloads, ",") {
+			req.Workloads = append(req.Workloads, strings.TrimSpace(wl))
+		}
 		for _, sch := range strings.Split(*schemes, ",") {
-			reqs = append(reqs, client.Request{
-				Workloads:    []string{strings.TrimSpace(wl)},
-				Schemes:      []string{strings.TrimSpace(sch)},
-				Transactions: *txns,
-				TxSize:       *txSize,
-				Seed:         *seed,
-			})
+			req.Schemes = append(req.Schemes, strings.TrimSpace(sch))
+		}
+		reqs = []client.Request{req}
+	} else {
+		for _, wl := range strings.Split(*workloads, ",") {
+			for _, sch := range strings.Split(*schemes, ",") {
+				reqs = append(reqs, client.Request{
+					Workloads:    []string{strings.TrimSpace(wl)},
+					Schemes:      []string{strings.TrimSpace(sch)},
+					Transactions: *txns,
+					TxSize:       *txSize,
+					Seed:         *seed,
+				})
+			}
 		}
 	}
 
@@ -116,7 +136,11 @@ func main() {
 						return
 					}
 				}
-				resultCh <- runOne(cl, nextReq(), deadline)
+				if *stream {
+					resultCh <- runOneStream(cl, *tenant, nextReq(), deadline)
+				} else {
+					resultCh <- runOne(cl, nextReq(), deadline)
+				}
 			}
 		}()
 	}
@@ -125,8 +149,8 @@ func main() {
 		close(resultCh)
 	}()
 
-	var latencies []time.Duration
-	var errorsSeen, hits int
+	var latencies, ttfcs []time.Duration
+	var errorsSeen, hits, cellsDelivered int
 	for r := range resultCh {
 		if r.err != nil {
 			errorsSeen++
@@ -136,6 +160,10 @@ func main() {
 			continue
 		}
 		latencies = append(latencies, r.latency)
+		if *stream {
+			ttfcs = append(ttfcs, r.ttfc)
+			cellsDelivered += r.cells
+		}
 		if r.cached {
 			hits++
 		}
@@ -152,6 +180,12 @@ func main() {
 			percentile(latencies, 99), latencies[len(latencies)-1].Round(time.Microsecond))
 		fmt.Printf("cache    %d hits / %d ok (%.1f%%)\n",
 			hits, len(latencies), 100*float64(hits)/float64(len(latencies)))
+	}
+	if *stream && len(ttfcs) > 0 {
+		sort.Slice(ttfcs, func(i, j int) bool { return ttfcs[i] < ttfcs[j] })
+		fmt.Printf("stream   first-cell p50 %s  p90 %s  p99 %s; %d cells over %d streams\n",
+			percentile(ttfcs, 50), percentile(ttfcs, 90), percentile(ttfcs, 99),
+			cellsDelivered, len(ttfcs))
 	}
 	retries, resubmits := cl.Retries(), cl.Resubmits()
 	fmt.Printf("resilience  %d retries, %d resubmissions\n", retries, resubmits)
@@ -189,6 +223,50 @@ func runOne(cl *client.Client, req client.Request, deadline time.Time) result {
 		return result{err: err}
 	}
 	return result{latency: time.Since(start), cached: res.Job.Cached}
+}
+
+// runOneStream drives one grid job through the /v2 streaming surface:
+// submit, open the SSE stream, and consume every per-cell event. The
+// assertions ride along: the stream must deliver exactly the job's
+// cell count, in order, exactly once — the Stream iterator already
+// refuses duplicates and reconnects with Last-Event-ID on drops.
+func runOneStream(cl *client.Client, tenant string, req client.Request, deadline time.Time) result {
+	ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(30*time.Second))
+	defer cancel()
+	v2 := cl.V2()
+	v2.Tenant = tenant
+	start := time.Now()
+	job, err := v2.SubmitGrid(ctx, req)
+	if err != nil {
+		return result{err: err}
+	}
+	st, err := v2.Stream(ctx, job.ID)
+	if err != nil {
+		return result{err: err}
+	}
+	defer st.Close()
+	var ttfc time.Duration
+	next := 0
+	for {
+		ev, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return result{err: err}
+		}
+		if ev.Index != next {
+			return result{err: fmt.Errorf("stream out of order: cell %d, want %d", ev.Index, next)}
+		}
+		if next == 0 {
+			ttfc = time.Since(start)
+		}
+		next++
+	}
+	if job.Cells > 0 && next != job.Cells {
+		return result{err: fmt.Errorf("stream delivered %d/%d cells", next, job.Cells)}
+	}
+	return result{latency: time.Since(start), ttfc: ttfc, cells: next, cached: job.Cached}
 }
 
 func percentile(sorted []time.Duration, p int) time.Duration {

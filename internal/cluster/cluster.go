@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dolos/internal/telemetry"
+)
+
+// ForwardedHeader marks a cell request that already crossed the wire
+// once: the receiving node executes it locally no matter what its own
+// ring says, so a transient membership disagreement can never bounce a
+// cell between nodes forever.
+const ForwardedHeader = "X-Dolos-Forwarded"
+
+// Config describes this node's place in the cluster.
+type Config struct {
+	// SelfID is this node's ring identity (e.g. "n1"). Required.
+	SelfID string
+	// Peers maps every *other* node's ID to its base URL
+	// ("http://host:port"). Empty means a single-node cluster.
+	Peers map[string]string
+	// ProbeInterval is the health-probe period (default 500ms).
+	ProbeInterval time.Duration
+	// ForwardTimeout bounds one forwarded cell execution (default 2m —
+	// a cell is a full simulation, not a quick RPC).
+	ForwardTimeout time.Duration
+	// CellPath is the peer endpoint cells are forwarded to (default
+	// "/v2/cells").
+	CellPath string
+	// Registry receives the cluster's metrics (nil = private registry).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 2 * time.Minute
+	}
+	if c.CellPath == "" {
+		c.CellPath = "/v2/cells"
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// NodeInfo is one node's row in the /v2/cluster view.
+type NodeInfo struct {
+	ID    string  `json:"id"`
+	Addr  string  `json:"addr,omitempty"`
+	Self  bool    `json:"self,omitempty"`
+	Alive bool    `json:"alive"`
+	Share float64 `json:"keyspace_share"`
+}
+
+// Info is the cluster view served by GET /v2/cluster.
+type Info struct {
+	Self        string     `json:"self"`
+	RingVersion uint64     `json:"ring_version"`
+	Nodes       []NodeInfo `json:"nodes"`
+}
+
+// Cluster is this node's view of the ring: static membership (the peer
+// set is configuration), live health, and the forwarding client. A nil
+// *Cluster is a valid single-node cluster — every ownership query says
+// "local".
+type Cluster struct {
+	cfg  Config
+	self string
+	ring *Ring
+
+	mu      sync.Mutex
+	addrs   map[string]string // peer id -> base URL
+	alive   map[string]bool
+	version uint64
+
+	hc   *http.Client
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mForwards, mForwardFails, mLocalCells *telemetry.Counter
+	mRebalances, mProbes                  *telemetry.Counter
+	gAlive, gVersion                      *telemetry.Gauge
+}
+
+// New builds the cluster view. Call Start to begin health probing and
+// Close to stop it.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SelfID == "" {
+		return nil, fmt.Errorf("cluster: SelfID is required")
+	}
+	if _, dup := cfg.Peers[cfg.SelfID]; dup {
+		return nil, fmt.Errorf("cluster: Peers must not contain SelfID %q", cfg.SelfID)
+	}
+	nodes := []string{cfg.SelfID}
+	addrs := make(map[string]string, len(cfg.Peers))
+	alive := map[string]bool{cfg.SelfID: true}
+	for id, addr := range cfg.Peers {
+		nodes = append(nodes, id)
+		addrs[id] = addr
+		alive[id] = true // optimistic until the first probe says otherwise
+	}
+	reg := cfg.Registry
+	c := &Cluster{
+		cfg:   cfg,
+		self:  cfg.SelfID,
+		ring:  newRing(nodes),
+		addrs: addrs,
+		alive: alive,
+		hc:    &http.Client{Timeout: cfg.ForwardTimeout},
+		stop:  make(chan struct{}),
+
+		mForwards:     reg.Counter("cluster_cells_forwarded_total"),
+		mForwardFails: reg.Counter("cluster_forward_failures_total"),
+		mLocalCells:   reg.Counter("cluster_cells_local_total"),
+		mRebalances:   reg.Counter("cluster_rebalances_total"),
+		mProbes:       reg.Counter("cluster_health_probes_total"),
+		gAlive:        reg.Gauge("cluster_nodes_alive"),
+		gVersion:      reg.Gauge("cluster_ring_version"),
+	}
+	c.gAlive.Set(float64(len(nodes)))
+	c.version = 1
+	c.gVersion.Set(1)
+	return c, nil
+}
+
+// Start launches the background health-probe loop (no-op for a cluster
+// with no peers).
+func (c *Cluster) Start() {
+	if c == nil || len(c.addrs) == 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop.
+func (c *Cluster) Close() {
+	if c == nil {
+		return
+	}
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Self returns this node's ID ("" for a nil single-node cluster).
+func (c *Cluster) Self() string {
+	if c == nil {
+		return ""
+	}
+	return c.self
+}
+
+// OwnerOf returns the live owner of a cell key. A nil cluster, an
+// empty peer set, or a ring with no live node all answer self: work is
+// never dropped for want of a peer.
+func (c *Cluster) OwnerOf(key string) string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner := c.ring.OwnerAlive(key, func(n string) bool { return c.alive[n] })
+	if owner == "" {
+		return c.self
+	}
+	return owner
+}
+
+// IsLocal reports whether this node owns the key (always true for a
+// nil cluster).
+func (c *Cluster) IsLocal(key string) bool {
+	if c == nil {
+		return true
+	}
+	return c.OwnerOf(key) == c.self
+}
+
+// Forward executes one cell on its owner: POST the normalized
+// single-cell request to the owner's cell endpoint and return the
+// RunRecord bytes. A transport failure or 5xx marks the owner down
+// (triggering a rebalance) and returns the error — the caller falls
+// back to local execution.
+func (c *Cluster) Forward(ctx context.Context, owner string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	addr, ok := c.addrs[owner]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", owner)
+	}
+	c.mForwards.Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+c.cfg.CellPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.mForwardFails.Inc()
+		c.markDown(owner)
+		return nil, fmt.Errorf("cluster: forward to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.mForwardFails.Inc()
+		c.markDown(owner)
+		return nil, fmt.Errorf("cluster: forward to %s: %w", owner, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.mForwardFails.Inc()
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable {
+			c.markDown(owner)
+		}
+		return nil, fmt.Errorf("cluster: forward to %s: HTTP %d: %s", owner, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
+// LocalCell counts one cell executed on this node (owned or fallback).
+func (c *Cluster) LocalCell() {
+	if c != nil {
+		c.mLocalCells.Inc()
+	}
+}
+
+// probeAll checks every peer's /healthz once.
+func (c *Cluster) probeAll() {
+	c.mu.Lock()
+	peers := make(map[string]string, len(c.addrs))
+	for id, addr := range c.addrs {
+		peers[id] = addr
+	}
+	c.mu.Unlock()
+	hc := &http.Client{Timeout: c.cfg.ProbeInterval}
+	for id, addr := range peers {
+		c.mProbes.Inc()
+		resp, err := hc.Get(addr + "/healthz")
+		up := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if up {
+			c.markAlive(id)
+		} else {
+			c.markDown(id)
+		}
+	}
+}
+
+// markDown / markAlive flip a node's health; a transition is a
+// rebalance: the effective ownership of every key the node held moves
+// to its ring successors (or back).
+func (c *Cluster) markDown(node string)  { c.setAlive(node, false) }
+func (c *Cluster) markAlive(node string) { c.setAlive(node, true) }
+
+func (c *Cluster) setAlive(node string, up bool) {
+	if node == c.self {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.alive[node] == up {
+		return
+	}
+	c.alive[node] = up
+	c.version++
+	c.mRebalances.Inc()
+	c.gVersion.Set(float64(c.version))
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	c.gAlive.Set(float64(n))
+}
+
+// Info snapshots the cluster for GET /v2/cluster.
+func (c *Cluster) Info() Info {
+	if c == nil {
+		return Info{Nodes: []NodeInfo{{Alive: true, Self: true, Share: 1}}}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	shares := c.ring.shares()
+	info := Info{Self: c.self, RingVersion: c.version}
+	for _, id := range c.ring.Nodes() {
+		info.Nodes = append(info.Nodes, NodeInfo{
+			ID:    id,
+			Addr:  c.addrs[id],
+			Self:  id == c.self,
+			Alive: c.alive[id],
+			Share: shares[id],
+		})
+	}
+	return info
+}
+
+// shares computes each node's fraction of the keyspace (arc lengths of
+// its virtual nodes).
+func (r *Ring) shares() map[string]float64 {
+	out := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return out
+	}
+	if len(r.nodes) == 1 {
+		out[r.nodes[0]] = 1
+		return out
+	}
+	sorted := r.points // already sorted by pos
+	var prev uint64
+	for i, p := range sorted {
+		var arc uint64
+		if i == 0 {
+			// The arc from the last point wrapping around to the first.
+			arc = p.pos + (^sorted[len(sorted)-1].pos + 1)
+		} else {
+			arc = p.pos - prev
+		}
+		out[p.node] += float64(arc) / float64(^uint64(0))
+		prev = p.pos
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dolos/internal/telemetry"
+)
+
+// TestForwardRoundTrip: a cell forwarded to a live peer returns the
+// peer's bytes, carries the forwarded marker, and counts in telemetry.
+func TestForwardRoundTrip(t *testing.T) {
+	var gotForwarded atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/cells" {
+			http.NotFound(w, r)
+			return
+		}
+		gotForwarded.Store(r.Header.Get(ForwardedHeader) == "1")
+		fmt.Fprint(w, `{"cycles":42}`)
+	}))
+	defer peer.Close()
+
+	reg := telemetry.NewRegistry()
+	c, err := New(Config{SelfID: "n1", Peers: map[string]string{"n2": peer.URL}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	b, err := c.Forward(context.Background(), "n2", []byte(`{"workloads":["Hashmap"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"cycles":42}` {
+		t.Errorf("forwarded bytes %q", b)
+	}
+	if !gotForwarded.Load() {
+		t.Error("forwarded request missing the forwarded marker header")
+	}
+	if v := reg.Counter("cluster_cells_forwarded_total").Value(); v != 1 {
+		t.Errorf("forward counter = %d, want 1", v)
+	}
+}
+
+// TestForwardFailureMarksDown: a dead peer fails the forward, flips its
+// health (a rebalance), and ownership of its keys moves to the
+// survivors until it comes back.
+func TestForwardFailureMarksDown(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	peer.Close() // dead from the start
+
+	reg := telemetry.NewRegistry()
+	c, err := New(Config{SelfID: "n1", Peers: map[string]string{"n2": peer.URL}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find a key n2 owns while it is presumed alive.
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("cell-%d", i)
+		if c.OwnerOf(k) == "n2" {
+			key = k
+			break
+		}
+	}
+	if _, err := c.Forward(context.Background(), "n2", []byte(`{}`)); err == nil {
+		t.Fatal("forward to dead peer succeeded")
+	}
+	if got := c.OwnerOf(key); got != "n1" {
+		t.Errorf("after mark-down, key owner = %s, want n1", got)
+	}
+	if v := reg.Counter("cluster_rebalances_total").Value(); v != 1 {
+		t.Errorf("rebalance counter = %d, want 1", v)
+	}
+	if v := reg.Counter("cluster_forward_failures_total").Value(); v != 1 {
+		t.Errorf("forward-failure counter = %d, want 1", v)
+	}
+	if g := reg.Gauge("cluster_nodes_alive").Value(); g != 1 {
+		t.Errorf("nodes-alive gauge = %v, want 1", g)
+	}
+}
+
+// TestHealthProbeRecovers: the probe loop marks a down peer alive again
+// once its /healthz answers, and ownership moves back.
+func TestHealthProbeRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && healthy.Load() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer peer.Close()
+
+	reg := telemetry.NewRegistry()
+	c, err := New(Config{
+		SelfID: "n1", Peers: map[string]string{"n2": peer.URL},
+		ProbeInterval: 10 * time.Millisecond, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+
+	// First probes see 503: n2 goes down.
+	waitFor(t, func() bool { return reg.Gauge("cluster_nodes_alive").Value() == 1 })
+	healthy.Store(true)
+	waitFor(t, func() bool { return reg.Gauge("cluster_nodes_alive").Value() == 2 })
+	if v := reg.Counter("cluster_rebalances_total").Value(); v != 2 {
+		t.Errorf("rebalances = %d, want 2 (down then up)", v)
+	}
+}
+
+// TestNilClusterIsLocal: a nil *Cluster is the single-node degenerate
+// case everywhere.
+func TestNilClusterIsLocal(t *testing.T) {
+	var c *Cluster
+	if !c.IsLocal("anything") {
+		t.Error("nil cluster claims remote ownership")
+	}
+	if c.Self() != "" {
+		t.Error("nil cluster has a self id")
+	}
+	info := c.Info()
+	if len(info.Nodes) != 1 || !info.Nodes[0].Alive || info.Nodes[0].Share != 1 {
+		t.Errorf("nil cluster info: %+v", info)
+	}
+	c.LocalCell() // must not panic
+	c.Close()     // must not panic
+}
+
+// TestInfo: the /v2/cluster snapshot reflects membership, self and
+// health.
+func TestInfo(t *testing.T) {
+	c, err := New(Config{SelfID: "n2", Peers: map[string]string{
+		"n1": "http://h1", "n3": "http://h3",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.setAlive("n3", false)
+	info := c.Info()
+	if info.Self != "n2" || len(info.Nodes) != 3 {
+		t.Fatalf("info: %+v", info)
+	}
+	byID := map[string]NodeInfo{}
+	share := 0.0
+	for _, n := range info.Nodes {
+		byID[n.ID] = n
+		share += n.Share
+	}
+	if !byID["n2"].Self || byID["n2"].Addr != "" {
+		t.Errorf("self row: %+v", byID["n2"])
+	}
+	if byID["n3"].Alive || !byID["n1"].Alive {
+		t.Errorf("health rows: %+v", info.Nodes)
+	}
+	if byID["n1"].Addr != "http://h1" {
+		t.Errorf("addr row: %+v", byID["n1"])
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("keyspace shares sum to %v", share)
+	}
+}
+
+// TestSelfInPeersRejected: configuration errors surface at New.
+func TestSelfInPeersRejected(t *testing.T) {
+	if _, err := New(Config{SelfID: "n1", Peers: map[string]string{"n1": "http://x"}}); err == nil {
+		t.Fatal("self in peer set accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty SelfID accepted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

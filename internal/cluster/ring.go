@@ -1,0 +1,117 @@
+// Package cluster takes dolos-serve multi-node: a consistent-hash ring
+// over worker nodes keyed by the service's normalized request hashes, a
+// coordinator that forwards grid cells to their owners over HTTP (with
+// local fallback when an owner is down, so a killed worker never blocks
+// a grid), health-probed membership with rebalancing on change, and
+// ring/ownership telemetry. Cell ownership is what makes the existing
+// SHA-256 single-flight dedup cluster-wide: every node routes a given
+// cell key to the same owner, and the owner's local claim/publish
+// machinery collapses concurrent cluster-wide submissions of that cell
+// into one simulation. See DESIGN.md §16.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// vnodesPerNode is the number of virtual points each node contributes
+// to the ring. 64 keeps the max/min ownership skew under ~30% for small
+// clusters while keeping ring rebuilds trivially cheap.
+const vnodesPerNode = 64
+
+// ringPoint is one virtual node: a position on the uint64 circle and
+// the node that owns the arc ending there.
+type ringPoint struct {
+	pos  uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node IDs.
+// Build with newRing; Owner is safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+// newRing builds the ring for a node set. The layout depends only on
+// the sorted node IDs, so every member that knows the same membership
+// computes the identical ring — there is no coordination step.
+func newRing(nodes []string) *Ring {
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	r := &Ring{nodes: sorted}
+	for _, n := range sorted {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{pos: hashPoint(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hashPoint maps a label onto the ring circle: the first 8 bytes of its
+// SHA-256 — the same hash family as the request keys it will route.
+func hashPoint(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's member IDs, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning key: the first ring point clockwise of
+// the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct nodes clockwise of the key — the
+// owner followed by its successors, which are the natural fallback
+// order when the owner is unhealthy.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	seen := make(map[string]bool, n)
+	var out []string
+	for range r.points {
+		p := r.points[(i)%len(r.points)]
+		i++
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OwnerAlive returns the first node clockwise of key for which alive
+// returns true ("" when none is).
+func (r *Ring) OwnerAlive(key string, alive func(node string) bool) string {
+	for _, n := range r.Owners(key, len(r.nodes)) {
+		if alive(n) {
+			return n
+		}
+	}
+	return ""
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestRingDeterministic: every member that knows the same node set
+// computes the identical ring — ownership needs no coordination.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"n1", "n2", "n3"})
+	b := newRing([]string{"n3", "n1", "n2"}) // order must not matter
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: rings disagree (%s vs %s)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution: with vnodes, a 3-node ring spreads 10k keys
+// roughly evenly — no node below 20% or above 50%.
+func TestRingDistribution(t *testing.T) {
+	r := newRing([]string{"n1", "n2", "n3"})
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("cell-%d", i))]++
+	}
+	for _, n := range r.Nodes() {
+		frac := float64(counts[n]) / keys
+		if frac < 0.20 || frac > 0.50 {
+			t.Errorf("node %s owns %.1f%% of keys — too skewed: %v", n, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one node of three must reassign
+// only that node's keys; every key owned by a surviving node stays put.
+// That is the property that makes membership-change rebalancing cheap.
+func TestRingMinimalMovement(t *testing.T) {
+	full := newRing([]string{"n1", "n2", "n3"})
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		before := full.Owner(key)
+		after := full.OwnerAlive(key, func(n string) bool { return n != "n2" })
+		if before != "n2" {
+			if after != before {
+				t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+			}
+		} else {
+			moved++
+			if after == "n2" || after == "" {
+				t.Fatalf("key %q still assigned to dead node", key)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: no key owned by n2")
+	}
+}
+
+// TestOwnersFallbackOrder: Owners returns distinct nodes, owner first.
+func TestOwnersFallbackOrder(t *testing.T) {
+	r := newRing([]string{"n1", "n2", "n3"})
+	owners := r.Owners("some-key", 3)
+	if len(owners) != 3 {
+		t.Fatalf("Owners returned %d nodes, want 3", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate node %s in fallback order %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if owners[0] != r.Owner("some-key") {
+		t.Errorf("Owners[0] = %s, Owner = %s", owners[0], r.Owner("some-key"))
+	}
+}
+
+// TestShares: keyspace shares sum to ~1 and track the empirical key
+// distribution.
+func TestShares(t *testing.T) {
+	r := newRing([]string{"n1", "n2", "n3"})
+	shares := r.shares()
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("k%d", i))]++
+	}
+	for n, s := range shares {
+		emp := float64(counts[n]) / keys
+		if math.Abs(emp-s) > 0.05 {
+			t.Errorf("node %s: share %.3f vs empirical %.3f", n, s, emp)
+		}
+	}
+}
+
+// TestEmptyAndSingleRing: edge cases answer sanely.
+func TestEmptyAndSingleRing(t *testing.T) {
+	empty := newRing(nil)
+	if got := empty.Owner("k"); got != "" {
+		t.Errorf("empty ring owner %q, want \"\"", got)
+	}
+	one := newRing([]string{"solo"})
+	if got := one.Owner("k"); got != "solo" {
+		t.Errorf("single ring owner %q, want solo", got)
+	}
+	if got := one.OwnerAlive("k", func(string) bool { return false }); got != "" {
+		t.Errorf("all-dead ring owner %q, want \"\"", got)
+	}
+}

@@ -137,6 +137,19 @@ func (r *Runner) RunCell(ctx context.Context, workload string, spec Spec) (RunRe
 // and ctx.Err() is joined with any cell errors; skipped cells are left
 // zero in the returned slice.
 func (r *Runner) RunGrid(ctx context.Context, cells []Cell) ([]RunResult, error) {
+	return r.RunGridNotify(ctx, cells, nil)
+}
+
+// RunGridNotify is RunGrid with a per-cell completion callback: notify
+// fires once for every cell that completes successfully, as soon as it
+// completes, with the cell's enumeration index and result. It is the
+// seam the serving layer's streaming API hangs off — partial grid
+// results can be pushed to clients while later cells are still
+// simulating. notify may be called from executor worker goroutines
+// concurrently (never twice for the same index); a nil notify is
+// RunGrid exactly. The returned slice is still in enumeration order.
+func (r *Runner) RunGridNotify(ctx context.Context, cells []Cell,
+	notify func(i int, rr RunResult)) ([]RunResult, error) {
 	rc := r.WithContext(ctx)
 	out := make([]RunResult, len(cells))
 	err := rc.forEach(len(cells), func(i int) error {
@@ -146,6 +159,9 @@ func (r *Runner) RunGrid(ctx context.Context, cells []Cell) ([]RunResult, error)
 				i, cells[i].Workload, cells[i].Spec.Scheme, err)
 		}
 		out[i] = rr
+		if notify != nil {
+			notify(i, rr)
+		}
 		return nil
 	})
 	return out, err

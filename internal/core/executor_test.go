@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -233,5 +234,49 @@ func TestParallelismResolution(t *testing.T) {
 	}
 	if got := NewRunner(Options{}).parallelism(); got < 1 {
 		t.Fatalf("default parallelism %d < 1", got)
+	}
+}
+
+// TestRunGridNotify pins the per-cell completion seam: notify fires
+// exactly once per cell with the result that lands at the same index of
+// the returned slice, and a nil notify degenerates to RunGrid.
+func TestRunGridNotify(t *testing.T) {
+	r := NewRunner(Options{Transactions: 40, Parallelism: 2})
+	cells := []Cell{
+		{Workload: "Hashmap", Spec: Spec{Scheme: controller.PreWPQSecure}},
+		{Workload: "Hashmap", Spec: Spec{Scheme: controller.DolosPartial}},
+		{Workload: "Btree", Spec: Spec{Scheme: controller.PreWPQSecure}},
+	}
+
+	var mu sync.Mutex
+	fired := make(map[int]RunResult)
+	got, err := r.RunGridNotify(context.Background(), cells, func(i int, rr RunResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := fired[i]; dup {
+			t.Errorf("notify fired twice for cell %d", i)
+		}
+		fired[i] = rr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != len(cells) {
+		t.Fatalf("notify fired for %d cells, want %d", len(fired), len(cells))
+	}
+	for i, rr := range fired {
+		if rr.Result.Cycles != got[i].Result.Cycles || rr.Events != got[i].Events {
+			t.Errorf("cell %d: notified result differs from returned slice", i)
+		}
+	}
+
+	plain, err := r.RunGrid(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Result.Cycles != got[i].Result.Cycles {
+			t.Errorf("cell %d: RunGrid and RunGridNotify disagree on cycles", i)
+		}
 	}
 }

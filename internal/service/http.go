@@ -24,25 +24,75 @@ type SubmitResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// ErrorEnvelope is the versioned error body every endpoint (v1 and
+// v2) returns: a stable machine-readable code, a human message, and a
+// retry hint in seconds for backpressure codes. Legacy mirrors the
+// message under the pre-envelope "error" key so v1 clients written
+// against PR-5 keep parsing.
+type ErrorEnvelope struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	RetryAfter int64  `json:"retry_after,omitempty"`
+	Legacy     string `json:"error"`
 }
 
-// Handler returns the server's HTTP API:
+// Error codes carried by ErrorEnvelope.Code.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeBodyTooLarge  = "body_too_large"
+	CodeNotFound      = "not_found"
+	CodeQueueFull     = "queue_full"
+	CodeQuotaExceeded = "quota_exceeded"
+	CodeUnavailable   = "unavailable"
+	CodeJobFailed     = "job_failed"
+	CodeInternal      = "internal"
+)
+
+// DeprecationHeader marks every /v1 response (RFC 8594): the /v1
+// surface is a shim over the same store-backed pipeline /v2 uses and
+// will not grow new features.
+const DeprecationHeader = "Deprecation"
+
+// Handler returns the server's HTTP API.
 //
-//	POST /v1/jobs             submit a grid or single-cell run
-//	GET  /v1/jobs/{id}        job status with queue position
-//	GET  /v1/jobs/{id}/result RunRecord JSON (dolos-sim -json schema)
+// Current surface (/v2):
+//
+//	POST /v2/jobs             submit a grid or single-cell run
+//	GET  /v2/jobs/{id}        job status with cell progress
+//	GET  /v2/jobs/{id}/stream SSE of per-cell results (Last-Event-ID resumable)
+//	GET  /v2/jobs/{id}/result RunRecord JSON (dolos-sim -json schema)
+//	GET  /v2/cluster          ring membership, health and keyspace shares
+//	GET  /v2/audit            the durable submission audit trail
+//	POST /v2/cells            internal: execute one forwarded grid cell
+//
+// Deprecated shims (/v1, served from the same pipeline, tagged with a
+// Deprecation header):
+//
+//	POST /v1/jobs             submit
+//	GET  /v1/jobs/{id}        status
+//	GET  /v1/jobs/{id}/result result
+//
+// Shared:
+//
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness ("ok", or 503 while draining)
 //
 // Every handler runs behind panic-to-500 recovery and a request
-// counter.
+// counter; every error body is an ErrorEnvelope.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs", deprecated(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", deprecated(handleJobsNoID))
+	mux.HandleFunc("GET /v1/jobs/{id}", deprecated(s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", deprecated(s.handleResult))
+	mux.HandleFunc("POST /v2/jobs", s.handleSubmitV2)
+	mux.HandleFunc("GET /v2/jobs", handleJobsNoID)
+	mux.HandleFunc("GET /v2/jobs/{id}", s.handleStatusV2)
+	mux.HandleFunc("GET /v2/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v2/jobs/{id}/result", s.handleResultV2)
+	mux.HandleFunc("GET /v2/cluster", s.handleCluster)
+	mux.HandleFunc("GET /v2/audit", s.handleAudit)
+	mux.HandleFunc("POST /v2/cells", s.handleCells)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -57,7 +107,26 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// deprecated tags a /v1 handler's responses with the Deprecation
+// header and a Link to the successor surface.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(DeprecationHeader, "true")
+		w.Header().Set("Link", `</v2/jobs>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// handleJobsNoID answers GET /vN/jobs without an id: a versioned 404
+// envelope instead of the mux's bare 405 (there is no collection
+// listing; the id is required).
+func handleJobsNoID(w http.ResponseWriter, _ *http.Request) {
+	writeError(w, http.StatusNotFound, "job id required: GET /v2/jobs/{id}")
+}
+
+// decodeSubmit parses and bounds a submission body. On failure it has
+// already written the error response.
+func (s *Server) decodeSubmit(w http.ResponseWriter, r *http.Request) (Request, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -67,33 +136,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
-			return
+			return Request{}, false
 		}
 		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
-		return
+		return Request{}, false
 	}
+	return req, true
+}
 
+// submitCommon is the shared submission pipeline behind POST /v1/jobs
+// and POST /v2/jobs: quota check, normalization, submit. It returns
+// the job, or nil after writing the error response.
+func (s *Server) submitCommon(w http.ResponseWriter, r *http.Request) *Job {
+	tenant := tenantOf(r)
+	if ok, wait := s.quotas.allow(tenant); !ok {
+		s.mQuotaRejected.Inc()
+		writeEnvelope(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+			fmt.Sprintf("tenant %q is over quota", tenant), wait)
+		return nil
+	}
+	req, ok := s.decodeSubmit(w, r)
+	if !ok {
+		return nil
+	}
 	n, err := normalize(req, s.cfg.Limits)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil
 	}
-
-	job, err := s.submit(n, msToDuration(req.TimeoutMS))
+	job, err := s.submit(n, msToDuration(req.TimeoutMS), tenant)
 	switch {
 	case errors.Is(err, errDraining):
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
+		writeEnvelope(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error(), 5*time.Second)
+		return nil
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
-		return
+		writeEnvelope(w, http.StatusTooManyRequests, CodeQueueFull, err.Error(), time.Second)
+		return nil
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err.Error())
+		return nil
+	}
+	return job
+}
+
+// tenantOf reads the submission's tenant identity ("default" when the
+// header is absent).
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Dolos-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job := s.submitCommon(w, r)
+	if job == nil {
 		return
 	}
-
 	st := snapshotStatus(s, job)
 	status := http.StatusAccepted
 	if st.Status == StatusDone {
@@ -136,7 +235,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write(result)
 	case StatusFailed:
-		writeError(w, http.StatusInternalServerError, st.Error)
+		writeEnvelope(w, http.StatusInternalServerError, CodeJobFailed, st.Error, 0)
 	default:
 		// Not finished: report the status (202) so pollers can keep the
 		// same URL.
@@ -183,6 +282,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeEnvelope writes the versioned error body, with a Retry-After
+// header when the code is retryable after a delay.
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	env := ErrorEnvelope{Code: code, Message: msg, Legacy: msg}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		env.RetryAfter = secs
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, status, env)
+}
+
+// writeError is the no-retry-hint envelope, mapping the HTTP status to
+// its stable code.
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+	writeEnvelope(w, status, codeForStatus(status), msg, 0)
+}
+
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusRequestEntityTooLarge:
+		return CodeBodyTooLarge
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusTooManyRequests:
+		return CodeQueueFull
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
 }

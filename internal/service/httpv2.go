@@ -1,0 +1,200 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"dolos/internal/store"
+)
+
+// JobV2 is the body of POST /v2/jobs and GET /v2/jobs/{id}: the v1
+// fields plus tenant attribution and streaming progress.
+type JobV2 struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Tenant string    `json:"tenant,omitempty"`
+	Cached bool      `json:"cached"`
+	// Cells is the grid size; CellsDone counts the per-cell results
+	// already durable and streamed.
+	Cells     int `json:"cells"`
+	CellsDone int `json:"cells_done"`
+	// QueuePosition is the 1-based position among queued jobs (present
+	// only while queued).
+	QueuePosition int `json:"queue_position,omitempty"`
+	// Error carries the failure cause when Status is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// AuditResponse is the body of GET /v2/audit.
+type AuditResponse struct {
+	Entries []store.AuditEntry `json:"entries"`
+}
+
+func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
+	job := s.submitCommon(w, r)
+	if job == nil {
+		return
+	}
+	st := snapshotV2(s, job)
+	status := http.StatusAccepted
+	if st.Status == StatusDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, st)
+}
+
+func (s *Server) handleStatusV2(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotV2(s, job))
+}
+
+func (s *Server) handleResultV2(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	st := snapshotV2(s, job)
+	switch st.Status {
+	case StatusDone:
+		s.mu.Lock()
+		result := job.result
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(result)
+	case StatusFailed:
+		writeEnvelope(w, http.StatusInternalServerError, CodeJobFailed, st.Error, 0)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// handleStream serves GET /v2/jobs/{id}/stream: per-cell RunRecords as
+// server-sent events, in cell order, each numbered so a client that
+// reconnects with Last-Event-ID (or ?last_event_id=) resumes exactly
+// after the last cell it saw — replayed from the durable store-backed
+// cell slice, not recomputed. The stream ends with a terminal done or
+// failed event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	after := 0
+	if h := r.Header.Get("Last-Event-ID"); h != "" {
+		after, _ = strconv.Atoi(h)
+	} else if q := r.URL.Query().Get("last_event_id"); q != "" {
+		after, _ = strconv.Atoi(q)
+	}
+
+	replay, ch, cancel := s.subscribe(job, after)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	if ch == nil {
+		return // job already settled: replay carried the terminal event
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleCluster serves GET /v2/cluster: the ring view. Works on a
+// single node too (one self-owned arc), so clients need no mode probe.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.Info())
+}
+
+// handleAudit serves GET /v2/audit: the durable submission trail
+// (?n= bounds it to the newest n entries).
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, _ = strconv.Atoi(q)
+	}
+	resp := AuditResponse{Entries: []store.AuditEntry{}}
+	if s.store != nil {
+		resp.Entries = s.store.Audit(n)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCells serves POST /v2/cells, the internal cluster endpoint: a
+// coordinator forwards one grid cell here and gets its compact
+// RunRecord back. The cell always executes locally — the forwarded
+// marker means the routing decision was already made, so a stale ring
+// on this node can never bounce it onward.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeEnvelope(w, http.StatusServiceUnavailable, CodeUnavailable, "draining", 5*time.Second)
+		return
+	}
+	req, ok := s.decodeSubmit(w, r)
+	if !ok {
+		return
+	}
+	n, err := normalize(req, s.cfg.Limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if cells := len(n.Workloads) * len(n.Schemes); cells != 1 {
+		writeError(w, http.StatusBadRequest, "a cell request must be exactly one workload × scheme")
+		return
+	}
+	ctx := r.Context()
+	s.cluster.LocalCell()
+	b, err := s.executeCell(ctx, n)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// snapshotV2 reads a job's /v2 view under the lock.
+func snapshotV2(s *Server, job *Job) JobV2 {
+	pos := s.queuePosition(job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobV2{
+		ID:            job.id,
+		Status:        job.status,
+		Tenant:        job.tenant,
+		Cached:        job.cached,
+		Cells:         job.total,
+		CellsDone:     job.emitted,
+		QueuePosition: pos,
+		Error:         job.errMsg,
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Quota is one tenant's token bucket: Rate submissions per second
+// sustained, Burst submissions instantaneously.
+type Quota struct {
+	Rate  float64
+	Burst float64
+}
+
+// ParseQuotas parses the -tenant-quotas flag syntax: a comma-separated
+// list of tenant:rate[:burst] entries, e.g. "acme:5,*:100:200". Burst
+// defaults to the rate (min 1). The "*" tenant is the catch-all for
+// tenants without their own entry.
+func ParseQuotas(spec string) (map[string]Quota, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]Quota)
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+			return nil, fmt.Errorf("quota entry %q: want tenant:rate[:burst]", entry)
+		}
+		rate, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("quota entry %q: bad rate %q", entry, parts[1])
+		}
+		q := Quota{Rate: rate, Burst: rate}
+		if len(parts) == 3 {
+			burst, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || burst <= 0 {
+				return nil, fmt.Errorf("quota entry %q: bad burst %q", entry, parts[2])
+			}
+			q.Burst = burst
+		}
+		if q.Burst < 1 {
+			q.Burst = 1
+		}
+		out[parts[0]] = q
+	}
+	return out, nil
+}
+
+// tokenBuckets enforces per-tenant quotas. A nil *tokenBuckets (no
+// quotas configured) allows everything.
+type tokenBuckets struct {
+	mu  sync.Mutex
+	cfg map[string]Quota
+	st  map[string]*bucket
+	now func() time.Time // injectable for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newBuckets(cfg map[string]Quota) *tokenBuckets {
+	if len(cfg) == 0 {
+		return nil
+	}
+	return &tokenBuckets{cfg: cfg, st: make(map[string]*bucket), now: time.Now}
+}
+
+// allow spends one token from the tenant's bucket. When the bucket is
+// empty it reports false and how long until a token refills — the
+// Retry-After the 429 carries.
+func (t *tokenBuckets) allow(tenant string) (bool, time.Duration) {
+	if t == nil {
+		return true, 0
+	}
+	q, ok := t.cfg[tenant]
+	if !ok {
+		q, ok = t.cfg["*"]
+		if !ok {
+			return true, 0 // unlisted tenant, no catch-all: unlimited
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.st[tenant]
+	now := t.now()
+	if !ok {
+		b = &bucket{tokens: q.Burst, last: now}
+		t.st[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.Rate
+	if b.tokens > q.Burst {
+		b.tokens = q.Burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.Rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After granularity is whole seconds
+	}
+	return false, wait
+}

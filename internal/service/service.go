@@ -10,6 +10,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -17,8 +18,10 @@ import (
 	"time"
 
 	"dolos/internal/cliutil"
+	"dolos/internal/cluster"
 	"dolos/internal/core"
 	"dolos/internal/fault"
+	"dolos/internal/store"
 	"dolos/internal/telemetry"
 )
 
@@ -44,6 +47,22 @@ type Config struct {
 	// §11). Nil — the default — injects nothing and costs one nil
 	// check per point.
 	Faults *fault.Injector
+	// Store, when non-nil, makes the job pipeline durable: submissions,
+	// per-cell completions and terminal outcomes are WAL-appended before
+	// they become externally visible, and New replays unfinished jobs
+	// from it. Nil keeps the PR-5 in-memory behavior.
+	Store *store.Store
+	// Cluster, when non-nil, shards grid cells across worker nodes by
+	// consistent hashing of their normalized request keys. Nil (or a nil
+	// *cluster.Cluster) runs every cell locally.
+	Cluster *cluster.Cluster
+	// Quotas maps tenant IDs (the X-Dolos-Tenant header; "*" is the
+	// catch-all) to token-bucket rates. Empty means no quota enforcement.
+	Quotas map[string]Quota
+	// Registry receives the server's metrics. Nil creates a private one;
+	// cmd/dolos-serve passes a shared registry so cluster and service
+	// metrics land on one /metrics page.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -79,10 +98,11 @@ const (
 // Job is one submitted request. All mutable fields are guarded by the
 // server mutex; result bytes are immutable once set.
 type Job struct {
-	id  string
-	seq int64
-	key string
-	req normalized
+	id     string
+	seq    int64
+	key    string
+	req    normalized
+	tenant string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -92,6 +112,14 @@ type Job struct {
 	errMsg  string // set when status == StatusFailed
 	result  []byte // RunRecord JSON (object for one cell, array for a grid)
 	created time.Time
+
+	// Streaming state: the grid's per-cell RunRecord bytes (compact
+	// JSON, indexed in cells() enumeration order), how many of them have
+	// been broadcast in order, and the live /v2 stream subscribers.
+	total   int
+	cells   [][]byte
+	emitted int
+	subs    map[chan streamEvent]bool
 }
 
 // flight is one single-flight slot: the first worker to take a key
@@ -114,9 +142,12 @@ type runnerKey struct {
 // Server owns the queue, worker pool, caches and metrics. Create with
 // New, expose with Handler, stop with Shutdown.
 type Server struct {
-	cfg    Config
-	reg    *telemetry.Registry
-	faults *fault.Injector
+	cfg     Config
+	reg     *telemetry.Registry
+	faults  *fault.Injector
+	store   *store.Store
+	cluster *cluster.Cluster
+	quotas  *tokenBuckets
 
 	mu       sync.Mutex
 	draining bool
@@ -125,8 +156,10 @@ type Server struct {
 	flights  map[string]*flight
 	runners  map[runnerKey]*core.Runner
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	queue      chan *Job
+	wg         sync.WaitGroup
+	recoveryWG sync.WaitGroup // re-enqueue of store-recovered jobs
+	drainOnce  sync.Once
 
 	cache *lruCache
 	final []byte // Prometheus snapshot rendered by Shutdown after drain
@@ -135,41 +168,60 @@ type Server struct {
 	// execution — used to hold workers in a known state.
 	hookExecute func(*Job)
 
-	mSubmitted, mCompleted, mFailed, mRejected *telemetry.Counter
-	mCacheHits, mCacheMisses, mDedupHits       *telemetry.Counter
-	mSims, mPanics, mHTTP, mCorrupt            *telemetry.Counter
-	gQueueDepth                                *telemetry.Gauge
-	hJobSeconds                                *telemetry.CycleHist
+	mSubmitted, mCompleted, mFailed, mRejected  *telemetry.Counter
+	mCacheHits, mCacheMisses, mDedupHits        *telemetry.Counter
+	mSims, mPanics, mHTTP, mCorrupt             *telemetry.Counter
+	mQuotaRejected, mStreamEvents, mRecovered   *telemetry.Counter
+	mCellCacheHits, mCellDedup, mForwardFallbks *telemetry.Counter
+	gQueueDepth                                 *telemetry.Gauge
+	hJobSeconds                                 *telemetry.CycleHist
 }
 
-// New builds a server and starts its worker pool. The server is live
-// immediately; callers typically mount Handler on an http.Server.
+// New builds a server and starts its worker pool. When a Store is
+// configured, New first recovers it: settled jobs warm the result
+// cache and answer /v2 lookups immediately; unsettled jobs — the ones
+// a crash interrupted — are re-enqueued in submission order, and the
+// cells whose completion records already reached the log are never
+// simulated again. The server is live immediately; callers typically
+// mount Handler on an http.Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	reg := telemetry.NewRegistry()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
 		faults:  cfg.Faults,
+		store:   cfg.Store,
+		cluster: cfg.Cluster,
+		quotas:  newBuckets(cfg.Quotas),
 		jobs:    make(map[string]*Job),
 		flights: make(map[string]*flight),
 		runners: make(map[runnerKey]*core.Runner),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		cache:   newLRU(cfg.CacheEntries),
 
-		mSubmitted:   reg.Counter("service_jobs_submitted_total"),
-		mCompleted:   reg.Counter("service_jobs_completed_total"),
-		mFailed:      reg.Counter("service_jobs_failed_total"),
-		mRejected:    reg.Counter("service_jobs_rejected_total"),
-		mCacheHits:   reg.Counter("service_cache_hits_total"),
-		mCacheMisses: reg.Counter("service_cache_misses_total"),
-		mDedupHits:   reg.Counter("service_dedup_hits_total"),
-		mSims:        reg.Counter("service_sims_executed_total"),
-		mPanics:      reg.Counter("service_panics_total"),
-		mHTTP:        reg.Counter("service_http_requests_total"),
-		mCorrupt:     reg.Counter("service_cache_corruptions_detected_total"),
-		gQueueDepth:  reg.Gauge("service_queue_depth"),
-		hJobSeconds:  reg.CycleHist("service_job_seconds"),
+		mSubmitted:      reg.Counter("service_jobs_submitted_total"),
+		mCompleted:      reg.Counter("service_jobs_completed_total"),
+		mFailed:         reg.Counter("service_jobs_failed_total"),
+		mRejected:       reg.Counter("service_jobs_rejected_total"),
+		mCacheHits:      reg.Counter("service_cache_hits_total"),
+		mCacheMisses:    reg.Counter("service_cache_misses_total"),
+		mDedupHits:      reg.Counter("service_dedup_hits_total"),
+		mSims:           reg.Counter("service_sims_executed_total"),
+		mPanics:         reg.Counter("service_panics_total"),
+		mHTTP:           reg.Counter("service_http_requests_total"),
+		mCorrupt:        reg.Counter("service_cache_corruptions_detected_total"),
+		mQuotaRejected:  reg.Counter("service_quota_rejected_total"),
+		mStreamEvents:   reg.Counter("service_stream_events_total"),
+		mRecovered:      reg.Counter("service_jobs_recovered_total"),
+		mCellCacheHits:  reg.Counter("service_cell_cache_hits_total"),
+		mCellDedup:      reg.Counter("service_cell_dedup_hits_total"),
+		mForwardFallbks: reg.Counter("service_cell_forward_fallbacks_total"),
+		gQueueDepth:     reg.Gauge("service_queue_depth"),
+		hJobSeconds:     reg.CycleHist("service_job_seconds"),
 	}
 	s.cache.onCorrupt = func(string) { s.mCorrupt.Inc() }
 	s.faults.Bind(reg)
@@ -177,7 +229,89 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	if s.store != nil {
+		s.recoverFromStore()
+	}
 	return s
+}
+
+// recoverFromStore rebuilds the jobs map from the durable store.
+// Settled jobs come back complete (result reassembled from their cell
+// records, cache warmed); unsettled jobs are re-enqueued under fresh
+// default deadlines by a background goroutine — the queue may be
+// smaller than the backlog, so the sends must not block New. The
+// goroutine is accounted in recoveryWG; Shutdown waits for it before
+// closing the queue, so a graceful drain never loses a recovered job
+// and never races a send against the close.
+func (s *Server) recoverFromStore() {
+	states := s.store.Jobs()
+	var pending []*Job
+	s.mu.Lock()
+	if ms := s.store.MaxSeq(); ms > s.seq {
+		s.seq = ms // continue j%08d ids where the last incarnation stopped
+	}
+	for _, st := range states {
+		var n normalized
+		if err := json.Unmarshal(st.Job.Req, &n); err != nil {
+			continue // undecodable request from a future/past version: skip
+		}
+		job := &Job{
+			id:      st.Job.ID,
+			seq:     st.Job.Seq,
+			key:     st.Job.Key,
+			req:     n,
+			tenant:  st.Job.Tenant,
+			created: st.Job.At,
+			total:   len(n.Workloads) * len(n.Schemes),
+			subs:    make(map[chan streamEvent]bool),
+		}
+		job.cells = make([][]byte, job.total)
+		for i, c := range st.Cells {
+			if i < job.total && c != nil {
+				job.cells[i] = c
+			}
+		}
+		switch {
+		case st.Done:
+			job.status = StatusDone
+			job.cached = st.Cached
+			job.emitted = job.total
+			if b, err := assembleResult(job.cells); err == nil {
+				job.result = b
+				s.cache.Put(job.key, b)
+			} else {
+				// A settled job with incomplete cell records cannot
+				// honor /result; surface it as failed rather than wrong.
+				job.status = StatusFailed
+				job.errMsg = "recovered result incomplete: " + err.Error()
+			}
+		case st.Failed:
+			job.status = StatusFailed
+			job.errMsg = st.Err
+			job.emitted = st.CellsDone()
+		default:
+			job.status = StatusQueued
+			job.emitted = st.CellsDone()
+			job.ctx, job.cancel = context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+			pending = append(pending, job)
+			s.mRecovered.Inc()
+		}
+		s.jobs[job.id] = job
+	}
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	s.recoveryWG.Add(1)
+	go func() {
+		defer s.recoveryWG.Done()
+		for _, j := range pending {
+			if s.isDraining() {
+				return
+			}
+			s.queue <- j
+		}
+	}()
 }
 
 // Registry exposes the server's metrics registry (scraped by /metrics;
@@ -190,12 +324,17 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // nil once every job has finished, or ctx.Err() if ctx expires first —
 // workers are left to finish in the background in that case.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.draining {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
 		s.draining = true
-		close(s.queue) // no submit can race: sends happen under mu with draining false
-	}
-	s.mu.Unlock()
+		s.mu.Unlock()
+		// The recovery goroutine re-enqueues store-recovered jobs; wait
+		// for it to finish (or notice draining) before closing the queue
+		// so its sends cannot race the close. Submit sends cannot race:
+		// they happen under mu with draining false.
+		s.recoveryWG.Wait()
+		close(s.queue)
+	})
 
 	done := make(chan struct{})
 	go func() {
@@ -235,7 +374,7 @@ var (
 	errQueueFull = errors.New("job queue is full")
 )
 
-func (s *Server) submit(n normalized, timeout time.Duration) (*Job, error) {
+func (s *Server) submit(n normalized, timeout time.Duration, tenant string) (*Job, error) {
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
@@ -243,10 +382,14 @@ func (s *Server) submit(n normalized, timeout time.Duration) (*Job, error) {
 	job := &Job{
 		key:     n.Key(),
 		req:     n,
+		tenant:  tenant,
 		ctx:     ctx,
 		cancel:  cancel,
 		created: time.Now(),
+		total:   len(n.Workloads) * len(n.Schemes),
+		subs:    make(map[chan streamEvent]bool),
 	}
+	job.cells = make([][]byte, job.total)
 
 	s.mu.Lock()
 	if s.draining {
@@ -265,17 +408,24 @@ func (s *Server) submit(n normalized, timeout time.Duration) (*Job, error) {
 	job.seq = s.seq
 	job.id = fmt.Sprintf("j%08d", job.seq)
 
-	if b, ok := s.cache.Get(job.key); ok {
-		job.status = StatusDone
-		job.cached = true
-		job.result = b
-		s.jobs[job.id] = job
+	// Durability before acknowledgment: the submit record (also the
+	// audit-trail entry) must be on disk before any client sees the job
+	// id. The append happens before the queue send, so a cell record
+	// can never reach the WAL ahead of its job's submit record.
+	if err := s.appendSubmit(job); err != nil {
 		s.mu.Unlock()
 		cancel()
+		s.mRejected.Inc()
+		return nil, err
+	}
+
+	if b, ok := s.cache.Get(job.key); ok {
+		job.status = StatusRunning // finishJob settles it below
+		s.jobs[job.id] = job
+		s.mu.Unlock()
 		s.mSubmitted.Inc()
 		s.mCacheHits.Inc()
-		s.mCompleted.Inc()
-		s.hJobSeconds.Observe(time.Since(job.created).Seconds())
+		s.finishJob(job, b, true)
 		return job, nil
 	}
 
@@ -285,6 +435,12 @@ func (s *Server) submit(n normalized, timeout time.Duration) (*Job, error) {
 	default:
 		s.mu.Unlock()
 		cancel()
+		// The submit record is already durable; settle the job on disk
+		// too, or a restart would resurrect a request the client was
+		// told to retry.
+		if s.store != nil {
+			s.store.AppendFail(job.id, errQueueFull.Error())
+		}
 		s.mRejected.Inc()
 		return nil, errQueueFull
 	}
@@ -293,6 +449,26 @@ func (s *Server) submit(n normalized, timeout time.Duration) (*Job, error) {
 	s.mSubmitted.Inc()
 	s.gQueueDepth.Set(float64(len(s.queue)))
 	return job, nil
+}
+
+// appendSubmit writes the durable submit record (no-op without a
+// store). Called with s.mu held.
+func (s *Server) appendSubmit(job *Job) error {
+	if s.store == nil {
+		return nil
+	}
+	req, err := json.Marshal(job.req)
+	if err != nil {
+		return err
+	}
+	return s.store.AppendSubmit(store.JobRecord{
+		ID:     job.id,
+		Seq:    job.seq,
+		Key:    job.key,
+		Tenant: job.tenant,
+		Req:    req,
+		At:     job.created,
+	})
 }
 
 // job looks up a job by id.
@@ -466,33 +642,232 @@ func (s *Server) computeGuarded(job *Job) (b []byte, err error) {
 	return s.compute(job)
 }
 
-// compute runs the job's grid on the core executor under the job's
-// context and encodes the result exactly as dolos-sim -json would: one
-// RunRecord object for a single cell, an array for a grid.
+// compute runs the job's grid cell by cell and encodes the result
+// exactly as dolos-sim -json would: one RunRecord object for a single
+// cell, an array for a grid. Each finished cell is WAL-appended and
+// pushed to /v2 stream subscribers before the next cell starts; cells
+// the job already holds (recovered from the store after a crash) are
+// never simulated again. Under a cluster, each cell is routed to its
+// ring owner; without one, the missing cells run on the local executor
+// through the RunGridNotify seam.
 func (s *Server) compute(job *Job) ([]byte, error) {
-	runner := s.runnerFor(job.req.Transactions, job.req.Seed)
 	cells := job.req.cells()
-	results, err := runner.RunGrid(job.ctx, cells)
+	recs := make([][]byte, len(cells))
+	s.mu.Lock()
+	copy(recs, job.cells)
+	s.mu.Unlock()
+
+	var err error
+	if s.cluster != nil {
+		err = s.computeCellsCluster(job, recs)
+	} else {
+		err = s.computeCellsLocal(job, cells, recs)
+	}
 	if err != nil {
 		return nil, err
 	}
-	s.mSims.Add(uint64(len(cells)))
+	return assembleResult(recs)
+}
 
-	records := make([]telemetry.RunRecord, len(results))
-	for i, rr := range results {
-		records[i] = cliutil.BuildRunRecord(rr.Result, cells[i].Spec.EffectiveTree(),
-			cells[i].Spec.TxSize, job.req.Seed, rr.Events, rr.Wall, rr.Stats, nil)
+// computeCellsLocal runs every missing cell on the shared local runner.
+func (s *Server) computeCellsLocal(job *Job, cells []core.Cell, recs [][]byte) error {
+	var missing []int
+	for i := range recs {
+		if recs[i] == nil {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sub := make([]core.Cell, len(missing))
+	for k, i := range missing {
+		sub[k] = cells[i]
+	}
+	runner := s.runnerFor(job.req.Transactions, job.req.Seed)
+	var encErr error
+	_, err := runner.RunGridNotify(job.ctx, sub, func(k int, rr core.RunResult) {
+		i := missing[k]
+		rec, err := encodeRecord(job.req, cells[i], rr)
+		if err != nil {
+			encErr = err
+			return
+		}
+		s.mSims.Inc()
+		recs[i] = rec
+		s.recordCell(job, i, rec)
+	})
+	if err != nil {
+		return err
+	}
+	return encErr
+}
+
+// computeCellsCluster routes every missing cell to its ring owner: a
+// remote owner executes it via POST {CellPath} (the owner's local
+// per-cell single-flight makes the dedup cluster-wide); a forward
+// failure marks the owner down and falls back to local execution, so a
+// killed worker node never blocks a grid — determinism makes the
+// fallback bytes identical to what the owner would have produced.
+func (s *Server) computeCellsCluster(job *Job, recs [][]byte) error {
+	for i := range recs {
+		if recs[i] != nil {
+			continue
+		}
+		if err := job.ctx.Err(); err != nil {
+			return err
+		}
+		cn := job.req.cellRequest(i)
+		var rec []byte
+		if owner := s.cluster.OwnerOf(cn.Key()); owner != s.cluster.Self() {
+			body, err := json.Marshal(requestOf(cn))
+			if err != nil {
+				return err
+			}
+			if b, err := s.cluster.Forward(job.ctx, owner, body); err == nil {
+				rec = b
+			} else if job.ctx.Err() != nil {
+				return job.ctx.Err()
+			} else {
+				s.mForwardFallbks.Inc()
+			}
+		}
+		if rec == nil {
+			s.cluster.LocalCell()
+			b, err := s.executeCell(job.ctx, cn)
+			if err != nil {
+				return err
+			}
+			rec = b
+		}
+		recs[i] = rec
+		s.recordCell(job, i, rec)
+	}
+	return nil
+}
+
+// cellKey namespaces per-cell cache/flight entries away from job-level
+// keys: a single-cell job's key would otherwise collide with its own
+// cell's key and deadlock the leader behind its own flight.
+func cellKey(n normalized) string { return "cell:" + n.Key() }
+
+// executeCell resolves one cell through the cell-level cache and
+// single-flight, computing at most once per key per node. It returns
+// the cell's compact RunRecord JSON. This is the endpoint-side of
+// cluster dedup: every node forwards a cell key to the same owner, and
+// this function collapses the owner's concurrent executions.
+func (s *Server) executeCell(ctx context.Context, cn normalized) ([]byte, error) {
+	key := cellKey(cn)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b, f, leader := s.claim(key)
+		if b != nil {
+			s.mCellCacheHits.Inc()
+			return b, nil
+		}
+		if leader {
+			b, err := s.computeCellGuarded(ctx, cn)
+			s.publish(key, f, b, err)
+			return b, err
+		}
+		select {
+		case <-f.done:
+			if f.err == nil {
+				s.mCellDedup.Inc()
+				return f.bytes, nil
+			}
+			if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+				return nil, f.err
+			}
+			// The leader hit its own deadline; retry under ours.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// computeCellGuarded simulates one cell with panic containment local
+// to the leader, so followers get an error instead of a hang.
+func (s *Server) computeCellGuarded(ctx context.Context, cn normalized) (b []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.mPanics.Inc()
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	cell := cn.cells()[0]
+	runner := s.runnerFor(cn.Transactions, cn.Seed)
+	results, err := runner.RunGrid(ctx, []core.Cell{cell})
+	if err != nil {
+		return nil, err
+	}
+	s.mSims.Inc()
+	return encodeRecord(cn, cell, results[0])
+}
+
+// encodeRecord builds one cell's RunRecord and marshals it compact —
+// the canonical per-cell form the store and the /v2 stream carry.
+// assembleResult re-indents these through the same encoder WriteJSON
+// uses, so the assembled grid is byte-identical to what the PR-5
+// whole-grid path produced.
+func encodeRecord(n normalized, cell core.Cell, rr core.RunResult) ([]byte, error) {
+	rec := cliutil.BuildRunRecord(rr.Result, cell.Spec.EffectiveTree(),
+		cell.Spec.TxSize, n.Seed, rr.Events, rr.Wall, rr.Stats, nil)
+	return json.Marshal(rec)
+}
+
+// assembleResult turns the per-cell compact records into the public
+// result document: one indented RunRecord object for a single cell, an
+// indented array for a grid (the dolos-sim -json schema).
+func assembleResult(recs [][]byte) ([]byte, error) {
+	raws := make([]json.RawMessage, len(recs))
+	for i, r := range recs {
+		if r == nil {
+			return nil, fmt.Errorf("cell %d missing", i)
+		}
+		raws[i] = json.RawMessage(r)
 	}
 	var buf bytes.Buffer
-	if len(records) == 1 {
-		err = telemetry.WriteJSON(&buf, records[0])
+	var err error
+	if len(raws) == 1 {
+		err = telemetry.WriteJSON(&buf, raws[0])
 	} else {
-		err = telemetry.WriteJSON(&buf, records)
+		err = telemetry.WriteJSON(&buf, raws)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// splitRecords is assembleResult's inverse: the result document back
+// into per-cell compact records. Used when a job settles from shared
+// bytes (cache hit, dedup follow) and still owes its stream
+// subscribers per-cell events.
+func splitRecords(result []byte, total int) ([][]byte, error) {
+	trimmed := bytes.TrimSpace(result)
+	var raws []json.RawMessage
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(trimmed, &raws); err != nil {
+			return nil, err
+		}
+	} else {
+		raws = []json.RawMessage{trimmed}
+	}
+	if len(raws) != total {
+		return nil, fmt.Errorf("result has %d records, job has %d cells", len(raws), total)
+	}
+	out := make([][]byte, total)
+	for i, r := range raws {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, r); err != nil {
+			return nil, err
+		}
+		out[i] = buf.Bytes()
+	}
+	return out, nil
 }
 
 // runnerFor returns the shared runner for a (transactions, seed) pair.
@@ -536,11 +911,74 @@ func (s *Server) setStatus(job *Job, st JobStatus) {
 	s.mu.Unlock()
 }
 
+// recordCell makes one finished cell durable, then visible: the WAL
+// append happens before the in-order broadcast to stream subscribers,
+// so no client ever sees a cell the store could forget. Broadcasts are
+// strictly in index order; out-of-order completions wait in job.cells
+// until the gap fills.
+func (s *Server) recordCell(job *Job, i int, rec []byte) {
+	if s.store != nil {
+		s.store.AppendCell(job.id, i, job.total, rec)
+	}
+	s.mu.Lock()
+	if job.cells[i] == nil {
+		job.cells[i] = rec
+	}
+	for job.emitted < job.total && job.cells[job.emitted] != nil {
+		ev := streamEvent{kind: eventCell, index: job.emitted, total: job.total, data: job.cells[job.emitted]}
+		for ch := range job.subs {
+			select {
+			case ch <- ev:
+			default: // buffer sized total+2: only an abandoned reader is ever full
+			}
+		}
+		job.emitted++
+		s.mStreamEvents.Inc()
+	}
+	s.mu.Unlock()
+}
+
 func (s *Server) finishJob(job *Job, result []byte, cached bool) {
+	// Jobs settling from shared bytes (cache hit, dedup follow,
+	// recovered result) still owe their subscribers — and the store —
+	// per-cell records. splitRecords failing would mean the result
+	// document itself is malformed; treat it as a failure rather than
+	// stream nothing and claim success.
+	s.mu.Lock()
+	owed := job.emitted < job.total
+	s.mu.Unlock()
+	if owed {
+		recs, err := splitRecords(result, job.total)
+		if err != nil {
+			s.failJob(job, fmt.Errorf("malformed result document: %w", err))
+			return
+		}
+		for i, rec := range recs {
+			s.mu.Lock()
+			have := job.cells[i] != nil
+			s.mu.Unlock()
+			if !have {
+				s.recordCell(job, i, rec)
+			}
+		}
+	}
+	if s.store != nil {
+		s.store.AppendDone(job.id, cached)
+	}
 	s.mu.Lock()
 	job.status = StatusDone
 	job.result = result
 	job.cached = cached
+	subs := job.subs
+	job.subs = nil
+	ev := streamEvent{kind: eventDone, total: job.total, cached: cached}
+	for ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+	}
 	s.mu.Unlock()
 	job.cancel()
 	s.mCompleted.Inc()
@@ -548,9 +986,22 @@ func (s *Server) finishJob(job *Job, result []byte, cached bool) {
 }
 
 func (s *Server) failJob(job *Job, err error) {
+	if s.store != nil {
+		s.store.AppendFail(job.id, err.Error())
+	}
 	s.mu.Lock()
 	job.status = StatusFailed
 	job.errMsg = err.Error()
+	subs := job.subs
+	job.subs = nil
+	ev := streamEvent{kind: eventFailed, total: job.total, data: []byte(err.Error())}
+	for ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+	}
 	s.mu.Unlock()
 	job.cancel()
 	s.mFailed.Inc()

@@ -432,12 +432,23 @@ func TestBadRequests(t *testing.T) {
 			t.Errorf("unknown job HTTP %d, want 404", resp.StatusCode)
 		}
 	}
-	if resp, err := http.Get(ts.URL + "/v1/jobs"); err != nil {
-		t.Fatal(err)
-	} else {
+	// GET on the collection (no id) is a versioned 404 envelope — not
+	// the mux's bare 405 — on both API versions.
+	for _, path := range []string{"/v1/jobs", "/v2/jobs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Errorf("GET %s: body is not an error envelope: %v", path, err)
+		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("GET on submit endpoint HTTP %d, want 405", resp.StatusCode)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s HTTP %d, want 404", path, resp.StatusCode)
+		}
+		if env.Code != CodeNotFound || env.Message == "" || env.Legacy != env.Message {
+			t.Errorf("GET %s envelope %+v, want code %q with mirrored legacy message", path, env, CodeNotFound)
 		}
 	}
 }

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The snapshot is the compacted prefix of the log: the full in-memory
+// state serialized as one JSON document, written to a temp file and
+// renamed over the previous snapshot before the WAL is truncated.
+// Recovery is therefore always "snapshot, then WAL tail", and a crash
+// during compaction leaves either the old (snapshot, long WAL) pair or
+// the new (snapshot, empty WAL) pair — never a mix, because the rename
+// is atomic and the WAL is only cut after it lands.
+const snapshotName = "snapshot.json"
+
+// snapshot is the on-disk document.
+type snapshot struct {
+	MaxSeq int64        `json:"max_seq"`
+	Jobs   []*snapJob   `json:"jobs"`
+	Audit  []AuditEntry `json:"audit,omitempty"`
+}
+
+type snapJob struct {
+	Job    JobRecord         `json:"job"`
+	Total  int               `json:"total,omitempty"`
+	Cells  []json.RawMessage `json:"cells,omitempty"` // null for missing cells
+	Done   bool              `json:"done,omitempty"`
+	Failed bool              `json:"failed,omitempty"`
+	Cached bool              `json:"cached,omitempty"`
+	Err    string            `json:"err,omitempty"`
+}
+
+// loadSnapshot restores state from the snapshot file, if present.
+func (s *Store) loadSnapshot() error {
+	b, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("store: corrupt snapshot: %w", err)
+	}
+	s.maxSeq = snap.MaxSeq
+	for _, sj := range snap.Jobs {
+		st := &JobState{
+			Job:    sj.Job,
+			Total:  sj.Total,
+			Done:   sj.Done,
+			Failed: sj.Failed,
+			Cached: sj.Cached,
+			Err:    sj.Err,
+		}
+		if sj.Total > 0 {
+			st.Cells = make([][]byte, sj.Total)
+			for i, c := range sj.Cells {
+				if i < sj.Total && c != nil {
+					st.Cells[i] = append([]byte(nil), c...)
+				}
+			}
+		}
+		s.jobs[st.Job.ID] = st
+		s.order = append(s.order, st.Job.ID)
+	}
+	s.audit = append(s.audit, snap.Audit...)
+	return nil
+}
+
+// compactLocked writes the snapshot and truncates the WAL. Caller holds
+// s.mu.
+func (s *Store) compactLocked() error {
+	if s.wal == nil {
+		return fmt.Errorf("store: closed")
+	}
+	snap := snapshot{MaxSeq: s.maxSeq, Audit: s.audit}
+	for _, id := range s.order {
+		st := s.jobs[id]
+		sj := &snapJob{
+			Job:    st.Job,
+			Total:  st.Total,
+			Done:   st.Done,
+			Failed: st.Failed,
+			Cached: st.Cached,
+			Err:    st.Err,
+		}
+		for _, c := range st.Cells {
+			sj.Cells = append(sj.Cells, json.RawMessage(c))
+		}
+		snap.Jobs = append(snap.Jobs, sj)
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(b); err == nil {
+		err = f.Sync() // the snapshot must be durable before the WAL is cut
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return s.wal.Truncate()
+}

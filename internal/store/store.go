@@ -1,0 +1,350 @@
+// Package store is the durable job store behind dolos-serve: an
+// append-only, checksummed write-ahead log of job submissions, per-cell
+// completions and terminal outcomes, with snapshot+compaction and
+// crash-replay recovery. A server that restarts — gracefully or by
+// SIGKILL — reopens its store directory, replays the snapshot plus the
+// WAL tail, and resumes every job exactly where it left off: cells
+// whose completion records reached the log are never simulated again,
+// cells that had not yet been recorded simply run (determinism makes
+// the re-run byte-identical), and nothing that was acknowledged to a
+// client is ever lost. The log doubles as the audit trail: every
+// submission record carries its tenant and timestamp. See DESIGN.md
+// §16 for the on-disk format.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record types appended to the WAL. The type tag is part of the JSON
+// payload, so the framing layer (wal.go) is oblivious to semantics.
+const (
+	recSubmit = "submit" // a job entered the system
+	recCell   = "cell"   // one cell of a job completed (carries the RunRecord bytes)
+	recDone   = "done"   // a job settled successfully
+	recFail   = "fail"   // a job settled with an error
+)
+
+// record is the WAL payload: a union of the four record types. Only the
+// fields of the tagged type are populated.
+type record struct {
+	Type string `json:"type"`
+	// Submit fields.
+	Job *JobRecord `json:"job,omitempty"`
+	// Cell fields.
+	ID    string          `json:"id,omitempty"`
+	Index int             `json:"index,omitempty"`
+	Total int             `json:"total,omitempty"`
+	Rec   json.RawMessage `json:"rec,omitempty"`
+	// Done / Fail fields (ID shared with cell).
+	Cached bool   `json:"cached,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// JobRecord is the durable identity of one submitted job: everything a
+// restarted server needs to re-enqueue and finish it. Req is the
+// canonical normalized-request JSON (the service's cache-key input), so
+// replay reconstructs the exact same cells and the exact same SHA-256
+// dedup key the original submission used.
+type JobRecord struct {
+	ID     string          `json:"id"`
+	Seq    int64           `json:"seq"`
+	Key    string          `json:"key"`
+	Tenant string          `json:"tenant,omitempty"`
+	Req    json.RawMessage `json:"req"`
+	At     time.Time       `json:"at"`
+}
+
+// JobState is a job as recovered by Open: its durable identity, the
+// per-cell RunRecord bytes that reached the log before the crash
+// (indexed by cell enumeration order; nil entries are cells still
+// owed), and its terminal status if it settled.
+type JobState struct {
+	Job    JobRecord
+	Total  int // 0 until the first cell record lands
+	Cells  [][]byte
+	Done   bool
+	Failed bool
+	Cached bool
+	Err    string
+}
+
+// Settled reports whether the job reached a terminal state before the
+// last shutdown.
+func (s *JobState) Settled() bool { return s.Done || s.Failed }
+
+// CellsDone counts the cells whose completion records are durable.
+func (s *JobState) CellsDone() int {
+	n := 0
+	for _, c := range s.Cells {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// AuditEntry is one line of the submission audit trail, derived from
+// the durable submit records (snapshot included), oldest first.
+type AuditEntry struct {
+	At     time.Time `json:"at"`
+	Tenant string    `json:"tenant,omitempty"`
+	JobID  string    `json:"job_id"`
+	Key    string    `json:"key"`
+}
+
+// Store is the durable job store. All methods are safe for concurrent
+// use. Open recovers existing state; Close flushes and releases the
+// WAL. One process owns a store directory at a time.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	wal  *wal
+	jobs map[string]*JobState
+	// order preserves submission order (by Seq) for Jobs / Audit.
+	order  []string
+	audit  []AuditEntry
+	maxSeq int64
+
+	// compactBytes triggers automatic compaction when the WAL grows
+	// past it (0 = never automatic; Compact can still be called).
+	compactBytes int64
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithAutoCompact compacts the log into a snapshot whenever the WAL
+// file exceeds n bytes (checked after each append).
+func WithAutoCompact(n int64) Option {
+	return func(s *Store) { s.compactBytes = n }
+}
+
+// Open opens (or creates) a store directory and recovers its state:
+// the snapshot, if present, then the WAL tail. A torn or corrupt WAL
+// tail — the expected shape of a crash mid-append — is truncated at
+// the last valid record and replay continues; corruption anywhere else
+// surfaces as an error.
+func Open(dir string, opts ...Option) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		jobs: make(map[string]*JobState),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	w, records, err := openWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	for _, raw := range records {
+		if err := s.apply(raw); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes and closes the WAL. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// apply folds one replayed WAL payload into the in-memory state.
+func (s *Store) apply(raw []byte) error {
+	var r record
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return fmt.Errorf("store: undecodable WAL record: %w", err)
+	}
+	switch r.Type {
+	case recSubmit:
+		if r.Job == nil {
+			return errors.New("store: submit record without job")
+		}
+		s.applySubmit(*r.Job)
+	case recCell:
+		st, ok := s.jobs[r.ID]
+		if !ok {
+			return fmt.Errorf("store: cell record for unknown job %s", r.ID)
+		}
+		if r.Total <= 0 || r.Index < 0 || r.Index >= r.Total {
+			return fmt.Errorf("store: cell record %s[%d/%d] out of range", r.ID, r.Index, r.Total)
+		}
+		if st.Total == 0 {
+			st.Total = r.Total
+			st.Cells = make([][]byte, r.Total)
+		}
+		if st.Total != r.Total {
+			return fmt.Errorf("store: job %s cell total changed %d -> %d", r.ID, st.Total, r.Total)
+		}
+		st.Cells[r.Index] = append([]byte(nil), r.Rec...)
+	case recDone:
+		st, ok := s.jobs[r.ID]
+		if !ok {
+			return fmt.Errorf("store: done record for unknown job %s", r.ID)
+		}
+		st.Done, st.Cached = true, r.Cached
+	case recFail:
+		st, ok := s.jobs[r.ID]
+		if !ok {
+			return fmt.Errorf("store: fail record for unknown job %s", r.ID)
+		}
+		st.Failed, st.Err = true, r.Err
+	default:
+		return fmt.Errorf("store: unknown WAL record type %q", r.Type)
+	}
+	return nil
+}
+
+func (s *Store) applySubmit(j JobRecord) {
+	if _, ok := s.jobs[j.ID]; ok {
+		return // idempotent replay
+	}
+	s.jobs[j.ID] = &JobState{Job: j}
+	s.order = append(s.order, j.ID)
+	s.audit = append(s.audit, AuditEntry{At: j.At, Tenant: j.Tenant, JobID: j.ID, Key: j.Key})
+	if j.Seq > s.maxSeq {
+		s.maxSeq = j.Seq
+	}
+}
+
+// append writes one record durably, then folds it into memory. The
+// in-memory fold happens under the same lock as the write, so readers
+// never observe a record the log does not yet hold.
+func (s *Store) append(r record) error {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("store: closed")
+	}
+	if err := s.wal.Append(raw); err != nil {
+		return err
+	}
+	if err := s.apply(raw); err != nil {
+		return err
+	}
+	if s.compactBytes > 0 && s.wal.Size() > s.compactBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// AppendSubmit records a job submission (the audit-trail entry).
+func (s *Store) AppendSubmit(j JobRecord) error {
+	return s.append(record{Type: recSubmit, Job: &j})
+}
+
+// AppendCell records one completed cell's RunRecord bytes.
+func (s *Store) AppendCell(id string, index, total int, rec []byte) error {
+	return s.append(record{Type: recCell, ID: id, Index: index, Total: total, Rec: rec})
+}
+
+// AppendDone records a job's successful settlement.
+func (s *Store) AppendDone(id string, cached bool) error {
+	return s.append(record{Type: recDone, ID: id, Cached: cached})
+}
+
+// AppendFail records a job's failure.
+func (s *Store) AppendFail(id string, errMsg string) error {
+	return s.append(record{Type: recFail, ID: id, Err: errMsg})
+}
+
+// MaxSeq returns the highest job sequence number ever recorded — the
+// restarted server continues its j%08d ids from here.
+func (s *Store) MaxSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSeq
+}
+
+// Jobs returns every recovered job state in submission order. The
+// returned states are snapshots (cell slices shared read-only).
+func (s *Store) Jobs() []*JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobState, 0, len(s.order))
+	for _, id := range s.order {
+		st := *s.jobs[id]
+		st.Cells = append([][]byte(nil), s.jobs[id].Cells...)
+		out = append(out, &st)
+	}
+	return out
+}
+
+// Job returns one recovered job state (nil when unknown).
+func (s *Store) Job(id string) *JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	st := *j
+	st.Cells = append([][]byte(nil), j.Cells...)
+	return &st
+}
+
+// Audit returns the newest n audit entries (all of them when n <= 0),
+// oldest first.
+func (s *Store) Audit(n int) []AuditEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.audit
+	if n > 0 && len(entries) > n {
+		entries = entries[len(entries)-n:]
+	}
+	out := make([]AuditEntry, len(entries))
+	copy(out, entries)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Compact folds the entire current state into a fresh snapshot and
+// truncates the WAL. Settled jobs keep their results (they are what
+// /v2 stream replay and the result cache warm-up read); the snapshot
+// is written atomically (tmp + rename) before the log is cut, so a
+// crash at any point leaves either the old state or the new one.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// WALSize returns the current WAL length in bytes (0 when closed).
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Size()
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The WAL frame: a fixed 8-byte header — payload length then the
+// IEEE CRC32 of the payload — followed by the payload bytes. A record
+// is valid only if the full frame is present and the checksum matches;
+// anything else at the tail of the file is the signature of a crash
+// mid-append and is truncated away on open. A checksum mismatch that
+// is *followed by more data* is genuine corruption (bit rot, a torn
+// middle), which replay refuses rather than silently skipping — a
+// store with a hole in its history cannot promise exactly-once.
+const walHeaderLen = 8
+
+// maxWALRecord bounds a single record, protecting replay from a
+// corrupted length field allocating gigabytes.
+const maxWALRecord = 64 << 20
+
+var errCorruptWAL = errors.New("store: corrupt WAL record before tail")
+
+// wal is the append-only log file. Appends are serialized by the
+// owning Store's mutex.
+type wal struct {
+	f    *os.File
+	size int64
+}
+
+// openWAL opens (creating if needed) the log at path, replays every
+// valid record into the returned slice, truncates a torn tail, and
+// leaves the file positioned for appends.
+func openWAL(path string) (*wal, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	records, valid, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi.Size() > valid {
+		// Crash mid-append: drop the torn frame so the next append
+		// starts on a clean boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f, size: valid}, records, nil
+}
+
+// scanWAL reads frames from the start of f, returning the decoded
+// payloads and the offset of the last valid frame end. A short or
+// checksum-failing frame at EOF is a torn tail (not an error); the
+// same anywhere before EOF is errCorruptWAL.
+func scanWAL(f *os.File) (records [][]byte, valid int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	r := io.Reader(f)
+	var off int64
+	hdr := make([]byte, walHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				return records, off, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, off, nil // torn header at tail
+			}
+			return nil, 0, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxWALRecord {
+			// A garbage length field. If the declared payload would
+			// extend past EOF the frame cannot be complete — a torn
+			// append; truncate. A full-sized garbage frame mid-file is
+			// corruption.
+			if !tailEndsHere(f, off+walHeaderLen+int64(length)) {
+				return nil, 0, errCorruptWAL
+			}
+			return records, off, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, off, nil // torn payload at tail
+			}
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if tailEndsHere(f, off+walHeaderLen+int64(length)) {
+				return records, off, nil
+			}
+			return nil, 0, errCorruptWAL
+		}
+		records = append(records, payload)
+		off += walHeaderLen + int64(length)
+	}
+}
+
+// tailEndsHere reports whether the file holds no data past end — i.e.
+// the bad frame that begins before end is the final one, so it can be
+// attributed to a torn append rather than mid-file corruption.
+func tailEndsHere(f *os.File, end int64) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Size() <= end
+}
+
+// Append frames and writes one payload, then syncs. Durability before
+// acknowledgment is the store's whole contract, so the fsync is not
+// optional.
+func (w *wal) Append(payload []byte) error {
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, walHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[walHeaderLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: WAL sync: %w", err)
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// Size returns the current WAL length in bytes.
+func (w *wal) Size() int64 { return w.size }
+
+// Truncate empties the log (after a successful snapshot).
+func (w *wal) Truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	return nil
+}
+
+// Close syncs and closes the file.
+func (w *wal) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

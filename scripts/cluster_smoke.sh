@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Cluster smoke test (make cluster-smoke, runs in CI):
+#
+#   1. start a 3-node dolos-serve cluster, each node with its own
+#      durable store and the other two as -peers;
+#   2. submit a 6-cell grid over POST /v2/jobs to node 1;
+#   3. SIGKILL node 2 while the grid is in flight — forwards to it
+#      fail over to local execution (DESIGN.md §16);
+#   4. assert the job completes with every cell, the result document
+#      holds exactly one record per cell, and an SSE reconnect with
+#      Last-Event-ID replays the remaining cells plus the terminal
+#      done event;
+#   5. restart node 2 on its old store and assert it rejoins (healthz
+#      up, /v2/cluster shows all three nodes) and can serve the grid
+#      as a warm cluster;
+#   6. drive the survivors with dolos-load -stream to print
+#      time-to-first-cell percentiles with zero errors.
+#
+# Ports are fixed (8094-8096) so failures are reproducible; state and
+# logs live in a temp directory wiped on exit.
+set -euo pipefail
+
+GO=${GO:-go}
+P1=8094 P2=8095 P3=8096
+TMP=$(mktemp -d /tmp/dolos-cluster-smoke.XXXXXX)
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "cluster-smoke: FAIL: $*" >&2
+    echo "--- node logs ---" >&2
+    tail -n 20 "$TMP"/n*.log >&2 || true
+    exit 1
+}
+
+$GO build -o "$TMP/dolos-serve" ./cmd/dolos-serve
+$GO build -o "$TMP/dolos-load" ./cmd/dolos-load
+
+start_node() { # id port peers extra...
+    local id=$1 port=$2 peers=$3
+    shift 3
+    "$TMP/dolos-serve" -addr "127.0.0.1:$port" -node-id "$id" -peers "$peers" \
+        -store-dir "$TMP/store-$id" "$@" >>"$TMP/$id.log" 2>&1 &
+    PIDS+=($!)
+    disown $!
+    echo $!
+}
+
+wait_healthy() { # port...
+    for port in "$@"; do
+        for _ in $(seq 1 100); do
+            curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && continue 2
+            sleep 0.1
+        done
+        fail "node on :$port never became healthy"
+    done
+}
+
+start_node n1 $P1 "n2=http://127.0.0.1:$P2,n3=http://127.0.0.1:$P3" \
+    -faults 'cell-latency:1:150ms' -faults-seed 42 >/dev/null
+N2_PID=$(start_node n2 $P2 "n1=http://127.0.0.1:$P1,n3=http://127.0.0.1:$P3")
+start_node n3 $P3 "n1=http://127.0.0.1:$P1,n2=http://127.0.0.1:$P2" >/dev/null
+wait_healthy $P1 $P2 $P3
+echo "cluster-smoke: 3 nodes up"
+
+# Submit a 6-cell grid to n1. The cell-latency fault on n1 paces its
+# local cells so the SIGKILL below lands mid-grid, not after it.
+JOB=$(curl -fsS -X POST "http://127.0.0.1:$P1/v2/jobs" \
+    -d '{"workloads":["Hashmap","Btree","Ctree"],"schemes":["baseline","dolos-partial"],"transactions":400}')
+ID=$(jq -r .id <<<"$JOB")
+CELLS=$(jq -r .cells <<<"$JOB")
+[ "$CELLS" = 6 ] || fail "submitted grid has $CELLS cells, want 6"
+echo "cluster-smoke: submitted $ID ($CELLS cells)"
+
+# SIGKILL one worker while the grid runs: no drain, no goodbye — the
+# coordinator's forwards to it must fail over locally.
+sleep 0.2
+kill -9 "$N2_PID"
+echo "cluster-smoke: SIGKILLed n2 (pid $N2_PID) mid-grid"
+
+# The grid must still complete, with every cell accounted for.
+STATUS=""
+for _ in $(seq 1 300); do
+    STATUS=$(curl -fsS "http://127.0.0.1:$P1/v2/jobs/$ID")
+    case $(jq -r .status <<<"$STATUS") in
+        done) break ;;
+        failed) fail "job failed: $(jq -r .error <<<"$STATUS")" ;;
+    esac
+    sleep 0.2
+done
+[ "$(jq -r .status <<<"$STATUS")" = done ] || fail "job not done after 60s: $STATUS"
+[ "$(jq -r .cells_done <<<"$STATUS")" = "$CELLS" ] || fail "cells_done $(jq -r .cells_done <<<"$STATUS") != $CELLS"
+RECORDS=$(curl -fsS "http://127.0.0.1:$P1/v2/jobs/$ID/result" | jq length)
+[ "$RECORDS" = "$CELLS" ] || fail "result has $RECORDS records, want $CELLS"
+echo "cluster-smoke: grid completed with all $CELLS cells despite the kill"
+
+# Stream replay: reconnect with Last-Event-ID 2 — the server must
+# replay exactly cells 2..5 and the terminal done event.
+REPLAY=$(curl -fsS -m 10 -H 'Last-Event-ID: 2' "http://127.0.0.1:$P1/v2/jobs/$ID/stream")
+GOT_CELLS=$(grep -c '^event: cell$' <<<"$REPLAY" || true)
+GOT_DONE=$(grep -c '^event: done$' <<<"$REPLAY" || true)
+[ "$GOT_CELLS" = 4 ] && [ "$GOT_DONE" = 1 ] || \
+    fail "replay from Last-Event-ID 2 gave $GOT_CELLS cells / $GOT_DONE done, want 4 / 1"
+echo "cluster-smoke: SSE replay from Last-Event-ID 2 returned cells 2..5 + done"
+
+# Restart the killed node on its old store: it must rejoin and see the
+# full ring.
+start_node n2 $P2 "n1=http://127.0.0.1:$P1,n3=http://127.0.0.1:$P3" >/dev/null
+wait_healthy $P2
+NODES=$(curl -fsS "http://127.0.0.1:$P2/v2/cluster" | jq '.nodes | length')
+[ "$NODES" = 3 ] || fail "restarted n2 sees $NODES nodes, want 3"
+echo "cluster-smoke: n2 restarted on its store and rejoined the ring"
+
+# Streaming load against the coordinator: every stream must deliver
+# every cell in order with zero errors; prints first-cell percentiles.
+"$TMP/dolos-load" -addr "http://127.0.0.1:$P3" -stream -tenant smoke \
+    -workloads Hashmap,Btree -schemes baseline,dolos-partial \
+    -duration 3s -concurrency 2 -txns 200 -max-errors 0
+
+echo "cluster-smoke: PASS"
