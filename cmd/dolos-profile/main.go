@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,8 @@ func run() int {
 	mcoreExt := flag.Bool("mcore", false, "grid mode: append multi-core contention records (shared-controller cells at 2 and 4 cores) after the legacy grid")
 	relatedExt := flag.Bool("related", false, "grid mode: append related-work scheme records (Triad-NVM, SuperMem, Phoenix, STUM with recovery_cycles) after the legacy grid")
 	fast := flag.Bool("fast", false, "single run: use the latency-only crypto provider; grid mode: append fast-mode and parallel-DES re-runs of the legacy cells, checked bit-identical in-run")
+	repeat := flag.Int("repeat", 1, "grid mode: run each cell this many times and keep the fastest wall time (deterministic fields are identical across runs, so only the throughput axis changes)")
+	pdesFloor := flag.String("pdes-floor", "", "grid mode with -fast: exit 1 if the parallel-DES sim_events_per_sec geomean falls below this ratio of functional serial (empty = no gate; 'auto' = 1.0 on multi-core hosts, 0.85 on a single-core host where the two stages cannot overlap)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU profile (go tool pprof) to this path")
 	memProfile := flag.String("memprofile", "", "write a host-side heap profile (after GC) to this path on exit")
 	flag.Parse()
@@ -91,7 +94,12 @@ func run() int {
 	}
 
 	if *grid {
-		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare, *relatedExt, *mcoreExt, *fast); err != nil {
+		floor, err := parsePdesFloor(*pdesFloor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
+			return 2
+		}
+		if err := runGrid(*gridOut, *txns, *txSize, *parallel, *compare, *relatedExt, *mcoreExt, *fast, *repeat, floor); err != nil {
 			fmt.Fprintf(os.Stderr, "dolos-profile: %v\n", err)
 			return 1
 		}
@@ -238,7 +246,7 @@ func writeMetrics(path string, v any) error {
 // cores (mode "pdes") — and each re-run is diffed in-run against its
 // functional serial record: a single divergent deterministic field fails
 // the grid. The extension records append after the mcore block.
-func runGrid(path string, txns, txSize, parallel int, comparePath string, relatedExt, mcoreExt, fastExt bool) error {
+func runGrid(path string, txns, txSize, parallel int, comparePath string, relatedExt, mcoreExt, fastExt bool, repeat int, pdesFloor float64) error {
 	schemes := []controller.Scheme{
 		controller.PreWPQSecure,
 		controller.DolosFull,
@@ -288,7 +296,7 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, relate
 				c := cells[i]
 				cfg := controller.Config{Scheme: c.scheme, Tree: masu.BMTEager, HardwareWPQ: 16}
 				cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
-				records[i] = runGridCell(cfg, c.tr, txSize)
+				records[i] = runGridCellBest(cfg, c.tr, txSize, repeat)
 			}
 		}()
 	}
@@ -305,7 +313,7 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, relate
 		records = append(records, mcoreRecords(txns, txSize)...)
 	}
 	if fastExt {
-		ext, err := fastRecords(cells, records[:len(cells)], txSize)
+		ext, err := fastRecords(cells, records[:len(cells)], txSize, repeat, pdesFloor)
 		if err != nil {
 			return err
 		}
@@ -344,6 +352,30 @@ func runGrid(path string, txns, txSize, parallel int, comparePath string, relate
 	}
 	fmt.Println("deterministic fields are bit-identical to the baseline")
 	return nil
+}
+
+// parsePdesFloor resolves the -pdes-floor flag. "auto" picks the gate
+// the host can actually honor: on a multi-core host the two pipeline
+// stages overlap and parallel DES must beat serial outright (1.0); on a
+// single core there is nothing to overlap with — the pipeline runs
+// timing and shadow stages time-sliced, so the gate only guards against
+// regressing to duplicated per-op bookkeeping (0.85, below which the
+// cost-count stage has stopped paying for the pipeline machinery).
+func parsePdesFloor(s string) (float64, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		if runtime.NumCPU() >= 2 {
+			return 1.0, nil
+		}
+		return 0.85, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("invalid -pdes-floor %q (want a ratio or 'auto')", s)
+	}
+	return f, nil
 }
 
 // gridCell is one scheme×workload cell of the bench grid, with the
@@ -387,6 +419,22 @@ func runGridCell(cfg controller.Config, tr *trace.Trace, txSize int) telemetry.R
 	return rec
 }
 
+// runGridCellBest is runGridCell repeated, keeping the record with the
+// smallest wall time. Every deterministic field is identical across the
+// repeats (the simulation is a pure function of its config and trace),
+// so only the host-throughput axis changes — min wall is the standard
+// capability estimator, damping GC and scheduler noise that single runs
+// pick up, especially on small hosts.
+func runGridCellBest(cfg controller.Config, tr *trace.Trace, txSize, repeat int) telemetry.RunRecord {
+	best := runGridCell(cfg, tr, txSize)
+	for r := 1; r < repeat; r++ {
+		if rec := runGridCell(cfg, tr, txSize); rec.WallSeconds < best.WallSeconds {
+			best = rec
+		}
+	}
+	return best
+}
+
 // relatedRecords is the -related grid extension: the related-work
 // schemes (every registry entry that models a recovery procedure) over
 // the legacy grid's workloads, one single-core record each, carrying
@@ -423,7 +471,7 @@ func relatedRecords(txns, txSize int) []telemetry.RunRecord {
 // printed geomean is the headline fast-mode speedup (host throughput;
 // the simulated model is unchanged by construction, and the diff proves
 // it).
-func fastRecords(cells []gridCell, funcRecs []telemetry.RunRecord, txSize int) ([]telemetry.RunRecord, error) {
+func fastRecords(cells []gridCell, funcRecs []telemetry.RunRecord, txSize, repeat int, pdesFloor float64) ([]telemetry.RunRecord, error) {
 	var out []telemetry.RunRecord
 	for _, mode := range []struct {
 		name       string
@@ -434,7 +482,7 @@ func fastRecords(cells []gridCell, funcRecs []telemetry.RunRecord, txSize int) (
 			cfg := controller.Config{Scheme: c.scheme, Tree: masu.BMTEager, HardwareWPQ: 16,
 				FastMode: mode.fast, ParallelDES: mode.pdes}
 			cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("profile")
-			recs[i] = runGridCell(cfg, c.tr, txSize)
+			recs[i] = runGridCellBest(cfg, c.tr, txSize, repeat)
 			fmt.Printf("%-10s %-20s %12d cycles  %6.2f retry/KWR  (%s)\n",
 				c.workload, recs[i].Scheme, recs[i].Cycles, recs[i].RetryPerKWR, mode.name)
 		}
@@ -448,6 +496,10 @@ func fastRecords(cells []gridCell, funcRecs []telemetry.RunRecord, txSize int) (
 		}
 		fmt.Printf("%s mode: bit-identical to functional serial, %.2fx sim_events_per_sec (geomean)\n",
 			mode.name, delta.EPSRatio)
+		if mode.pdes && pdesFloor > 0 && delta.EPSRatio < pdesFloor {
+			return nil, fmt.Errorf("pdes geomean %.2fx is below the %.2fx floor: the two-stage pipeline regressed",
+				delta.EPSRatio, pdesFloor)
+		}
 		out = append(out, recs...)
 	}
 	return out, nil

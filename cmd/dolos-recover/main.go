@@ -54,7 +54,11 @@ func main() {
 	cfg := controller.Config{Scheme: sch, Layout: lay}
 	cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("recov")
 
-	d := crash.NewDriver(cfg)
+	d, err := crash.NewDriver(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dolos-recover: %v\n", err)
+		os.Exit(1)
+	}
 	sys := d.System()
 
 	// Run to the crash point and cut power.

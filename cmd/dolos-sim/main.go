@@ -75,6 +75,10 @@ func main() {
 	kind = cfg.EffectiveTree()
 
 	if *cores > 1 {
+		if cfg.ParallelDES && !cfg.FastMode {
+			fmt.Fprintf(os.Stderr, "dolos-sim: -pdes with -cores > 1: %v\n", controller.ErrParallelDES)
+			os.Exit(2)
+		}
 		runMulti(w, cfg, kind, *cores, *oooWindow, *txns, *txSize, *seed, *jsonOut, *showStats, *traceOut)
 		return
 	}
@@ -141,9 +145,10 @@ func main() {
 			hitRate(sys.Hier.L1().Hits(), sys.Hier.L1().Misses()),
 			hitRate(sys.Hier.L2().Hits(), sys.Hier.L2().Misses()),
 			hitRate(sys.Hier.LLC().Hits(), sys.Hier.LLC().Misses()))
+		cc, mc := sys.Ctrl.MetaCaches()
 		fmt.Printf("metadata caches: counter %.1f%%  MT %.1f%%\n",
-			hitRate(sys.Ctrl.MaSU().CounterCache().Hits(), sys.Ctrl.MaSU().CounterCache().Misses()),
-			hitRate(sys.Ctrl.MaSU().MTCache().Hits(), sys.Ctrl.MaSU().MTCache().Misses()))
+			hitRate(cc.Hits(), cc.Misses()),
+			hitRate(mc.Hits(), mc.Misses()))
 	}
 }
 

@@ -61,7 +61,10 @@ type Adversary = attack.Adversary
 func NewSystem(cfg SystemConfig) *System { return cpu.NewSystem(cfg) }
 
 // NewCrashDriver builds a machine with crash-audit instrumentation.
-func NewCrashDriver(cfg SystemConfig) *CrashDriver { return crash.NewDriver(cfg) }
+// It refuses FastMode or ParallelDES configs with a typed error
+// (masu.ErrFastMode / controller.ErrParallelDES): crash experiments
+// need real crypto resident on the timing stage.
+func NewCrashDriver(cfg SystemConfig) (*CrashDriver, error) { return crash.NewDriver(cfg) }
 
 // NewAdversary binds an adversary to a device (reproducible via seed).
 func NewAdversary(dev *nvm.Device, seed int64) *Adversary { return attack.New(dev, seed) }

@@ -29,7 +29,10 @@ func TestCrashFacade(t *testing.T) {
 	cfg := SystemConfig{Scheme: DolosPost, Layout: SmallAddressMap()}
 	copy(cfg.AESKey[:], "facade-aes-key16")
 	copy(cfg.MACKey[:], "facade-mac-key16")
-	d := NewCrashDriver(cfg)
+	d, err := NewCrashDriver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := d.RunAndCrash(tr, 40_000, AnubisRecovery)
 	if err != nil {
 		t.Fatalf("crash experiment: %v (%+v)", err, out)

@@ -28,7 +28,10 @@ func main() {
 		cfg := controller.Config{Scheme: controller.DolosPartial, Layout: layout.Small()}
 		cfg.AESKey, cfg.MACKey = cliutil.DemoKeys("examp")
 
-		d := crash.NewDriver(cfg)
+		d, err := crash.NewDriver(cfg)
+		if err != nil {
+			log.Fatalf("driver: %v", err)
+		}
 		out, err := d.RunAndCrash(tr, crashAt, controller.AnubisRecovery)
 		if err != nil {
 			log.Fatalf("crash at %d: %v", crashAt, err)

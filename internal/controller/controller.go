@@ -22,6 +22,7 @@
 package controller
 
 import (
+	"dolos/internal/cache"
 	"dolos/internal/crypt"
 	"dolos/internal/layout"
 	"dolos/internal/masu"
@@ -94,14 +95,17 @@ type Config struct {
 	// Recover and the audit paths refuse to run (see masu.ErrFastMode).
 	FastMode bool
 	// ParallelDES pipelines one run across two stages: the event loop
-	// executes with the latency-only provider (the timing stage) while a
-	// functional twin of the Ma-SU/Mi-SU/device replays the journaled
-	// security ops on a second goroutine, at most ShadowWindow ops
-	// behind. Timing output is bit-identical to both serial modes;
-	// functional state is available from ShadowMaSU/ShadowDevice after
-	// Quiesce. Ignored when FastMode is also set (there is no functional
-	// work to offload). Crash/recovery experiments must use the serial
-	// functional configuration.
+	// runs the cost-count timing stage — per-op latency charged from the
+	// scheme cost table and masu.CostModel, no crypto bytes touched, no
+	// device writes — while a functional shadow twin of the
+	// Ma-SU/Mi-SU/device replays the journaled security ops (real
+	// AES/SHA-256, batched through crypt.PadBatch/MACBatch) on a second
+	// goroutine, at most ShadowWindow ops behind. Timing output is
+	// bit-identical to both serial modes; functional state is available
+	// from ShadowMaSU/ShadowDevice after Quiesce. Ignored when FastMode
+	// is also set (there is no functional work to offload). Crash,
+	// recovery and attack paths refuse this mode with ErrParallelDES —
+	// the primary units hold no functional state to crash.
 	ParallelDES bool
 }
 
@@ -165,11 +169,16 @@ type Controller struct {
 	eng  *sim.Engine
 	dev  *nvm.Device
 
-	ma *masu.Unit
-	mi *misu.Unit // Dolos schemes only
-	bq *wpq.Queue // baseline/ideal schemes: plain WPQ (timing + drain)
-	sh *shadow    // parallel-DES functional stage (nil when serial)
+	ma *masu.Unit      // primary functional unit (nil in parallel-DES mode)
+	cm *masu.CostModel // parallel-DES cost-count stage (nil when serial)
+	mi *misu.Unit      // Dolos schemes only
+	bq *wpq.Queue      // baseline/ideal schemes: plain WPQ (timing + drain)
+	sh *shadow         // parallel-DES functional stage (nil when serial)
 	st *stats.Set
+
+	// costs is the scheme's dense latency table: every security-work
+	// charge in every execution mode is priced through it.
+	costs scheme.CostTable
 
 	secUnit *sim.PipeServer // PreWPQSecure: the security pipeline
 	miSU    *sim.PipeServer // Dolos: the Mi-SU MAC engine
@@ -225,36 +234,47 @@ type Controller struct {
 // The device must span cfg.Layout.DeviceSize.
 func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
 	cfg = cfg.withDefaults()
-	// The crypto seam: fast and parallel-DES runs drive the event loop
-	// with the latency-only provider (a parallel run's functional work
-	// happens on the shadow stage instead, see shadow.go).
+	costs, err := scheme.CostTableFor(cfg.Scheme)
+	if err != nil {
+		// A scheme without a cost table has no timing model; defaulting
+		// would silently mis-time every operation.
+		panic("controller: " + err.Error())
+	}
+	// The execution-mode seam. Serial functional runs build the Ma-SU
+	// with the real crypto engine; fast runs swap in the latency-only
+	// provider. A parallel-DES run goes further: the event loop carries
+	// no Ma-SU at all — the cost-count model prices every op from the
+	// scheme's latency table while the shadow stage owns all functional
+	// state (see shadow.go).
+	pdes := cfg.ParallelDES && !cfg.FastMode
 	var engine crypt.Provider
-	if cfg.FastMode || cfg.ParallelDES {
+	if cfg.FastMode {
 		engine = crypt.NewFastEngine()
-	} else {
+	} else if !pdes {
 		engine = crypt.NewEngine(cfg.AESKey, cfg.MACKey)
 	}
 	// Initiation intervals: a new write can enter a security pipeline
 	// every MAC stage. Post-WPQ's insert path has no MAC at all.
-	miII := crypt.MACLatency
-	if cfg.Scheme == DolosPost {
-		miII = crypt.XORLatency
-	}
 	maII := cfg.MaSUInterval
 	if maII == 0 {
-		maII = crypt.MACLatency
+		maII = costs.MaII
 	}
 	c := &Controller{
 		cfg:        cfg,
 		pipe:       scheme.PipelineOf(cfg.Scheme),
 		eng:        eng,
 		dev:        dev,
-		ma:         masu.NewWithParams(cfg.Tree, engine, dev, cfg.Layout, cfg.masuParams()),
 		st:         stats.NewSet(),
+		costs:      costs,
 		secUnit:    sim.NewPipeServer(eng, "security-unit", maII),
-		miSU:       sim.NewPipeServer(eng, "mi-su", miII),
+		miSU:       sim.NewPipeServer(eng, "mi-su", costs.MiII),
 		maSU:       sim.NewPipeServer(eng, "ma-su", maII),
 		insertTime: make([]sim.Cycle, cfg.UsableWPQ()),
+	}
+	if pdes {
+		c.cm = masu.NewCostModel(cfg.Tree, cfg.Layout, cfg.masuParams())
+	} else {
+		c.ma = masu.NewWithParams(cfg.Tree, engine, dev, cfg.Layout, cfg.masuParams())
 	}
 	// Every metric below appears in any run that issues a single write or
 	// read, so resolving them eagerly does not change which names a
@@ -278,14 +298,20 @@ func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
 	c.hInterarrival = c.st.Histogram("wpq.interarrival_cycles")
 	c.hOccupancyArrival = c.st.Histogram("wpq.occupancy_at_arrival")
 	if cfg.Scheme.IsDolos() {
-		c.mi = misu.New(cfg.Scheme.MiSUDesign(), engine, dev, cfg.Layout.DrainBase, cfg.UsableWPQ())
+		if pdes {
+			// Cost-only Mi-SU: exact queue/sequencing behaviour, no
+			// pads, no MACs — the shadow twin does the crypto.
+			c.mi = misu.NewCostOnly(cfg.Scheme.MiSUDesign(), cfg.UsableWPQ())
+		} else {
+			c.mi = misu.New(cfg.Scheme.MiSUDesign(), engine, dev, cfg.Layout.DrainBase, cfg.UsableWPQ())
+		}
 	} else {
 		c.bq = wpq.New(cfg.UsableWPQ())
 	}
 	if cfg.DisableCoalescing {
 		c.queue().SetCoalescing(false)
 	}
-	if cfg.ParallelDES && !cfg.FastMode {
+	if pdes {
 		c.sh = newShadow(cfg)
 	}
 	return c
@@ -295,13 +321,30 @@ func New(eng *sim.Engine, dev *nvm.Device, cfg Config) *Controller {
 // real cryptographic state inline (serial functional mode). Fast and
 // parallel-DES runs return false — a parallel run's functional state
 // lives on the shadow stage instead.
-func (c *Controller) Functional() bool { return c.ma.Functional() }
+func (c *Controller) Functional() bool { return c.ma != nil && c.ma.Functional() }
 
 // Stats returns the controller's statistics registry.
 func (c *Controller) Stats() *stats.Set { return c.st }
 
-// MaSU returns the Major Security Unit.
+// MaSU returns the Major Security Unit. Nil in parallel-DES mode, where
+// the timing stage runs the cost-count model instead (CostModel) and
+// functional state lives on the shadow twin (ShadowMaSU).
 func (c *Controller) MaSU() *masu.Unit { return c.ma }
+
+// CostModel returns the parallel-DES timing stage's cost-count Ma-SU
+// model (nil in serial modes).
+func (c *Controller) CostModel() *masu.CostModel { return c.cm }
+
+// MetaCaches returns the live counter and Merkle-tree metadata caches
+// regardless of execution mode — the primary unit's in serial modes,
+// the cost model's in a parallel-DES run (both see the identical access
+// stream, so hit rates are the same numbers).
+func (c *Controller) MetaCaches() (counter, mt *cache.Cache) {
+	if c.cm != nil {
+		return c.cm.CounterCache(), c.cm.MTCache()
+	}
+	return c.ma.CounterCache(), c.ma.MTCache()
+}
 
 // MiSU returns the Minor Security Unit (nil for non-Dolos schemes).
 func (c *Controller) MiSU() *misu.Unit { return c.mi }

@@ -3,15 +3,8 @@ package controller
 import (
 	"fmt"
 
-	"dolos/internal/crypt"
 	"dolos/internal/masu"
-	"dolos/internal/sim"
 )
-
-// wpqHitLatency is the cost of serving a read from the WPQ: the tag-array
-// lookup plus the one-cycle XOR decrypt (Section 4.5: "such a decryption
-// would merely take an XOR operation (one cycle)").
-const wpqHitLatency = 4 + crypt.XORLatency
 
 // ReadLine serves an LLC-miss read. done fires when the verified,
 // decrypted line would be available to the cache hierarchy. Reads that
@@ -37,44 +30,38 @@ func (c *Controller) ReadLine(addr uint64, done func()) {
 				panic(fmt.Sprintf("controller: WPQ tag/slot mismatch at %#x", addr))
 			}
 		}
-		c.eng.After(wpqHitLatency, done)
+		// The on-chip hit cost: tag-array lookup plus the one-cycle XOR
+		// decrypt (Section 4.5).
+		c.eng.After(c.costs.WPQHit, done)
 		return
 	}
 
-	plainCost, err := c.readThroughMaSU(addr)
+	cost, err := c.readThroughMaSU(addr)
 	if err != nil {
 		panic("controller: read integrity violation: " + err.Error())
 	}
-	extra := c.readExtraLatency(plainCost)
+	extra := c.costs.ReadExtra(cost)
 	c.dev.AccessRead(addr, func() {
 		c.eng.After(extra, done)
 	})
 }
 
-// readThroughMaSU performs the verified read (functional in serial
-// functional mode; in fast/parallel modes the same code path runs on
-// latency-only values, and a parallel run's shadow stage re-verifies
-// with real crypto).
+// readThroughMaSU performs the verified read: functionally in the serial
+// modes, or through the cost-count model in a parallel-DES run, where
+// the shadow stage re-verifies with real crypto.
 func (c *Controller) readThroughMaSU(addr uint64) (masu.Cost, error) {
-	plain, cost, err := c.ma.ReadLine(addr)
+	if c.cm != nil {
+		cost := c.cm.ReadCost(addr)
+		c.cReadCounterMiss.Add(uint64(cost.CounterMisses))
+		c.cReadTreeMiss.Add(uint64(cost.TreeMisses))
+		c.journalRead(addr)
+		return cost, nil
+	}
+	_, cost, err := c.ma.ReadLine(addr)
 	c.cReadCounterMiss.Add(uint64(cost.CounterMisses))
 	c.cReadTreeMiss.Add(uint64(cost.TreeMisses))
 	if err == nil {
-		c.journalRead(addr, &plain)
+		c.journalRead(addr)
 	}
 	return cost, err
-}
-
-// readExtraLatency converts a read cost into cycles beyond the NVM data
-// fetch: MAC verification plus metadata fetches. When the counter is
-// cached the decryption pad is pre-generated during the data fetch and
-// the decrypt costs one XOR; a counter miss serializes the counter fetch
-// and pad generation before the XOR.
-func (c *Controller) readExtraLatency(cost masu.Cost) sim.Cycle {
-	extra := crypt.MACLatency + crypt.XORLatency // data MAC verify + decrypt
-	if cost.CounterMisses > 0 {
-		extra += 600 + crypt.AESLatency
-	}
-	extra += sim.Cycle(cost.TreeMisses) * (600 + crypt.MACLatency)
-	return extra
 }

@@ -25,17 +25,21 @@ const ShadowWindow = 1024
 type shadowOpKind uint8
 
 const (
-	// shadowWrite replays ma.ProcessWrite(addr, data, slot).
+	// shadowWrite replays ma.ProcessWrite(addr, data, slot) — data is
+	// the CPU's plaintext, which the timing stage carries verbatim.
 	shadowWrite shadowOpKind = iota
-	// shadowRead replays ma.ReadLine(addr), which must verify and
-	// decrypt to data — a built-in divergence check on every read.
+	// shadowRead replays ma.ReadLine(addr), which must verify — a
+	// built-in integrity check on every read.
 	shadowRead
 	// shadowProtect replays mi.Protect(addr, data), which must pick slot.
 	shadowProtect
 	// shadowDeferredMAC replays mi.CompleteDeferredMAC(slot).
 	shadowDeferredMAC
-	// shadowMarkFetched replays queue.MarkFetched(slot).
-	shadowMarkFetched
+	// shadowDrainFetch replays the whole Ma-SU fetch step: mark the WPQ
+	// slot fetched, decrypt it, and process the write through the Ma-SU.
+	// The timing stage's cost-only Mi-SU holds no ciphertext, so the
+	// decrypt must happen here, on the functional twin.
+	shadowDrainFetch
 	// shadowClear replays queue.Clear(slot).
 	shadowClear
 )
@@ -52,10 +56,13 @@ type shadowOp struct {
 // shadow is the functional stage of a parallel-DES run: a twin Ma-SU,
 // Mi-SU and NVM device built with the real crypto engine, fed the
 // journal through a lookahead-bounded pipeline and applied on its own
-// goroutine. The timing stage (the event loop, running the latency-only
-// provider) never reads shadow state — by the fast-mode invariant it
-// never needs a crypto byte — so the two stages only synchronize at the
-// window bound and the end-of-run barrier.
+// goroutine. The timing stage (the event loop, pricing ops through the
+// cost-count model) never reads shadow state — by the fast-mode
+// invariant it never needs a crypto byte — so the two stages only
+// synchronize at the window bound and the end-of-run barrier. Data-line
+// crypto is deferred within each journal batch and flushed through the
+// engine's batched pad/MAC interface at the batch boundary, which is
+// where the parallel speedup comes from.
 type shadow struct {
 	pipe   *sim.Pipeline[shadowOp]
 	ma     *masu.Unit
@@ -77,7 +84,16 @@ func newShadow(cfg Config) *shadow {
 			sh.mi.Queue().SetCoalescing(false)
 		}
 	}
-	sh.pipe = sim.NewPipeline(ShadowWindow, sh.apply)
+	// Batched consumer: ops apply in order, but data-line pad/MAC work
+	// defers inside the Ma-SU and flushes once per batch through the
+	// batched crypto backend (reads and audits self-flush, so ordering
+	// is preserved exactly — see masu.FlushWrites).
+	sh.pipe = sim.NewBatchPipeline(ShadowWindow, func(batch []shadowOp) {
+		for i := range batch {
+			sh.apply(batch[i])
+		}
+		sh.ma.FlushWrites()
+	})
 	return sh
 }
 
@@ -89,14 +105,10 @@ func newShadow(cfg Config) *shadow {
 func (sh *shadow) apply(op shadowOp) {
 	switch op.kind {
 	case shadowWrite:
-		sh.ma.ProcessWrite(op.addr, op.data, int(op.slot))
+		sh.ma.ProcessWriteDeferred(op.addr, op.data, int(op.slot))
 	case shadowRead:
-		plain, _, err := sh.ma.ReadLine(op.addr)
-		if err != nil {
+		if _, _, err := sh.ma.ReadLine(op.addr); err != nil {
 			panic("controller: parallel-DES shadow read failed verification: " + err.Error())
-		}
-		if plain != op.data {
-			panic(fmt.Sprintf("controller: parallel-DES divergence: shadow decrypt of %#x differs from timing stage", op.addr))
 		}
 	case shadowProtect:
 		if slot := sh.mi.Protect(op.addr, op.data); slot != int(op.slot) {
@@ -104,8 +116,10 @@ func (sh *shadow) apply(op shadowOp) {
 		}
 	case shadowDeferredMAC:
 		sh.mi.CompleteDeferredMAC(int(op.slot))
-	case shadowMarkFetched:
+	case shadowDrainFetch:
 		sh.mi.Queue().MarkFetched(int(op.slot))
+		addr, plain := sh.mi.DecryptSlot(int(op.slot))
+		sh.ma.ProcessWriteDeferred(addr, plain, int(op.slot))
 	case shadowClear:
 		sh.mi.Queue().Clear(int(op.slot))
 	}
@@ -118,11 +132,12 @@ func (c *Controller) journalWrite(addr uint64, data *[64]byte, slot int) {
 	}
 }
 
-// journalRead records a verified Ma-SU read (with the plaintext the
-// timing stage observed, for the divergence check).
-func (c *Controller) journalRead(addr uint64, plain *[64]byte) {
+// journalRead records a verified Ma-SU read for shadow re-verification
+// (the timing stage carries no plaintext to compare; the shadow's own
+// MAC/tree verification is the divergence check).
+func (c *Controller) journalRead(addr uint64) {
 	if c.sh != nil {
-		c.sh.pipe.Submit(shadowOp{kind: shadowRead, addr: addr, data: *plain})
+		c.sh.pipe.Submit(shadowOp{kind: shadowRead, addr: addr})
 	}
 }
 
@@ -184,6 +199,5 @@ func (c *Controller) ShadowDevice() *nvm.Device {
 // cycles charged — the Start-time prologue, routed through the
 // controller so a parallel-DES shadow replays it too.
 func (c *Controller) LoadInitLine(addr uint64, data [64]byte) {
-	c.ma.ProcessWrite(addr, data, -1)
-	c.journalWrite(addr, &data, -1)
+	c.processWrite(addr, &data, -1)
 }

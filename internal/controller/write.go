@@ -1,7 +1,6 @@
 package controller
 
 import (
-	"dolos/internal/crypt"
 	"dolos/internal/masu"
 	"dolos/internal/scheme"
 	"dolos/internal/sim"
@@ -93,11 +92,10 @@ func (c *Controller) insertEADR(w waiter) {
 	if w.accepted != nil {
 		c.eng.After(1, w.accepted)
 	}
-	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
-	c.journalWrite(w.addr, &w.data, -1)
+	cost := c.processWrite(w.addr, &w.data, -1)
 	c.chargeWriteCost(cost)
 	epoch := c.epoch
-	c.secUnit.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
+	c.secUnit.Submit(c.costs.DrainService(cost), func(_, _ sim.Cycle) {
 		if c.staleAt(epoch) {
 			return
 		}
@@ -177,7 +175,7 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 	// for the design's latency. Post-WPQ's XOR-only path is effectively
 	// immediate and the deferred MAC runs after commit.
 	epoch := c.epoch
-	c.miSU.Submit(c.cfg.Scheme.MiSUDesign().InsertLatency(), func(_, _ sim.Cycle) {
+	c.miSU.Submit(c.costs.Insert, func(_, _ sim.Cycle) {
 		if c.staleAt(epoch) {
 			return
 		}
@@ -198,7 +196,7 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 		if c.cfg.Scheme == DolosPost {
 			// The deferred MAC occupies the Mi-SU after commit; new
 			// writes are rejected until it completes.
-			c.miSU.Submit(crypt.MACLatency, func(_, _ sim.Cycle) {
+			c.miSU.Submit(c.costs.DeferredMAC, func(_, _ sim.Cycle) {
 				if c.staleAt(epoch) {
 					return
 				}
@@ -219,7 +217,21 @@ func (c *Controller) insertDolos(w waiter, _ bool) {
 // lazily in hardware; the rest window is what makes the Section 4.5
 // write-coalescing optimization effective for repeated lines (undo-log
 // headers, hot YCSB records).
-const DrainDelay sim.Cycle = 400
+const DrainDelay = scheme.DrainDelayCycles
+
+// processWrite runs one secured write through the execution mode's
+// Ma-SU stage: the functional unit inline (serial modes), or the
+// cost-count model plus a journal entry for the shadow twin
+// (parallel-DES). The returned Cost is bit-identical either way — the
+// differential tests in masu pin it — which is what keeps the two
+// modes' schedules cycle-equal.
+func (c *Controller) processWrite(addr uint64, data *[64]byte, slot int) masu.Cost {
+	if c.cm != nil {
+		c.journalWrite(addr, data, slot)
+		return c.cm.WriteCost(addr, slot)
+	}
+	return c.ma.ProcessWrite(addr, *data, slot)
+}
 
 // pumpMaSU schedules the Ma-SU's next fetch from the WPQ (the run-time
 // drain path, Figure 11). The entry is picked when the pipelined engine
@@ -255,13 +267,20 @@ func (c *Controller) pumpMaSU() {
 			return
 		}
 		c.mi.Queue().MarkFetched(slot)
-		c.journalSlot(shadowMarkFetched, slot)
 		fetchSeq := c.mi.Queue().Entry(slot).Seq
 		addr, plain := c.mi.DecryptSlot(slot)
-		cost := c.ma.ProcessWrite(addr, plain, slot)
-		c.journalWrite(addr, &plain, slot)
+		var cost masu.Cost
+		if c.cm != nil {
+			// Cost-count drain: the timing stage holds no WPQ
+			// ciphertext, so the shadow twin replays the whole fetch —
+			// mark, decrypt, process — as one journal entry.
+			cost = c.cm.WriteCost(addr, slot)
+			c.journalSlot(shadowDrainFetch, slot)
+		} else {
+			cost = c.ma.ProcessWrite(addr, plain, slot)
+		}
 		c.chargeWriteCost(cost)
-		c.maSU.Submit(c.maSUService(cost), func(_, _ sim.Cycle) {
+		c.maSU.Submit(c.costs.DrainService(cost), func(_, _ sim.Cycle) {
 			if c.staleAt(epoch) {
 				return
 			}
@@ -293,17 +312,6 @@ func (c *Controller) pumpMaSU() {
 	})
 }
 
-// maSUService converts a Ma-SU cost into pipeline occupancy cycles:
-// the XOR decrypt, pad generation, the serial MAC chain, and metadata
-// fetches that missed the on-chip caches.
-func (c *Controller) maSUService(cost masu.Cost) sim.Cycle {
-	cycles := crypt.XORLatency + crypt.AESLatency
-	cycles += sim.Cycle(cost.SerialMACs) * crypt.MACLatency
-	cycles += sim.Cycle(cost.CounterMisses+cost.TreeMisses) * 600
-	cycles += sim.Cycle(cost.ReencryptedLines) * (2*crypt.AESLatency + crypt.MACLatency)
-	return cycles
-}
-
 // chargeWriteCost records cost composition statistics.
 func (c *Controller) chargeWriteCost(cost masu.Cost) {
 	c.cCounterMisses.Add(uint64(cost.CounterMisses))
@@ -322,14 +330,10 @@ func (c *Controller) insertPreWPQ(w waiter) {
 	// The conventional security unit serializes: counter fetch, pad
 	// generation, data MAC and the eager tree update all happen before
 	// the write may enter the persistence domain.
-	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
-	c.journalWrite(w.addr, &w.data, -1)
+	cost := c.processWrite(w.addr, &w.data, -1)
 	c.chargeWriteCost(cost)
-	service := crypt.AESLatency + sim.Cycle(cost.SerialMACs)*crypt.MACLatency +
-		sim.Cycle(cost.CounterMisses+cost.TreeMisses)*600 +
-		sim.Cycle(cost.ReencryptedLines)*(2*crypt.AESLatency+crypt.MACLatency)
 	epoch := c.epoch
-	c.secUnit.Submit(service, func(_, _ sim.Cycle) {
+	c.secUnit.Submit(c.costs.InsertService(cost), func(_, _ sim.Cycle) {
 		if c.staleAt(epoch) {
 			return
 		}
@@ -390,8 +394,7 @@ func (c *Controller) insertIdeal(w waiter, wake bool) {
 	c.cInserted.Inc()
 	// Security is applied with zero charged latency (the infeasible
 	// reference point): functional state stays exact.
-	cost := c.ma.ProcessWrite(w.addr, w.data, -1)
-	c.journalWrite(w.addr, &w.data, -1)
+	cost := c.processWrite(w.addr, &w.data, -1)
 	c.chargeWriteCost(cost)
 	if w.accepted != nil {
 		c.eng.After(1, w.accepted)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -120,5 +121,79 @@ func TestFastModeWinsOverParallel(t *testing.T) {
 	_, _, sys := runInstrumented(t, cfg, "Hashmap", 20)
 	if sys.Ctrl.ShadowDevice() != nil {
 		t.Error("FastMode+ParallelDES built a shadow stage; FastMode should win")
+	}
+}
+
+// TestParallelDESSupportedMatrix mirrors the ErrFastMode guards for the
+// cost-count pipeline: combinations outside the supported matrix return
+// controller.ErrParallelDES (typed, not a silent degrade).
+func TestParallelDESSupportedMatrix(t *testing.T) {
+	r := NewRunner(Options{Transactions: 10, Seed: 1})
+
+	// Multi-core cells share one controller across every core's timing
+	// stage — the shadow journal is single-producer, so this is refused.
+	_, err := r.Run("Hashmap", Spec{
+		Scheme: controller.DolosPartial, Tree: masu.BMTEager,
+		Cores: 2, ParallelDES: true,
+	})
+	if !errors.Is(err, controller.ErrParallelDES) {
+		t.Errorf("Cores=2 + ParallelDES: err = %v, want ErrParallelDES", err)
+	}
+
+	// FastMode wins over ParallelDES (documented precedence), so the
+	// same cell with both flags runs as plain fast mode instead.
+	if _, err := r.Run("Hashmap", Spec{
+		Scheme: controller.DolosPartial, Tree: masu.BMTEager,
+		Cores: 2, ParallelDES: true, FastMode: true,
+	}); err != nil {
+		t.Errorf("Cores=2 + ParallelDES + FastMode: err = %v, want nil (fast mode wins)", err)
+	}
+
+	// Crash/recovery on a parallel-DES system is refused by the
+	// controller itself with the same sentinel.
+	cfg := controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, ParallelDES: true}
+	copy(cfg.AESKey[:], "pdes-aes-key-016")
+	copy(cfg.MACKey[:], "pdes-mac-key-016")
+	_, _, sys := runInstrumented(t, cfg, "Hashmap", 10)
+	if _, err := sys.Ctrl.Crash(); !errors.Is(err, controller.ErrParallelDES) {
+		t.Errorf("Crash on parallel-DES system: err = %v, want ErrParallelDES", err)
+	}
+}
+
+// TestParallelDESOptionsDefault: Options.ParallelDES is the batch-level
+// switch (dolos-bench -pdes). Single-core cells run the two-stage
+// pipeline with bit-identical records; multi-core cells quietly stay
+// serial (the batch default, unlike an explicit Spec.ParallelDES, is a
+// preference rather than a demand).
+func TestParallelDESOptionsDefault(t *testing.T) {
+	serial := NewRunner(Options{Transactions: 60, Seed: 1})
+	pdes := NewRunner(Options{Transactions: 60, Seed: 1, ParallelDES: true})
+	spec := Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager}
+
+	want, err := serial.Run("Btree", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pdes.Run("Btree", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Options.ParallelDES diverged from serial functional:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A Cores>1 cell under the batch default runs serially instead of
+	// being refused.
+	mc := Spec{Scheme: controller.DolosPartial, Tree: masu.BMTEager, Cores: 2}
+	wantMC, err := serial.Run("Hashmap", mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMC, err := pdes.Run("Hashmap", mc)
+	if err != nil {
+		t.Fatalf("Cores=2 under batch-level ParallelDES: %v (want serial fallback)", err)
+	}
+	if !reflect.DeepEqual(gotMC, wantMC) {
+		t.Errorf("Cores=2 batch-default cell diverged from serial functional")
 	}
 }

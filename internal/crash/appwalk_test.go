@@ -19,7 +19,7 @@ func TestApplicationLevelRecovery(t *testing.T) {
 	tr := whisper.Hashmap{}.Generate(params)
 
 	for _, at := range []sim.Cycle{20_000, 150_000, 500_000} {
-		d := NewDriver(testConfig(controller.DolosPartial))
+		d := mustDriver(t, testConfig(controller.DolosPartial))
 		if _, err := d.RunAndCrash(tr, at, controller.AnubisRecovery); err != nil {
 			t.Fatalf("crash at %d: %v", at, err)
 		}

@@ -38,7 +38,7 @@ func TestCrashThenAttackMatrix(t *testing.T) {
 		for _, k := range kinds {
 			scheme, k := scheme, k
 			t.Run(scheme.String()+"/"+k.name, func(t *testing.T) {
-				d := NewDriver(testConfig(scheme))
+				d := mustDriver(t, testConfig(scheme))
 				sys := d.System()
 				sys.Start(tr)
 				sys.Eng.RunUntil(sim.Cycle(120_000))
@@ -69,7 +69,7 @@ func TestCrashThenAttackMatrix(t *testing.T) {
 }
 
 func TestRecoveryCycleEstimate(t *testing.T) {
-	d := NewDriver(testConfig(controller.DolosPartial))
+	d := mustDriver(t, testConfig(controller.DolosPartial))
 	tr := whisper.Ctree{}.Generate(whisper.Params{
 		Transactions: 20, Warmup: 10, TxSize: 512, Seed: 3, HeapSize: 16 << 20,
 	})

@@ -11,6 +11,7 @@ import (
 
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
+	"dolos/internal/masu"
 	"dolos/internal/pmem"
 	"dolos/internal/sim"
 	"dolos/internal/trace"
@@ -62,12 +63,17 @@ type Driver struct {
 // NewDriver builds a system for cfg with acceptance tracking installed.
 // Crash experiments exist to prove that real MACs and real ECC survive
 // power loss, so a latency-only or pipelined configuration is a caller
-// bug, not a degraded mode: the constructor strips both flags and builds
-// the system functional and serial. The controller's own Crash/Recover
-// guards (masu.ErrFastMode) back this up at the API layer.
-func NewDriver(cfg controller.Config) *Driver {
-	cfg.FastMode = false
-	cfg.ParallelDES = false
+// bug, not a degraded mode: the constructor refuses both with a typed
+// error (masu.ErrFastMode / controller.ErrParallelDES) rather than
+// silently normalizing the config, mirroring the controller's own
+// Crash/Recover guards.
+func NewDriver(cfg controller.Config) (*Driver, error) {
+	if cfg.FastMode {
+		return nil, fmt.Errorf("crash: driver requires functional crypto: %w", masu.ErrFastMode)
+	}
+	if cfg.ParallelDES {
+		return nil, fmt.Errorf("crash: driver requires a serial functional system: %w", controller.ErrParallelDES)
+	}
 	d := &Driver{
 		sys:      cpu.NewSystem(cfg),
 		accepted: make(map[uint64][64]byte),
@@ -79,7 +85,7 @@ func NewDriver(cfg controller.Config) *Driver {
 		d.accepted[addr] = data
 		d.count++
 	}
-	return d
+	return d, nil
 }
 
 // System exposes the underlying simulated machine.

@@ -42,7 +42,7 @@ func TestRandomCrashPointsProperty(t *testing.T) {
 					mode = controller.OsirisRecovery
 				}
 				cfg := testConfig(s)
-				d := NewDriver(cfg)
+				d := mustDriver(t, cfg)
 				if _, err := d.RunAndCrash(tr, at, mode); err != nil {
 					t.Fatalf("%s/%s crash@%d mode=%d: %v", name, s, at, mode, err)
 				}
@@ -62,7 +62,7 @@ func TestDoubleCrash(t *testing.T) {
 	tr := whisper.Ctree{}.Generate(whisper.Params{
 		Transactions: 20, Warmup: 10, TxSize: 512, Seed: 9, HeapSize: 16 << 20,
 	})
-	d := NewDriver(testConfig(controller.DolosPartial))
+	d := mustDriver(t, testConfig(controller.DolosPartial))
 	if _, err := d.RunAndCrash(tr, 60_000, controller.AnubisRecovery); err != nil {
 		t.Fatalf("first crash: %v", err)
 	}
@@ -89,7 +89,7 @@ func TestCrashUnderLazyToC(t *testing.T) {
 	for _, at := range []sim.Cycle{5_000, 50_000, 250_000} {
 		cfg := testConfig(controller.DolosPartial)
 		cfg.Tree = masu.ToCLazy
-		d := NewDriver(cfg)
+		d := mustDriver(t, cfg)
 		if _, err := d.RunAndCrash(tr, at, controller.AnubisRecovery); err != nil {
 			t.Fatalf("ToC crash at %d: %v", at, err)
 		}

@@ -16,6 +16,16 @@ func testConfig(s controller.Scheme) controller.Config {
 	return cfg
 }
 
+// mustDriver builds a driver for a config the test knows is supported.
+func mustDriver(t *testing.T, cfg controller.Config) *Driver {
+	t.Helper()
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	return d
+}
+
 func TestCrashAtManyPointsAllSchemes(t *testing.T) {
 	tr := whisper.Hashmap{}.Generate(whisper.Params{
 		Transactions: 30, Warmup: 20, TxSize: 512, Seed: 11, HeapSize: 16 << 20,
@@ -27,7 +37,7 @@ func TestCrashAtManyPointsAllSchemes(t *testing.T) {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			for _, at := range []sim.Cycle{1000, 25000, 100000, 400000} {
-				d := NewDriver(testConfig(s))
+				d := mustDriver(t, testConfig(s))
 				out, err := d.RunAndCrash(tr, at, controller.AnubisRecovery)
 				if err != nil {
 					t.Fatalf("crash at %d: %v (outcome %+v)", at, err, out)
@@ -44,7 +54,7 @@ func TestOsirisModeCrash(t *testing.T) {
 	tr := whisper.Ctree{}.Generate(whisper.Params{
 		Transactions: 20, Warmup: 10, TxSize: 256, Seed: 2, HeapSize: 16 << 20,
 	})
-	d := NewDriver(testConfig(controller.DolosPartial))
+	d := mustDriver(t, testConfig(controller.DolosPartial))
 	out, err := d.RunAndCrash(tr, 80000, controller.OsirisRecovery)
 	if err != nil {
 		t.Fatalf("Osiris crash: %v", err)
@@ -64,7 +74,7 @@ func TestUndoLogResolution(t *testing.T) {
 	// so try several points and require the log to parse cleanly at all
 	// of them (rolled back or not).
 	for _, at := range []sim.Cycle{5000, 30000, 60000, 90000} {
-		d := NewDriver(testConfig(controller.DolosPartial))
+		d := mustDriver(t, testConfig(controller.DolosPartial))
 		if _, err := d.RunAndCrash(tr, at, controller.AnubisRecovery); err != nil {
 			t.Fatalf("crash at %d: %v", at, err)
 		}
@@ -81,7 +91,7 @@ func TestCrashAfterCompletionIsClean(t *testing.T) {
 	tr := whisper.Redis{}.Generate(whisper.Params{
 		Transactions: 15, Warmup: 10, TxSize: 256, Seed: 6, HeapSize: 16 << 20,
 	})
-	d := NewDriver(testConfig(controller.DolosFull))
+	d := mustDriver(t, testConfig(controller.DolosFull))
 	out, err := d.RunAndCrash(tr, 1<<40, controller.AnubisRecovery) // run to completion
 	if err != nil {
 		t.Fatalf("post-completion crash: %v", err)

@@ -7,28 +7,42 @@ import (
 	"dolos/internal/controller"
 	"dolos/internal/cpu"
 	"dolos/internal/masu"
+	"dolos/internal/mcore"
 	"dolos/internal/whisper"
 )
 
-// TestNewDriverStripsFastMode: the crash driver exists to prove real
-// MACs survive power loss, so a config that asks for the latency-only
-// provider or the pipelined shadow is silently normalized back to
-// functional serial — a crash experiment must never run on faked crypto,
-// and must never race a mid-flight shadow stage.
-func TestNewDriverStripsFastMode(t *testing.T) {
-	cfg := controller.Config{
-		Scheme: controller.DolosPartial, Tree: masu.BMTEager,
-		FastMode: true, ParallelDES: true,
+// TestNewDriverRejectsNonFunctional: the crash driver exists to prove
+// real MACs survive power loss, so a config that asks for the
+// latency-only provider or the pipelined shadow stage is a caller bug —
+// the constructor refuses it with the typed sentinel naming the guard
+// (masu.ErrFastMode / controller.ErrParallelDES) instead of silently
+// normalizing the config.
+func TestNewDriverRejectsNonFunctional(t *testing.T) {
+	base := controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager}
+	copy(base.AESKey[:], "crash-aes-key-16")
+	copy(base.MACKey[:], "crash-mac-key-16")
+
+	fast := base
+	fast.FastMode = true
+	if _, err := NewDriver(fast); !errors.Is(err, masu.ErrFastMode) {
+		t.Errorf("NewDriver(FastMode): err = %v, want ErrFastMode", err)
 	}
-	copy(cfg.AESKey[:], "crash-aes-key-16")
-	copy(cfg.MACKey[:], "crash-mac-key-16")
-	d := NewDriver(cfg)
-	if !d.System().Ctrl.Functional() {
-		t.Fatal("NewDriver kept the latency-only provider")
+
+	pdes := base
+	pdes.ParallelDES = true
+	if _, err := NewDriver(pdes); !errors.Is(err, controller.ErrParallelDES) {
+		t.Errorf("NewDriver(ParallelDES): err = %v, want ErrParallelDES", err)
 	}
-	if d.System().Ctrl.ShadowDevice() != nil {
-		t.Fatal("NewDriver built a parallel-DES shadow stage")
+
+	if _, err := NewMultiDriver(mcore.Config{Ctrl: pdes, Window: 2}, multiSpecs(t, 2)); !errors.Is(err, controller.ErrParallelDES) {
+		t.Errorf("NewMultiDriver(ParallelDES): err = %v, want ErrParallelDES", err)
 	}
+	if _, err := NewMultiDriver(mcore.Config{Ctrl: fast, Window: 2}, multiSpecs(t, 2)); !errors.Is(err, masu.ErrFastMode) {
+		t.Errorf("NewMultiDriver(FastMode): err = %v, want ErrFastMode", err)
+	}
+
+	// The serial functional config stays fully supported.
+	d := mustDriver(t, base)
 	w, err := whisper.ByName("Hashmap")
 	if err != nil {
 		t.Fatal(err)
@@ -36,23 +50,26 @@ func TestNewDriverStripsFastMode(t *testing.T) {
 	tr := w.Generate(whisper.Params{Transactions: 30, TxSize: 1024, Seed: 1})
 	out, err := d.RunAndCrash(tr, 200000, controller.AnubisRecovery)
 	if err != nil {
-		t.Fatalf("crash experiment on normalized driver: %v", err)
+		t.Fatalf("crash experiment on functional driver: %v", err)
 	}
 	if out.LinesAudited == 0 {
-		t.Fatal("normalized crash run audited no lines")
+		t.Fatal("functional crash run audited no lines")
 	}
 }
 
 // TestCrashRefusedOnFastSystem: outside the driver, the controller API
-// itself refuses to crash or recover a fast-mode machine, with an error
-// that names the guard (masu.ErrFastMode) so the misuse is diagnosable.
+// itself refuses to crash or recover a non-functional machine, with the
+// typed error naming which guard tripped — masu.ErrFastMode for the
+// latency-only provider, controller.ErrParallelDES for the cost-count
+// pipeline — so the misuse is diagnosable.
 func TestCrashRefusedOnFastSystem(t *testing.T) {
 	for _, mode := range []struct {
 		name string
 		cfg  controller.Config
+		want error
 	}{
-		{"fast", controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, FastMode: true}},
-		{"pdes", controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, ParallelDES: true}},
+		{"fast", controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, FastMode: true}, masu.ErrFastMode},
+		{"pdes", controller.Config{Scheme: controller.DolosPartial, Tree: masu.BMTEager, ParallelDES: true}, controller.ErrParallelDES},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			cfg := mode.cfg
@@ -60,11 +77,11 @@ func TestCrashRefusedOnFastSystem(t *testing.T) {
 			copy(cfg.MACKey[:], "crash-mac-key-16")
 			sys := cpu.NewSystem(cfg)
 			sys.Ctrl.Quiesce()
-			if _, err := sys.Ctrl.Crash(); !errors.Is(err, masu.ErrFastMode) {
-				t.Errorf("Crash on %s system: err = %v, want ErrFastMode", mode.name, err)
+			if _, err := sys.Ctrl.Crash(); !errors.Is(err, mode.want) {
+				t.Errorf("Crash on %s system: err = %v, want %v", mode.name, err, mode.want)
 			}
-			if _, err := sys.Ctrl.Recover(controller.AnubisRecovery); !errors.Is(err, masu.ErrFastMode) {
-				t.Errorf("Recover on %s system: err = %v, want ErrFastMode", mode.name, err)
+			if _, err := sys.Ctrl.Recover(controller.AnubisRecovery); !errors.Is(err, mode.want) {
+				t.Errorf("Recover on %s system: err = %v, want %v", mode.name, err, mode.want)
 			}
 		})
 	}

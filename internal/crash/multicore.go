@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dolos/internal/controller"
+	"dolos/internal/masu"
 	"dolos/internal/mcore"
 	"dolos/internal/sim"
 )
@@ -41,8 +42,17 @@ type MultiDriver struct {
 }
 
 // NewMultiDriver builds a multi-core system for cfg and cores with
-// per-core acceptance tracking installed.
-func NewMultiDriver(cfg mcore.Config, cores []mcore.CoreSpec) *MultiDriver {
+// per-core acceptance tracking installed. Like NewDriver it refuses
+// latency-only or pipelined controller configs with a typed error —
+// and ParallelDES is doubly outside the matrix here, since the shared
+// controller serves every core from one timing stage.
+func NewMultiDriver(cfg mcore.Config, cores []mcore.CoreSpec) (*MultiDriver, error) {
+	if cfg.Ctrl.FastMode {
+		return nil, fmt.Errorf("crash: multi-core driver requires functional crypto: %w", masu.ErrFastMode)
+	}
+	if cfg.Ctrl.ParallelDES {
+		return nil, fmt.Errorf("crash: multi-core driver requires a serial functional system: %w", controller.ErrParallelDES)
+	}
 	d := &MultiDriver{
 		sys:      mcore.NewSystem(cfg, cores),
 		accepted: make([]map[uint64][64]byte, len(cores)),
@@ -60,7 +70,7 @@ func NewMultiDriver(cfg mcore.Config, cores []mcore.CoreSpec) *MultiDriver {
 			d.counts[i]++
 		}
 	}
-	return d
+	return d, nil
 }
 
 // System exposes the underlying multi-core machine.

@@ -10,6 +10,16 @@ import (
 	"dolos/internal/wpq"
 )
 
+// mustMultiDriver builds a multi-core driver for a supported config.
+func mustMultiDriver(t *testing.T, cfg mcore.Config, cores []mcore.CoreSpec) *MultiDriver {
+	t.Helper()
+	d, err := NewMultiDriver(cfg, cores)
+	if err != nil {
+		t.Fatalf("NewMultiDriver: %v", err)
+	}
+	return d
+}
+
 // multiSpecs builds n workload instances with compact disjoint heaps
 // inside layout.Small's 64 MB data region (the default per-core
 // 256 MB stride only fits the full-size layout).
@@ -48,7 +58,7 @@ func TestMultiCoreCrashAtManyPoints(t *testing.T) {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			for _, at := range []sim.Cycle{2000, 40000, 150000, 500000} {
-				d := NewMultiDriver(
+				d := mustMultiDriver(t,
 					mcore.Config{Ctrl: testConfig(s), Window: 2}, multiSpecs(t, 3))
 				out, err := d.RunAndCrash(at, controller.AnubisRecovery)
 				if err != nil {
@@ -77,7 +87,7 @@ func TestMultiCoreCrashAtManyPoints(t *testing.T) {
 // this re-checks the arithmetic explicitly from the report.)
 func TestMultiCoreCrashWithinADRBudget(t *testing.T) {
 	for _, s := range []controller.Scheme{controller.DolosPartial, controller.DolosPost} {
-		d := NewMultiDriver(mcore.Config{Ctrl: testConfig(s), Window: 2}, multiSpecs(t, 3))
+		d := mustMultiDriver(t, mcore.Config{Ctrl: testConfig(s), Window: 2}, multiSpecs(t, 3))
 		out, err := d.RunAndCrash(120000, controller.AnubisRecovery)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
@@ -103,7 +113,7 @@ func TestMultiCoreCrashWithinADRBudget(t *testing.T) {
 // and crashes after quiesce: the WPQ must be empty and every core's
 // full write set durable.
 func TestMultiCoreCrashAfterCompletionIsClean(t *testing.T) {
-	d := NewMultiDriver(mcore.Config{Ctrl: testConfig(controller.DolosPartial), Window: 2},
+	d := mustMultiDriver(t, mcore.Config{Ctrl: testConfig(controller.DolosPartial), Window: 2},
 		multiSpecs(t, 2))
 	out, err := d.RunAndCrash(1<<40, controller.AnubisRecovery)
 	if err != nil {

@@ -40,7 +40,7 @@ func TestRelatedSchemesCrashRecovery(t *testing.T) {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			for _, at := range points {
-				d := NewDriver(testConfig(s))
+				d := mustDriver(t, testConfig(s))
 				out, err := d.RunAndCrash(tr, at, controller.AnubisRecovery)
 				if err != nil {
 					t.Fatalf("crash at %d: %v (outcome %+v)", at, err, out)
@@ -59,7 +59,7 @@ func TestRelatedSchemesCrashRecovery(t *testing.T) {
 				if scheme.PipelineOf(s).Recovery == scheme.RecoverReconstruct {
 					mode2 = controller.OsirisRecovery
 				}
-				d2 := NewDriver(testConfig(s))
+				d2 := mustDriver(t, testConfig(s))
 				out2, err := d2.RunAndCrash(tr, at, mode2)
 				if err != nil {
 					t.Fatalf("repeat crash at %d: %v", at, err)
@@ -130,7 +130,7 @@ func TestSchemeSmokeRegistry(t *testing.T) {
 		}
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			d := NewDriver(testConfig(e.ID))
+			d := mustDriver(t, testConfig(e.ID))
 			out, err := d.RunAndCrash(tr, 60_000, controller.AnubisRecovery)
 			if err != nil {
 				t.Fatalf("%s: %v (outcome %+v)", e.Name, err, out)

@@ -1,0 +1,472 @@
+package masu
+
+import (
+	"fmt"
+
+	"dolos/internal/cache"
+	"dolos/internal/crypt"
+	"dolos/internal/dense"
+	"dolos/internal/layout"
+	"dolos/internal/nvm"
+)
+
+// CostModel is the cost-count twin of a Unit: it reproduces, op for op,
+// every Cost a functional Ma-SU would report — and therefore every cycle
+// the timing model charges — without computing a crypto byte, staging a
+// redo op, encoding a counter block or holding a single tree-node image.
+// The timing stage of a parallel-DES run drives one of these while the
+// shadow stage owns all functional state (DESIGN.md §17).
+//
+// What it must track is exactly the state Cost values depend on:
+//
+//   - the two metadata caches, with the same geometry and access order
+//     (LRU stamps decide future victims, and victim persistence is both
+//     a cost and a shadow-table retirement);
+//   - per-page split-counter values (overflow detection and the
+//     counter==0 zero-line fast path on reads);
+//   - the shadow-table live set (AnubisEstimate) and the written-line
+//     set (ReconstructEstimate, re-encryption decrypt counts);
+//   - the policy state machines (STUM's previous-leaf window, SuperMem's
+//     write-through coalescing run).
+//
+// Tree-node identity is pure address arithmetic — the level structure of
+// an 8-ary tree over a fixed leaf count — so no node bytes exist here.
+//
+// One exemption, asserted by the differential test: the MAC count of a
+// read's tree verification (which depends on tree-internal dirty flags)
+// is not reproduced, because no consumer of a read Cost uses TotalMACs —
+// read latency charges MACLatency structurally and the per-op stats
+// record only the miss counters.
+type CostModel struct {
+	kind   TreeKind
+	lay    layout.Map
+	policy Policy
+
+	counterCache *cache.Cache
+	mtCache      *cache.Cache
+
+	// pages mirrors the split-counter block of each 4 KB page (Major +
+	// per-line minors); the zero value is the never-touched zero block,
+	// matching the zero-filled device the counter store lazily loads
+	// from.
+	pages *dense.Table[costPage]
+
+	// written / shadowLive mirror the Unit's written-line set and the
+	// live bits of the Anubis shadow table (images stay on the shadow
+	// stage).
+	written      *dense.Table[bool]
+	writtenCount int
+	shadowLive   *dense.Table[bool]
+	shadowCount  int
+
+	// Tree geometry, replicated from bmt/toc construction: counts[l]
+	// nodes on level l (level 0 = leaves), offsets[l] the byte offset of
+	// level l in the tree-node region. Both backends use 64-byte nodes.
+	levels  int
+	counts  []uint64
+	offsets []uint64
+
+	prevLeaf     uint64
+	havePrev     bool
+	lastWTLeaf   uint64
+	haveWTLeaf   bool
+	coalescedCtr uint64
+
+	writes, reads uint64
+
+	onWrite func(addr uint64, cost Cost)
+}
+
+// costPage is the split-counter state of one 4 KB page.
+type costPage struct {
+	major  uint64
+	minors [64]uint8
+}
+
+// counter returns the effective counter of line li.
+func (p *costPage) counter(li int) uint64 {
+	return p.major<<7 | uint64(p.minors[li])
+}
+
+// NewCostModel builds the cost-count twin for the same (kind, layout,
+// params) a functional Unit would be built with.
+func NewCostModel(kind TreeKind, lay layout.Map, p Params) *CostModel {
+	ccBytes := p.CounterCacheBytes
+	if ccBytes == 0 {
+		ccBytes = CounterCacheSize
+	}
+	mtBytes := p.MTCacheBytes
+	if mtBytes == 0 {
+		mtBytes = MTCacheSize
+	}
+	m := &CostModel{
+		kind:         kind,
+		lay:          lay,
+		policy:       p.Policy,
+		counterCache: cache.New("counter-cache", ccBytes, CounterCacheWays, MetaLineSize),
+		mtCache:      cache.New("mt-cache", mtBytes, MTCacheWays, MetaLineSize),
+		pages:        dense.NewTable[costPage](lay.DataSpan / nvm.PageSize),
+		written:      dense.NewTable[bool](lay.DataSpan / 64),
+		shadowLive:   dense.NewTable[bool]((lay.MACBase - lay.CounterBase) / 64),
+	}
+	// Replicate the 8-ary level structure bmt.New / toc.New derive from
+	// the leaf count (identical for both: 64-byte nodes, arity 8).
+	m.counts = []uint64{lay.Leaves()}
+	n := lay.Leaves()
+	for n > 1 {
+		n = (n + 7) / 8
+		m.counts = append(m.counts, n)
+	}
+	m.levels = len(m.counts) - 1
+	m.offsets = make([]uint64, len(m.counts))
+	var off uint64
+	for l := 1; l < len(m.counts); l++ {
+		m.offsets[l] = off
+		off += m.counts[l] * 64
+	}
+	return m
+}
+
+// Kind returns the integrity backend being modeled.
+func (m *CostModel) Kind() TreeKind { return m.kind }
+
+// CounterCache returns the counter metadata cache (same geometry and
+// state trajectory as the functional unit's).
+func (m *CostModel) CounterCache() *cache.Cache { return m.counterCache }
+
+// MTCache returns the tree metadata cache.
+func (m *CostModel) MTCache() *cache.Cache { return m.mtCache }
+
+// Writes returns the number of writes cost-processed.
+func (m *CostModel) Writes() uint64 { return m.writes }
+
+// Reads returns the number of reads cost-processed.
+func (m *CostModel) Reads() uint64 { return m.reads }
+
+// WrittenLines returns the number of distinct lines ever written.
+func (m *CostModel) WrittenLines() int { return m.writtenCount }
+
+// Policy returns the metadata-persistence policy in effect.
+func (m *CostModel) Policy() Policy { return m.policy }
+
+// CoalescedCounterWrites mirrors Unit.CoalescedCounterWrites.
+func (m *CostModel) CoalescedCounterWrites() uint64 { return m.coalescedCtr }
+
+// SetWriteHook installs the per-write cost observer (telemetry).
+func (m *CostModel) SetWriteHook(fn func(addr uint64, cost Cost)) { m.onWrite = fn }
+
+// pageIndex maps a data address to its 4 KB page index.
+func (m *CostModel) pageIndex(addr uint64) uint64 {
+	return (addr - m.lay.DataBase) / nvm.PageSize
+}
+
+// blockNVMAddr mirrors ctr.Store.BlockNVMAddr: the counter-cache index
+// address of addr's counter block.
+func (m *CostModel) blockNVMAddr(addr uint64) uint64 {
+	return m.lay.CounterBase + m.pageIndex(addr)*64
+}
+
+// nodeNVMAddr mirrors the trees' NodeNVMAddr.
+func (m *CostModel) nodeNVMAddr(level int, index uint64) uint64 {
+	return m.lay.TreeBase + m.offsets[level] + index*64
+}
+
+// metaIdx mirrors Unit.metaIdx: shadow-table index of a metadata block.
+func (m *CostModel) metaIdx(nvmAddr uint64) (uint64, bool) {
+	if nvmAddr < m.lay.CounterBase || nvmAddr >= m.lay.MACBase {
+		return 0, false
+	}
+	return (nvmAddr - m.lay.CounterBase) / 64, true
+}
+
+// persistVictim mirrors persistMetaVictim's cost and shadow effects (the
+// actual metadata persist is functional work, owned by the shadow stage).
+func (m *CostModel) persistVictim(nvmAddr uint64, cost *Cost) {
+	if i, ok := m.metaIdx(nvmAddr); ok {
+		p := m.shadowLive.Ptr(i)
+		if *p {
+			*p = false
+			m.shadowCount--
+		}
+	}
+	cost.NVMWrites++
+}
+
+// shadowSet mirrors shadowWrite's cost and live-bit effects.
+func (m *CostModel) shadowSet(nvmAddr uint64, cost *Cost) {
+	if i, ok := m.metaIdx(nvmAddr); ok {
+		p := m.shadowLive.Ptr(i)
+		if !*p {
+			*p = true
+			m.shadowCount++
+		}
+	}
+	cost.ShadowWrites++
+	cost.NVMWrites++
+}
+
+// touchCounter mirrors Unit.touchCounter.
+func (m *CostModel) touchCounter(addr uint64, write bool, cost *Cost) {
+	blockAddr := m.blockNVMAddr(addr)
+	if m.policy.CounterWriteThrough {
+		write = false
+	}
+	hit, victim, evicted := m.counterCache.Access(blockAddr, write)
+	if !hit {
+		cost.CounterMisses++
+	}
+	if evicted && victim.Dirty {
+		m.persistVictim(victim.Addr, cost)
+	}
+}
+
+// touchTreeNode mirrors Unit.touchTreeNode (minus the node-reference
+// bookkeeping, which only functional victim persistence needs).
+func (m *CostModel) touchTreeNode(nodeAddr uint64, write bool, cost *Cost) {
+	if m.policy.PartialTreePersistence {
+		write = false
+	}
+	hit, victim, evicted := m.mtCache.Access(nodeAddr, write)
+	if !hit {
+		cost.TreeMisses++
+	}
+	if evicted && victim.Dirty {
+		m.persistVictim(victim.Addr, cost)
+	}
+}
+
+// persistLevels mirrors Unit.persistLevels.
+func (m *CostModel) persistLevels() int {
+	n := m.policy.TreePersistLevels
+	if n < 0 {
+		n = 0
+	}
+	if m.kind == BMTEager && n > m.levels {
+		n = m.levels
+	}
+	return n
+}
+
+// serialMACsFor mirrors Unit.serialMACsFor.
+func (m *CostModel) serialMACsFor(leaf uint64) int {
+	base := m.kind.SerialMACs()
+	switch {
+	case m.policy.PartialTreePersistence && m.kind == BMTEager:
+		return 1 + m.persistLevels()
+	case m.policy.StreamlinedTreeUpdates && m.kind == BMTEager:
+		if !m.havePrev {
+			return base
+		}
+		shared := 0
+		for l := 1; l <= m.levels; l++ {
+			if leaf>>(3*uint(l)) == m.prevLeaf>>(3*uint(l)) {
+				shared++
+			}
+		}
+		if n := base - shared; n > 1 {
+			return n
+		}
+		return 1
+	}
+	return base
+}
+
+// WriteCost reproduces the Cost (and cost-relevant state trajectory) of
+// Unit.ProcessWrite(addr, ·, wpqSlot) without functional work. The
+// structure deliberately follows PrepareWrite then ApplyWrite so every
+// cache access lands in the same order.
+func (m *CostModel) WriteCost(addr uint64, wpqSlot int) Cost {
+	if !m.lay.ValidData(addr) {
+		panic(fmt.Sprintf("masu: write outside data region: %#x", addr))
+	}
+	_ = wpqSlot
+	var cost Cost
+	addr &^= uint64(63)
+
+	// --- PrepareWrite mirror ---
+	m.touchCounter(addr, true, &cost)
+	pg := m.pages.Ptr(m.pageIndex(addr))
+	li := int(addr/64) % 64
+	overflow := pg.minors[li] == 127 // ctr.MinorMax
+	cost.AESOps++                    // data-line pad generation
+	cost.TotalMACs++                 // data MAC
+	leaf := m.lay.LeafIndex(addr)
+	// Tree-path MACs: one per interior level (plus the ToC leaf MAC).
+	cost.TotalMACs += m.levels
+	if m.kind == ToCLazy {
+		cost.TotalMACs++
+	}
+	cost.SerialMACs = m.serialMACsFor(leaf)
+	m.prevLeaf, m.havePrev = leaf, true
+
+	// --- ApplyWrite mirror ---
+	// Counter block: install the increment.
+	if overflow {
+		pg.major++
+		for i := range pg.minors {
+			pg.minors[i] = 0
+		}
+		pg.minors[li] = 1
+	} else {
+		pg.minors[li]++
+	}
+	if m.policy.CounterWriteThrough {
+		if m.policy.CoalesceCounterWrites && m.haveWTLeaf && m.lastWTLeaf == leaf {
+			m.coalescedCtr++
+		} else {
+			cost.NVMWrites++
+		}
+		m.lastWTLeaf, m.haveWTLeaf = leaf, true
+	} else {
+		m.shadowSet(m.blockNVMAddr(addr), &cost)
+	}
+
+	// Integrity-tree path: every interior level, leaf upward.
+	idx := leaf
+	for level := 1; level <= m.levels; level++ {
+		idx /= 8
+		nodeAddr := m.nodeNVMAddr(level, idx)
+		m.touchTreeNode(nodeAddr, true, &cost)
+		switch {
+		case m.kind == BMTEager && m.policy.PartialTreePersistence:
+			if level <= m.persistLevels() {
+				cost.NVMWrites++
+			}
+		default:
+			m.shadowSet(nodeAddr, &cost)
+		}
+	}
+	if m.kind == ToCLazy {
+		cost.NVMWrites++ // persisted leaf MAC line
+	}
+
+	// Data, MAC and ECC lines.
+	cost.NVMWrites += 2
+	wi := (addr - m.lay.DataBase) / 64
+	wp := m.written.Ptr(wi)
+	if !*wp {
+		*wp = true
+		m.writtenCount++
+	}
+	m.writes++
+
+	if overflow {
+		cost.Add(m.reencryptCost(addr))
+	}
+	if m.onWrite != nil {
+		m.onWrite(addr, cost)
+	}
+	return cost
+}
+
+// reencryptCost mirrors reencryptPage: the page's 63 sibling lines each
+// re-encrypt (one pad + one MAC + two NVM writes); previously written
+// lines additionally decrypt under their old counter.
+func (m *CostModel) reencryptCost(addr uint64) Cost {
+	var cost Cost
+	page := addr / nvm.PageSize * nvm.PageSize
+	for a := page; a < page+nvm.PageSize; a += 64 {
+		if a == addr {
+			continue
+		}
+		wp := m.written.Ptr((a - m.lay.DataBase) / 64)
+		if *wp {
+			cost.AESOps++ // decrypt under the old counter
+		} else {
+			*wp = true
+			m.writtenCount++
+		}
+		cost.ReencryptedLines++
+		cost.AESOps++
+		cost.TotalMACs++
+		cost.NVMWrites += 2
+	}
+	return cost
+}
+
+// ReadCost reproduces the cost-relevant effects of Unit.ReadLine: the
+// counter-cache touch, the zero-counter fast path, and the tree-path
+// walk with its early stop at the first MT-cache hit. The verify-path
+// TotalMACs of a functional read (dirty-flag dependent) is exempted —
+// see the type comment — and reported as the structural 1 data MAC.
+func (m *CostModel) ReadCost(addr uint64) Cost {
+	var cost Cost
+	addr &^= uint64(63)
+	if !m.lay.ValidData(addr) {
+		panic(fmt.Sprintf("masu: read outside data region: %#x", addr))
+	}
+	m.reads++
+
+	m.touchCounter(addr, false, &cost)
+	pg := m.pages.Ptr(m.pageIndex(addr))
+	if pg.counter(int(addr/64)%64) == 0 {
+		return cost
+	}
+	cost.TotalMACs++
+	cost.SerialMACs++
+	m.chargeTreePath(m.lay.LeafIndex(addr), &cost)
+	cost.AESOps++
+	return cost
+}
+
+// chargeTreePath mirrors Unit.chargeTreePath.
+func (m *CostModel) chargeTreePath(leaf uint64, cost *Cost) {
+	idx := leaf
+	for level := 1; level <= m.levels; level++ {
+		idx /= 8
+		nodeAddr := m.nodeNVMAddr(level, idx)
+		hit, victim, evicted := m.mtCache.Access(nodeAddr, false)
+		if evicted && victim.Dirty {
+			m.persistVictim(victim.Addr, cost)
+		}
+		if hit {
+			return
+		}
+		cost.TreeMisses++
+	}
+}
+
+// ReconstructEstimate mirrors Unit.ReconstructEstimate from the written
+// set (address-derived, so identical by construction).
+func (m *CostModel) ReconstructEstimate() uint64 {
+	if m.kind != BMTEager {
+		return 0
+	}
+	n := m.persistLevels()
+	mac := uint64(crypt.MACLatency)
+	if n >= m.levels {
+		return recoveryReadCycles + mac
+	}
+	counts := m.ancestorCounts()
+	cycles := uint64(counts[n]) * (recoveryReadCycles + mac)
+	for l := n + 1; l <= m.levels; l++ {
+		cycles += uint64(counts[l]) * mac
+	}
+	return cycles + mac
+}
+
+// ancestorCounts mirrors Unit.ancestorCounts over the model's written set.
+func (m *CostModel) ancestorCounts() []int {
+	leaves := make(map[uint64]struct{})
+	m.written.Range(func(i uint64, w *bool) bool {
+		if *w {
+			leaves[m.lay.LeafIndex(m.lay.DataBase+i*64)] = struct{}{}
+		}
+		return true
+	})
+	counts := make([]int, m.levels+1)
+	counts[0] = len(leaves)
+	for l := 1; l <= m.levels; l++ {
+		anc := make(map[uint64]struct{})
+		for leaf := range leaves {
+			anc[leaf>>(3*uint(l))] = struct{}{}
+		}
+		counts[l] = len(anc)
+	}
+	return counts
+}
+
+// AnubisEstimate mirrors Unit.AnubisEstimate from the live-bit count.
+func (m *CostModel) AnubisEstimate() uint64 {
+	return uint64(m.shadowCount)*(recoveryReadCycles+uint64(crypt.MACLatency)) + recoveryReadCycles
+}

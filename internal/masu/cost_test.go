@@ -1,0 +1,185 @@
+package masu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dolos/internal/crypt"
+	"dolos/internal/layout"
+	"dolos/internal/nvm"
+)
+
+// costPolicies are the policy points the scheme registry exercises; the
+// differential test runs each against both tree kinds.
+var costPolicies = map[string]Policy{
+	"baseline": {},
+	"triad": {
+		CounterWriteThrough:    true,
+		PartialTreePersistence: true,
+		TreePersistLevels:      2,
+	},
+	"supermem": {
+		CounterWriteThrough:    true,
+		CoalesceCounterWrites:  true,
+		PartialTreePersistence: true,
+		TreePersistLevels:      0,
+	},
+	"stum": {
+		StreamlinedTreeUpdates: true,
+	},
+}
+
+// TestCostModelMatchesUnit drives a functional Unit and a CostModel
+// through the same write/read sequence — including counter overflows and
+// re-encryption — and requires the CostModel to reproduce every Cost and
+// every cost-derived estimate. Write costs must match on all fields;
+// read costs on everything except the tree-verify MAC count, which the
+// cost model exempts (no consumer of a read Cost uses it — see the
+// CostModel doc comment).
+func TestCostModelMatchesUnit(t *testing.T) {
+	for _, kind := range []TreeKind{BMTEager, ToCLazy} {
+		for name, pol := range costPolicies {
+			kind, pol := kind, pol
+			t.Run(kind.String()+"/"+name, func(t *testing.T) {
+				var aesKey, macKey [16]byte
+				copy(aesKey[:], "cost-aes-key-016")
+				copy(macKey[:], "cost-mac-key-016")
+				lay := layout.Small()
+				dev := nvm.NewDevice(nil, lay.DeviceSize, 0)
+				u := NewWithParams(kind, crypt.NewEngine(aesKey, macKey), dev, lay, Params{Policy: pol})
+				m := NewCostModel(kind, lay, Params{Policy: pol})
+
+				compare := func(opIdx int, what string, got, want Cost, full bool) {
+					t.Helper()
+					if full && got != want {
+						t.Fatalf("op %d (%s): cost mismatch\n cost-model %+v\n functional %+v", opIdx, what, got, want)
+					}
+					if !full {
+						if got.CounterMisses != want.CounterMisses ||
+							got.TreeMisses != want.TreeMisses ||
+							got.NVMWrites != want.NVMWrites ||
+							got.ShadowWrites != want.ShadowWrites {
+							t.Fatalf("op %d (%s): read cost mismatch\n cost-model %+v\n functional %+v", opIdx, what, got, want)
+						}
+					}
+				}
+
+				rng := rand.New(rand.NewSource(42))
+				// A small address pool with a hot page so minor counters
+				// overflow within the run, plus enough distinct pages to
+				// thrash the counter cache... Small() keeps the tree short
+				// but multi-level.
+				pool := make([]uint64, 0, 600)
+				hot := lay.DataBase + 8*nvm.PageSize
+				for l := uint64(0); l < 64; l++ {
+					pool = append(pool, hot+l*64)
+				}
+				for i := 0; i < 512; i++ {
+					pool = append(pool, lay.DataBase+uint64(rng.Intn(int(lay.DataSpan/64)))*64)
+				}
+
+				for i := 0; i < 6000; i++ {
+					addr := pool[rng.Intn(len(pool))]
+					if rng.Intn(4) == 0 {
+						_, want, err := u.ReadLine(addr)
+						if err != nil {
+							t.Fatalf("op %d: functional read failed: %v", i, err)
+						}
+						got := m.ReadCost(addr)
+						compare(i, "read", got, want, false)
+					} else {
+						if rng.Intn(3) != 0 {
+							addr = hot // hammer one page toward overflow
+						}
+						want := u.ProcessWrite(addr, line(byte(i)), -1)
+						got := m.WriteCost(addr, -1)
+						compare(i, "write", got, want, true)
+					}
+				}
+
+				if got, want := m.Writes(), u.Writes(); got != want {
+					t.Fatalf("Writes: cost-model %d, functional %d", got, want)
+				}
+				if got, want := m.Reads(), u.Reads(); got != want {
+					t.Fatalf("Reads: cost-model %d, functional %d", got, want)
+				}
+				if got, want := m.WrittenLines(), u.WrittenLines(); got != want {
+					t.Fatalf("WrittenLines: cost-model %d, functional %d", got, want)
+				}
+				if got, want := m.AnubisEstimate(), u.AnubisEstimate(); got != want {
+					t.Fatalf("AnubisEstimate: cost-model %d, functional %d", got, want)
+				}
+				if kind == BMTEager {
+					if got, want := m.ReconstructEstimate(), u.ReconstructEstimate(); got != want {
+						t.Fatalf("ReconstructEstimate: cost-model %d, functional %d", got, want)
+					}
+				}
+				if got, want := m.CoalescedCounterWrites(), u.CoalescedCounterWrites(); got != want {
+					t.Fatalf("CoalescedCounterWrites: cost-model %d, functional %d", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestDeferredWriteMatchesEager drives two functional units through the
+// same sequence, one via ProcessWrite and one via ProcessWriteDeferred +
+// periodic FlushWrites, and requires identical costs and an identical
+// device image — the bit-identity contract the parallel-DES shadow stage
+// relies on.
+func TestDeferredWriteMatchesEager(t *testing.T) {
+	for _, kind := range []TreeKind{BMTEager, ToCLazy} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			var aesKey, macKey [16]byte
+			copy(aesKey[:], "defr-aes-key-016")
+			copy(macKey[:], "defr-mac-key-016")
+			lay := layout.Small()
+			devA := nvm.NewDevice(nil, lay.DeviceSize, 0)
+			devB := nvm.NewDevice(nil, lay.DeviceSize, 0)
+			eager := New(kind, crypt.NewEngine(aesKey, macKey), devA, lay, 0)
+			deferred := New(kind, crypt.NewEngine(aesKey, macKey), devB, lay, 0)
+
+			rng := rand.New(rand.NewSource(7))
+			hot := lay.DataBase + 3*nvm.PageSize
+			for i := 0; i < 2000; i++ {
+				var addr uint64
+				if rng.Intn(2) == 0 {
+					addr = hot + uint64(rng.Intn(4))*64 // overflow pressure
+				} else {
+					addr = lay.DataBase + uint64(rng.Intn(int(lay.DataSpan/64)))*64
+				}
+				switch rng.Intn(5) {
+				case 0: // interleaved read (self-flushing)
+					pa, ca, errA := eager.ReadLine(addr)
+					pb, cb, errB := deferred.ReadLine(addr)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: read error divergence: %v vs %v", i, errA, errB)
+					}
+					if pa != pb || ca != cb {
+						t.Fatalf("op %d: read divergence", i)
+					}
+				default:
+					data := line(byte(i))
+					ca := eager.ProcessWrite(addr, data, -1)
+					cb := deferred.ProcessWriteDeferred(addr, data, -1)
+					if ca != cb {
+						t.Fatalf("op %d: write cost divergence\n eager    %+v\n deferred %+v", i, ca, cb)
+					}
+				}
+				if rng.Intn(64) == 0 {
+					deferred.FlushWrites()
+				}
+			}
+			deferred.FlushWrites()
+
+			if !reflect.DeepEqual(devA.Snapshot(), devB.Snapshot()) {
+				t.Fatal("device images diverge between eager and deferred write paths")
+			}
+			if n, err := deferred.Audit(); err != nil {
+				t.Fatalf("audit after deferred writes: %v (%d lines)", err, n)
+			}
+		})
+	}
+}

@@ -30,10 +30,10 @@ const batchCap = 64
 // Barrier/Close return only after the consumer acknowledges, so state
 // the apply function wrote is safe to read after either returns.
 type Pipeline[T any] struct {
-	batch []T        // producer-side accumulator (flushed at batchSize)
-	size  int        // effective batch size (min(batchCap, window))
-	ops   chan []T   // batches in flight, oldest first
-	free  chan []T   // recycled buffers flowing back to the producer
+	batch []T      // producer-side accumulator (flushed at batchSize)
+	size  int      // effective batch size (min(batchCap, window))
+	ops   chan []T // batches in flight, oldest first
+	free  chan []T // recycled buffers flowing back to the producer
 	bar   chan chan struct{}
 	done  chan struct{}
 }
@@ -42,6 +42,19 @@ type Pipeline[T any] struct {
 // maximum number of submitted-but-unapplied ops (minimum 1); apply runs
 // on the consumer goroutine for every op, in submission order.
 func NewPipeline[T any](window int, apply func(T)) *Pipeline[T] {
+	return NewBatchPipeline(window, func(b []T) {
+		for i := range b {
+			apply(b[i])
+		}
+	})
+}
+
+// NewBatchPipeline is NewPipeline with the whole hand-off visible to the
+// consumer: applyBatch receives each batch (≤ batchCap ops, submission
+// order preserved within and across batches) and may amortize work —
+// batched crypto, scratch reuse — across it. The batch slice is recycled
+// after applyBatch returns; the consumer must not retain it.
+func NewBatchPipeline[T any](window int, applyBatch func([]T)) *Pipeline[T] {
 	if window < 1 {
 		window = 1
 	}
@@ -60,11 +73,11 @@ func NewPipeline[T any](window int, apply func(T)) *Pipeline[T] {
 		bar:  make(chan chan struct{}),
 		done: make(chan struct{}),
 	}
-	go p.consume(apply)
+	go p.consume(applyBatch)
 	return p
 }
 
-func (p *Pipeline[T]) consume(apply func(T)) {
+func (p *Pipeline[T]) consume(applyBatch func([]T)) {
 	defer close(p.done)
 	recycle := func(b []T) {
 		select {
@@ -78,9 +91,7 @@ func (p *Pipeline[T]) consume(apply func(T)) {
 			if !ok {
 				return
 			}
-			for _, op := range b {
-				apply(op)
-			}
+			applyBatch(b)
 			recycle(b)
 		case ack := <-p.bar:
 			// The producer is blocked in Barrier, so the ops channel is
@@ -93,9 +104,7 @@ func (p *Pipeline[T]) consume(apply func(T)) {
 						close(ack)
 						return
 					}
-					for _, op := range b {
-						apply(op)
-					}
+					applyBatch(b)
 					recycle(b)
 				default:
 					break drain

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkAppendSubmitParallel measures the acknowledged-append path —
+// frame write + fsync + in-memory fold — under concurrent submitters,
+// the shape dolos-serve presents under load. Reports per-append latency
+// percentiles alongside ns/op; group commit should hold ns/op near the
+// single-fsync cost as parallelism grows instead of multiplying it.
+func BenchmarkAppendSubmitParallel(b *testing.B) {
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", par), func(b *testing.B) {
+			s, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			var mu sync.Mutex
+			var lats []time.Duration
+			var seq int64
+			b.SetParallelism(par) // par * GOMAXPROCS submitters
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					mu.Lock()
+					seq++
+					n := seq
+					mu.Unlock()
+					j := JobRecord{
+						ID: fmt.Sprintf("b%08d", n), Seq: n, Key: "bench",
+						Req: json.RawMessage(`{}`), At: time.Unix(0, 0).UTC(),
+					}
+					start := time.Now()
+					if err := s.AppendSubmit(j); err != nil {
+						b.Error(err)
+						return
+					}
+					d := time.Since(start)
+					mu.Lock()
+					lats = append(lats, d)
+					mu.Unlock()
+				}
+			})
+			b.StopTimer()
+
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			if len(lats) > 0 {
+				p := func(q float64) float64 {
+					i := int(q * float64(len(lats)-1))
+					return float64(lats[i].Microseconds())
+				}
+				b.ReportMetric(p(0.50), "p50-µs")
+				b.ReportMetric(p(0.99), "p99-µs")
+			}
+		})
+	}
+}

@@ -72,8 +72,15 @@ func (s *Store) loadSnapshot() error {
 }
 
 // compactLocked writes the snapshot and truncates the WAL. Caller holds
-// s.mu.
+// s.mu. Truncation must not race a group-commit cohort (an appender's
+// written-but-unacknowledged frame would vanish from the log while its
+// record lands in memory), so this waits for the WAL to go quiescent
+// first; appends arriving during the snapshot write are excluded by the
+// mutex itself.
 func (s *Store) compactLocked() error {
+	for s.wal != nil && !s.wal.quiescent() {
+		s.wal.cond.Wait()
+	}
 	if s.wal == nil {
 		return fmt.Errorf("store: closed")
 	}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 // The WAL frame: a fixed 8-byte header — payload length then the
@@ -25,12 +26,34 @@ const maxWALRecord = 64 << 20
 
 var errCorruptWAL = errors.New("store: corrupt WAL record before tail")
 
-// wal is the append-only log file. Appends are serialized by the
-// owning Store's mutex.
+// wal is the append-only log file. Frame writes are serialized by the
+// owning Store's mutex; durability is group-committed — concurrent
+// appenders write their frames back-to-back, then one of them (the
+// leader) fsyncs once for the whole cohort while the rest wait on the
+// condvar. See writeFrame / waitDurable.
 type wal struct {
 	f    *os.File
 	size int64
+
+	// Group-commit state, all guarded by the owning Store's mutex
+	// (attached via attach). synced is the durable high-water mark;
+	// syncing marks a leader's fsync in flight; waiters counts appenders
+	// between writeFrame and acknowledgment (compaction must not cut the
+	// log under them); err poisons the log after a failed fsync or a
+	// close — once a sync is lost, no later append may be acknowledged.
+	cond    *sync.Cond
+	synced  int64
+	syncing bool
+	waiters int
+	err     error
+	// syncs counts leader fsyncs — the group-commit effectiveness
+	// metric (acknowledged appends per fsync).
+	syncs int64
 }
+
+// attach wires the wal's group-commit condvar to the owner's mutex.
+// Must be called before the first Append.
+func (w *wal) attach(mu *sync.Mutex) { w.cond = sync.NewCond(mu) }
 
 // openWAL opens (creating if needed) the log at path, replays every
 // valid record into the returned slice, truncates a torn tail, and
@@ -62,7 +85,7 @@ func openWAL(path string) (*wal, [][]byte, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &wal{f: f, size: valid}, records, nil
+	return &wal{f: f, size: valid, synced: valid}, records, nil
 }
 
 // scanWAL reads frames from the start of f, returning the decoded
@@ -127,31 +150,90 @@ func tailEndsHere(f *os.File, end int64) bool {
 	return fi.Size() <= end
 }
 
-// Append frames and writes one payload, then syncs. Durability before
-// acknowledgment is the store's whole contract, so the fsync is not
-// optional.
-func (w *wal) Append(payload []byte) error {
+// writeFrame frames and writes one payload without syncing, returning
+// the file offset the frame ends at — the durability target to pass to
+// waitDurable. Caller holds the owning mutex.
+func (w *wal) writeFrame(payload []byte) (int64, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
 	if len(payload) > maxWALRecord {
-		return fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
+		return 0, fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
 	}
 	frame := make([]byte, walHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[walHeaderLen:], payload)
 	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("store: WAL append: %w", err)
-	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("store: WAL sync: %w", err)
+		return 0, fmt.Errorf("store: WAL append: %w", err)
 	}
 	w.size += int64(len(frame))
-	return nil
+	return w.size, nil
+}
+
+// waitDurable blocks until the log is durable through end (group
+// commit). Caller holds the owning mutex; the mutex is released while
+// the leader's fsync runs, letting concurrent appenders write their
+// frames behind it — the next round's single fsync then covers them
+// all. On a sync failure every cohort member gets the error and the
+// log is poisoned: a WAL that lost an fsync cannot promise anything
+// about subsequent acknowledgments.
+func (w *wal) waitDurable(end int64) error {
+	w.waiters++
+	defer func() {
+		w.waiters--
+		if w.waiters == 0 {
+			// Wake anyone waiting for quiescence (compaction, close).
+			w.cond.Broadcast()
+		}
+	}()
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		if w.synced >= end {
+			return nil
+		}
+		if !w.syncing {
+			// Become the leader: sync everything written so far, which
+			// includes our own frame (end <= w.size always holds here).
+			w.syncing = true
+			target := w.size
+			w.syncs++
+			w.cond.L.Unlock()
+			err := w.f.Sync()
+			w.cond.L.Lock()
+			w.syncing = false
+			if err != nil {
+				w.err = fmt.Errorf("store: WAL sync: %w", err)
+			} else if target > w.synced {
+				w.synced = target
+			}
+			w.cond.Broadcast()
+			continue
+		}
+		w.cond.Wait()
+	}
+}
+
+// quiescent reports whether no append is mid-flight: everything written
+// is durable and no appender is waiting. Only in this state may the
+// log be truncated out from under the group-commit machinery. A
+// poisoned log with no waiters counts as quiescent — synced can never
+// catch up to size again, and there is no cohort left to protect.
+// Caller holds the owning mutex.
+func (w *wal) quiescent() bool {
+	if w.syncing || w.waiters > 0 {
+		return false
+	}
+	return w.err != nil || w.synced == w.size
 }
 
 // Size returns the current WAL length in bytes.
 func (w *wal) Size() int64 { return w.size }
 
-// Truncate empties the log (after a successful snapshot).
+// Truncate empties the log (after a successful snapshot). Caller holds
+// the owning mutex and must have observed quiescent().
 func (w *wal) Truncate() error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
@@ -163,11 +245,17 @@ func (w *wal) Truncate() error {
 		return err
 	}
 	w.size = 0
+	w.synced = 0
 	return nil
 }
 
-// Close syncs and closes the file.
+// Close syncs and closes the file, poisoning the group-commit state so
+// any straggling waiter errors out instead of blocking forever.
 func (w *wal) Close() error {
+	w.err = errors.New("store: closed")
+	if w.cond != nil {
+		w.cond.Broadcast()
+	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
